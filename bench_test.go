@@ -1,0 +1,260 @@
+// Package radshield's repository-level benchmarks regenerate every table
+// and figure of the paper's evaluation (§4). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment harness once per
+// iteration and reports the headline quantities as custom metrics, so
+// `go test -bench` output doubles as the reproduction record that
+// EXPERIMENTS.md summarizes.
+package radshield
+
+import (
+	"testing"
+	"time"
+
+	"radshield/internal/experiments"
+	"radshield/internal/fault"
+)
+
+// benchSEL is the SEL campaign sizing used by benchmarks: longer than
+// the unit tests, still seconds-scale.
+func benchSEL() experiments.SELConfig {
+	c := experiments.DefaultSELConfig()
+	c.Duration = 4 * time.Hour
+	return c
+}
+
+func benchSEU() experiments.SEUConfig { return experiments.DefaultSEUConfig() }
+
+func BenchmarkFig2CurrentTrace(b *testing.B) {
+	var res *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig2(benchSEL())
+	}
+	b.ReportMetric(res.MaxNominalA, "maxNominalA")
+	b.ReportMetric(res.MaxLatchedA, "maxLatchedA")
+}
+
+func BenchmarkFig5Correlation(b *testing.B) {
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig5(benchSEL())
+	}
+	b.ReportMetric(res.Correlation, "correlation")
+}
+
+func BenchmarkTable2DetectorAccuracy(b *testing.B) {
+	var rows []experiments.DetectorAccuracyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Table2(benchSEL())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Name == "ILD" {
+			b.ReportMetric(r.FalseNegativeRate, "ild-FNR")
+			b.ReportMetric(r.FalsePositiveRate, "ild-FPR")
+		}
+	}
+}
+
+func BenchmarkFig10Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(benchSEL(), 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table3(19 * time.Second)
+	}
+}
+
+func BenchmarkTable4DieArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table4()
+	}
+}
+
+func BenchmarkFig11RelativeRuntime(b *testing.B) {
+	var rows []experiments.Fig11Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Fig11(benchSEU())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worstEMR, worstSerial float64
+	for _, r := range rows {
+		if r.EMRRel > worstEMR {
+			worstEMR = r.EMRRel
+		}
+		if r.Serial3MRRel > worstSerial {
+			worstSerial = r.Serial3MRRel
+		}
+	}
+	b.ReportMetric(worstEMR, "maxEMRrel")
+	b.ReportMetric(worstSerial, "max3MRrel")
+}
+
+func BenchmarkFig12InputSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(42, []int{64 << 10, 256 << 10, 1 << 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Replication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig13(benchSEU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6Breakdown(b *testing.B) {
+	var res *experiments.Table6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table6(benchSEU())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.EMR.Makespan.Seconds()/res.Serial.Makespan.Seconds(), "emr/3mr-runtime")
+}
+
+func BenchmarkFig14Energy(b *testing.B) {
+	var rows []experiments.Fig14Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Fig14(benchSEU())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.EMRRel / r.Serial3MRRel
+	}
+	b.ReportMetric(sum/float64(len(rows)), "meanEMR/3MR-energy")
+}
+
+func BenchmarkTable7FaultInjection(b *testing.B) {
+	cfg := experiments.DefaultTable7Config()
+	cfg.Size = 32 << 10
+	var tallies map[string]*fault.Tally
+	for i := 0; i < b.N; i++ {
+		var err error
+		tallies, _, err = experiments.Table7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tallies["None"].Counts[fault.SDC]), "unprotected-SDCs")
+	b.ReportMetric(float64(tallies["EMR"].Counts[fault.SDC]+tallies["3-MR"].Counts[fault.SDC]), "protected-SDCs")
+}
+
+func BenchmarkTable8DeveloperOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table8()
+	}
+}
+
+func BenchmarkWindowOfVulnerability(b *testing.B) {
+	var wov float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		wov, err = experiments.WindowOfVulnerability(benchSEU())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(wov, "relativeWoV")
+}
+
+func BenchmarkAblationRollingMin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationRollingMin(benchSEL())
+	}
+}
+
+func BenchmarkAblationQuiescence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationQuiescenceGate(benchSEL()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBubbleCadence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationBubbleCadence()
+	}
+}
+
+func BenchmarkAblationClassifier(b *testing.B) {
+	cfg := benchSEL()
+	cfg.TrainFor = time.Minute
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationClassifier(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationScheduling(benchSEU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.FeatureSelection(benchSEL())
+	}
+}
+
+func BenchmarkAblationCacheECC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCacheECC(benchSEU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMissionSurvival(b *testing.B) {
+	cfg := experiments.DefaultMissionConfig()
+	cfg.Missions = 2
+	cfg.Duration = 6 * time.Hour
+	for i := 0; i < b.N; i++ {
+		protected, _, _, err := experiments.MissionSurvival(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(protected.Survived)/float64(cfg.Missions), "radshield-survival")
+	}
+}
+
+func BenchmarkThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.ThresholdSweep(benchSEL(), 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMissionProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = experiments.MissionProfiles(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Command ildmon runs a live ILD monitoring session over a simulated
+// SmallSat mission timeline: it trains the detector on the ground twin,
+// then plays a flight-software trace with scheduled latchup strikes,
+// printing telemetry and detector decisions as the mission unfolds.
+//
+// Usage:
+//
+//	ildmon -hours 2 -sel-at 45m -sel-amps 0.07
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"radshield/internal/experiments"
+	"radshield/internal/ild"
+	"radshield/internal/machine"
+	"radshield/internal/trace"
+)
+
+func main() {
+	var (
+		hours   = flag.Float64("hours", 2, "mission length in simulated hours")
+		selAt   = flag.Duration("sel-at", 45*time.Minute, "when the latchup strikes")
+		selAmps = flag.Float64("sel-amps", 0.07, "latchup current increase (A)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		report  = flag.Duration("report", 5*time.Minute, "telemetry print interval")
+		dump    = flag.String("dump", "", "write the fine-grained telemetry ring (CSV) to this file")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("ildmon: ")
+
+	cfg := experiments.DefaultSELConfig()
+	cfg.Seed = *seed
+	fmt.Println("training ILD on the ground twin (quiescent trace)...")
+	det, err := experiments.TrainILD(cfg)
+	if err != nil {
+		log.Fatalf("training failed: %v", err)
+	}
+	model := det.Model()
+	fmt.Printf("model fitted: %d features, intercept %.4f A\n\n", len(model.Weights), model.Intercept)
+
+	mc := machine.DefaultConfig()
+	mc.SampleEvery = cfg.SampleEvery
+	mc.SensorSeed = *seed + 1
+	m := machine.New(mc)
+
+	rng := rand.New(rand.NewSource(*seed + 2))
+	mission := trace.FlightSoftware(rng, time.Duration(*hours*float64(time.Hour)), mc.Cores)
+	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
+
+	fmt.Printf("mission start: %v of flight software, SEL strike at %v (+%.3f A)\n",
+		mission.Total().Round(time.Second), *selAt, *selAmps)
+
+	// Fine-grained telemetry ring for post-incident analysis (§5 of the
+	// paper: definitive SEL attribution from the ground).
+	rec := ild.NewRecorder(det, 60000)
+
+	var (
+		struck     bool
+		detectedAt = time.Duration(-1)
+		nextReport = *report
+	)
+	m.RunTrace(mission, func(tel machine.Telemetry) {
+		if !struck && tel.T >= *selAt {
+			struck = true
+			m.InjectSEL(*selAmps)
+			fmt.Printf("[%8s] *** latchup strikes (+%.3f A) — current now %.3f A\n",
+				tel.T.Round(time.Second), *selAmps, tel.CurrentA)
+		}
+		if rec.Observe(tel) && detectedAt < 0 {
+			detectedAt = tel.T
+			fmt.Printf("[%8s] !!! ILD flags an SEL (residual %.4f A) — commanding power cycle\n",
+				tel.T.Round(time.Second), det.Residual())
+			m.PowerCycle()
+			det.Reset()
+		}
+		if tel.T >= nextReport {
+			nextReport += *report
+			state := "quiescent"
+			if !det.Quiescent(tel) {
+				state = "busy"
+			}
+			fmt.Printf("[%8s] current %.3f A  instr %.2e/s  (%s)\n",
+				tel.T.Round(time.Second), tel.CurrentA, tel.TotalInstrPerSec(), state)
+		}
+	})
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.Dump(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry ring (%d records) written to %s\n", rec.Len(), *dump)
+	}
+
+	fmt.Println()
+	switch {
+	case !struck:
+		fmt.Println("mission ended before the scheduled strike; no SEL occurred")
+	case detectedAt < 0:
+		fmt.Printf("MISSION LOST: latchup never detected; damaged=%v\n", m.Damaged())
+		os.Exit(1)
+	default:
+		latency := detectedAt - *selAt
+		fmt.Printf("latchup detected %v after the strike (thermal damage horizon: %v)\n",
+			latency.Round(time.Second), mc.SELDamageAfter)
+		fmt.Printf("power cycles: %d, chip damaged: %v\n", m.PowerCycles(), m.Damaged())
+		if m.Damaged() {
+			os.Exit(1)
+		}
+	}
+}

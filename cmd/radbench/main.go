@@ -1,0 +1,266 @@
+// Command radbench regenerates the paper's tables and figures from the
+// Radshield reproduction. Each experiment prints the same rows/series
+// the paper reports; absolute values come from the simulated testbed, so
+// shapes (who wins, by what factor) are the comparison target.
+//
+// Usage:
+//
+//	radbench -exp all
+//	radbench -exp tab2 -hours 24
+//	radbench -exp fig11,fig14 -size 1048576
+//	radbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"radshield/internal/experiments"
+)
+
+type runner func(sel experiments.SELConfig, seu experiments.SEUConfig) error
+
+var registry = map[string]struct {
+	desc string
+	run  runner
+}{
+	"fig2": {"current trace of a navigation workload before/after SEL", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		res := experiments.Fig2(sel)
+		fmt.Printf("max nominal current: %.3f A (crosses %.1f A trip: %v)\n", res.MaxNominalA, res.ThresholdA, res.CrossesNominal)
+		fmt.Printf("max latched quiescent current: %.3f A (crosses trip: %v)\n", res.MaxLatchedA, res.CrossesLatched)
+		fmt.Println(summarize(res.Fig, 12))
+		return nil
+	}},
+	"fig5": {"current vs CPU-activity correlation under stepped matmul", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		res := experiments.Fig5(sel)
+		fmt.Printf("correlation(current, instruction rate) = %.4f (paper: 0.997)\n", res.Correlation)
+		fmt.Println(summarize(res.Fig, 12))
+		return nil
+	}},
+	"tab2": {"SEL detector accuracy: ILD vs random forest vs static thresholds", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		_, tbl, err := experiments.Table2(sel)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"fig10": {"ILD misdetection rate vs latchup current", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		fig, err := experiments.Fig10(sel, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		return nil
+	}},
+	"tab3": {"worst-case ILD overhead", func(experiments.SELConfig, experiments.SEUConfig) error {
+		fmt.Println(experiments.Table3(19 * time.Second))
+		return nil
+	}},
+	"tab4": {"relative protected die area per scheme", func(experiments.SELConfig, experiments.SEUConfig) error {
+		fmt.Println(experiments.Table4())
+		return nil
+	}},
+	"fig11": {"relative runtime of 3-MR and EMR per workload", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		_, tbl, err := experiments.Fig11(seu)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"fig12": {"AES-256 runtime vs input size across frontiers", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		fig, err := experiments.Fig12(seu.Seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig)
+		return nil
+	}},
+	"fig13": {"replication-threshold sweep: runtime and memory", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		_, tbl, err := experiments.Fig13(seu)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"tab6": {"image-processing runtime breakdown", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		res, err := experiments.Table6(seu)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Tbl)
+		return nil
+	}},
+	"fig14": {"relative energy per workload and scheme", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		_, tbl, err := experiments.Fig14(seu)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"tab7": {"fault-injection outcomes per scheme", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		cfg := experiments.DefaultTable7Config()
+		cfg.Size = seu.Size / 2
+		_, tbl, err := experiments.Table7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"tab8": {"developer overhead to adopt EMR", func(experiments.SELConfig, experiments.SEUConfig) error {
+		fmt.Println(experiments.Table8())
+		return nil
+	}},
+	"wov": {"window-of-vulnerability estimate (§4.2.6)", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		wov, err := experiments.WindowOfVulnerability(seu)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("EMR relative strike probability vs serial 3-MR: %.2f (paper: 0.80)\n", wov)
+		return nil
+	}},
+	"ablate-rollingmin": {"rolling-minimum filter ablation", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		fmt.Println(experiments.AblationRollingMin(sel))
+		return nil
+	}},
+	"ablate-gate": {"quiescence-gate ablation", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		tbl, err := experiments.AblationQuiescenceGate(sel)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"ablate-bubbles": {"bubble-cadence ablation", func(experiments.SELConfig, experiments.SEUConfig) error {
+		fmt.Println(experiments.AblationBubbleCadence())
+		return nil
+	}},
+	"ablate-classifier": {"ILD model-choice ablation (linear vs forest vs bayes)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		tbl, err := experiments.AblationClassifier(sel)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"ablate-scheduling": {"jobset-scheduling ablation", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		tbl, err := experiments.AblationScheduling(seu)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"ablate-cacheecc": {"flush discipline vs hardware cache ECC (§3.2)", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+		tbl, err := experiments.AblationCacheECC(seu)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"profiles": {"mission-profile quiescence & detection opportunities (§3.1)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		_, tbl := experiments.MissionProfiles(sel.Seed)
+		fmt.Println(tbl)
+		return nil
+	}},
+	"threshold": {"decision-threshold sweep 0.04–0.08 A (§3.1: 0.055 chosen)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		_, tbl, err := experiments.ThresholdSweep(sel, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"missions": {"Monte-Carlo mission survival with vs without Radshield", func(experiments.SELConfig, experiments.SEUConfig) error {
+		_, _, tbl, err := experiments.MissionSurvival(experiments.DefaultMissionConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
+	"featsel": {"random-forest feature selection for ILD's metric set (§3.1)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		res := experiments.FeatureSelection(sel)
+		fmt.Println(res.Tbl)
+		fmt.Printf("importance mass: genuine counters %.3f, distractors %.3f\n", res.TopCounters, res.DistractorMass)
+		return nil
+	}},
+}
+
+// summarize renders a figure with at most n points per series so console
+// output stays readable.
+func summarize(f *experiments.Figure, n int) string {
+	out := &experiments.Figure{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		stride := len(s.X) / n
+		if stride < 1 {
+			stride = 1
+		}
+		ds := experiments.Series{Name: s.Name}
+		for i := 0; i < len(s.X); i += stride {
+			ds.Add(s.X[i], s.Y[i])
+		}
+		out.Series = append(out.Series, ds)
+	}
+	return out.String()
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		hours = flag.Float64("hours", 4, "SEL campaign length in simulated hours")
+		size  = flag.Int("size", 256<<10, "workload input size in bytes")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *list {
+		for _, name := range names {
+			fmt.Printf("  %-18s %s\n", name, registry[name].desc)
+		}
+		return
+	}
+
+	sel := experiments.DefaultSELConfig()
+	sel.Duration = time.Duration(*hours * float64(time.Hour))
+	sel.Seed = *seed
+	seu := experiments.SEUConfig{Size: *size, Seed: *seed + 41}
+
+	var targets []string
+	if *exp == "all" {
+		targets = names
+	} else {
+		targets = strings.Split(*exp, ",")
+	}
+	for _, name := range targets {
+		name = strings.TrimSpace(name)
+		entry, ok := registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "radbench: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("### %s — %s\n", name, entry.desc)
+		start := time.Now()
+		if err := entry.run(sel, seu); err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,164 @@
+// End-to-end LEO SmallSat mission simulation: both Radshield components
+// working together over a multi-day mission in a realistic radiation
+// environment.
+//
+//   - The radiation environment (package fault) schedules upsets and
+//     latchups as Poisson arrivals at LEO rates.
+//   - Flight software alternates quiescence and compute bursts; ILD
+//     monitors telemetry continuously and power cycles on latchup.
+//   - At every ground-contact window the payload runs an image-matching
+//     job under EMR; scheduled SEUs strike the shared cache mid-job.
+//
+// The mission survives if no latchup persists past the thermal damage
+// horizon and no silently-corrupted product is downlinked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"radshield/internal/emr"
+	"radshield/internal/experiments"
+	"radshield/internal/fault"
+	"radshield/internal/ild"
+	"radshield/internal/machine"
+	"radshield/internal/trace"
+	"radshield/internal/workloads"
+)
+
+func main() {
+	var (
+		days = flag.Float64("days", 3, "mission length in simulated days")
+		seed = flag.Int64("seed", 2026, "mission seed")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	// Harsher-than-LEO rates so a short demo sees several events.
+	env := fault.LEO
+	env.SELPerYear = 400
+	env.SEUPerDay = 24
+
+	rng := rand.New(rand.NewSource(*seed))
+	dur := time.Duration(*days * 24 * float64(time.Hour))
+	events := env.Schedule(rng, dur)
+	fmt.Printf("mission: %.1f days in %s environment → %d scheduled radiation events\n",
+		*days, env.Name, len(events))
+
+	// Ground segment: train ILD before launch.
+	selCfg := experiments.DefaultSELConfig()
+	selCfg.Seed = *seed
+	det, err := experiments.TrainILD(selCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Flight segment.
+	mc := machine.DefaultConfig()
+	mc.SampleEvery = selCfg.SampleEvery
+	mc.SensorSeed = *seed + 1
+	m := machine.New(mc)
+	mission := trace.FlightSoftware(rng, dur, mc.Cores)
+	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
+
+	var (
+		nextEvent                   = 0
+		selsSurvived, seusOutvoted  int
+		pendingSEUs                 int
+		contactEvery                = 6 * time.Hour
+		nextContact                 = contactEvery
+		downlinked, corruptProducts int
+		retriedProducts             int
+	)
+
+	m.RunTrace(mission, func(tel machine.Telemetry) {
+		// Deliver scheduled radiation events.
+		for nextEvent < len(events) && events[nextEvent].T <= tel.T {
+			ev := events[nextEvent]
+			nextEvent++
+			switch ev.Kind {
+			case fault.SEL:
+				fmt.Printf("[%10s] radiation: latchup strikes (+%.3f A)\n", tel.T.Round(time.Second), ev.Amps)
+				m.InjectSEL(ev.Amps)
+			default:
+				pendingSEUs++ // strikes the payload during its next run
+			}
+		}
+		// ILD watches continuously.
+		if det.Observe(tel) {
+			fmt.Printf("[%10s] ILD: latchup detected (residual %.3f A) — power cycling\n",
+				tel.T.Round(time.Second), det.Residual())
+			m.PowerCycle()
+			det.Reset()
+			selsSurvived++
+		}
+		// Ground contact: run the payload job under EMR. A failed vote is
+		// a *detected* error — the flight software rejects the product
+		// and reruns the job (the upsets were transient), exactly the
+		// recovery 3-MR-class schemes afford. Only an undetected wrong
+		// product would count as corrupt, and EMR's discipline prevents
+		// that.
+		if tel.T >= nextContact {
+			nextContact += contactEvery
+			ok, corrected := runPayload(*seed+int64(tel.T), pendingSEUs)
+			seusOutvoted += corrected
+			pendingSEUs = 0
+			if !ok {
+				retriedProducts++
+				ok, _ = runPayload(*seed+int64(tel.T)+1, 0)
+			}
+			downlinked++
+			if !ok {
+				corruptProducts++
+			}
+		}
+	})
+
+	fmt.Println()
+	fmt.Printf("mission complete: %v simulated\n", m.Clock().Now().Round(time.Minute))
+	fmt.Printf("  latchups cleared by ILD: %d, power cycles: %d, chip damaged: %v\n",
+		selsSurvived, m.PowerCycles(), m.Damaged())
+	fmt.Printf("  products downlinked: %d, upsets outvoted by EMR: %d, vote-failure retries: %d, corrupt products: %d\n",
+		downlinked, seusOutvoted, retriedProducts, corruptProducts)
+	if m.Damaged() || corruptProducts > 0 {
+		log.Fatal("MISSION LOST")
+	}
+	fmt.Println("  mission survives — shields up.")
+}
+
+// runPayload executes one EMR-protected localization job, injecting the
+// backlog of scheduled SEUs into the shared cache mid-run. It reports
+// whether the product is trustworthy and how many votes were corrected.
+func runPayload(seed int64, seus int) (ok bool, corrected int) {
+	cfg := emr.DefaultConfig()
+	rt, err := emr.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := workloads.ImageProcessing().Build(rt, 64<<10, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	remaining := seus
+	spec.Hook = func(hp *emr.HookPoint) {
+		if remaining > 0 && hp.Phase == emr.PhaseAfterRead && rng.Float64() < 0.02 {
+			reg := hp.Regions[rng.Intn(len(hp.Regions))]
+			f := fault.RandomFlip(rng, reg.Len)
+			if rt.Cache().FlipBit(reg.Addr+f.Offset, f.Bit) {
+				remaining--
+			}
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, _, err := workloads.BestMatch(res.Outputs); err != nil {
+		return false, res.Report.Votes.Corrected
+	}
+	return res.Report.Votes.Failed == 0, res.Report.Votes.Corrected
+}

@@ -1,0 +1,3 @@
+module radshield
+
+go 1.22

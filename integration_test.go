@@ -1,0 +1,195 @@
+package radshield
+
+// End-to-end integration tests: both Radshield components working
+// together over a radiation-event timeline, asserting the outcome the
+// whole system exists for — the mission survives protected, and is lost
+// unprotected.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"radshield/internal/emr"
+	"radshield/internal/experiments"
+	"radshield/internal/fault"
+	"radshield/internal/ild"
+	"radshield/internal/machine"
+	"radshield/internal/trace"
+	"radshield/internal/workloads"
+)
+
+// missionOutcome summarizes one simulated mission.
+type missionOutcome struct {
+	damaged      bool
+	powerCycles  int
+	corruptRuns  int
+	cleanRuns    int
+	seusOutvoted int
+}
+
+// flyMission runs a multi-hour mission: flight-software activity with
+// bubbles, Poisson radiation events, optional ILD protection, and a
+// payload job at fixed contact intervals under the given scheme.
+func flyMission(t *testing.T, protected bool, scheme fault.Scheme, seed int64) missionOutcome {
+	t.Helper()
+	env := fault.LEO
+	env.SELPerYear = 3000 // compressed timeline: several events in hours
+	env.SEUPerDay = 200
+
+	rng := rand.New(rand.NewSource(seed))
+	dur := 6 * time.Hour
+	events := env.Schedule(rng, dur)
+
+	selCfg := experiments.DefaultSELConfig()
+	selCfg.Seed = seed
+	var det *ild.Detector
+	if protected {
+		var err error
+		det, err = experiments.TrainILD(selCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mc := machine.DefaultConfig()
+	mc.SampleEvery = selCfg.SampleEvery
+	mc.SensorSeed = seed + 1
+	m := machine.New(mc)
+	mission := trace.FlightSoftware(rng, dur, mc.Cores)
+	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
+
+	// Golden payload outputs for SDC detection.
+	goldenRT, err := emr.New(func() emr.Config { c := emr.DefaultConfig(); c.Scheme = fault.SchemeNone; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenSpec, err := workloads.ImageProcessing().Build(goldenRT, 32<<10, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenRes, err := goldenRT.Run(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out missionOutcome
+	nextEvent := 0
+	pendingSEUs := 0
+	nextContact := time.Hour
+	m.RunTrace(mission, func(tel machine.Telemetry) {
+		for nextEvent < len(events) && events[nextEvent].T <= tel.T {
+			ev := events[nextEvent]
+			nextEvent++
+			if ev.Kind == fault.SEL {
+				m.InjectSEL(ev.Amps)
+			} else {
+				pendingSEUs++
+			}
+		}
+		if det != nil && det.Observe(tel) {
+			m.PowerCycle()
+			det.Reset()
+		}
+		if tel.T >= nextContact {
+			nextContact += time.Hour
+			ok, corrected := runProtectedPayload(t, scheme, seed+int64(tel.T), pendingSEUs, goldenRes.Outputs)
+			pendingSEUs = 0
+			out.seusOutvoted += corrected
+			if ok {
+				out.cleanRuns++
+			} else {
+				out.corruptRuns++
+			}
+		}
+	})
+	out.damaged = m.Damaged()
+	out.powerCycles = m.PowerCycles()
+	return out
+}
+
+// runProtectedPayload executes the localization payload under the scheme
+// with the backlog of SEUs striking the cache, comparing against golden.
+func runProtectedPayload(t *testing.T, scheme fault.Scheme, seed int64, seus int, golden [][]byte) (ok bool, corrected int) {
+	t.Helper()
+	cfg := emr.DefaultConfig()
+	cfg.Scheme = scheme
+	rt, err := emr.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workloads.ImageProcessing().Build(rt, 32<<10, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	remaining := seus
+	spec.Hook = func(hp *emr.HookPoint) {
+		if remaining > 0 && hp.Phase == emr.PhaseAfterRead && rng.Float64() < 0.05 {
+			reg := hp.Regions[rng.Intn(len(hp.Regions))]
+			f := fault.RandomFlip(rng, reg.Len)
+			if rt.Cache().FlipBit(reg.Addr+f.Offset, f.Bit) {
+				remaining--
+			}
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range golden {
+		if res.Outputs[i] == nil {
+			// Detected failure: the flight software would retry; not SDC.
+			continue
+		}
+		if !bytes.Equal(res.Outputs[i], golden[i]) {
+			return false, res.Report.Votes.Corrected
+		}
+	}
+	return true, res.Report.Votes.Corrected
+}
+
+func TestMissionSurvivesWithRadshield(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour mission simulation")
+	}
+	out := flyMission(t, true, fault.SchemeEMR, 11)
+	if out.damaged {
+		t.Fatal("chip damaged despite ILD protection")
+	}
+	if out.corruptRuns != 0 {
+		t.Fatalf("%d silently corrupted payload runs under EMR", out.corruptRuns)
+	}
+	if out.powerCycles == 0 {
+		t.Fatal("no latchups cleared — event timeline too quiet for the test")
+	}
+	if out.cleanRuns == 0 {
+		t.Fatal("no payload runs completed")
+	}
+}
+
+func TestMissionLostWithoutProtection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour mission simulation")
+	}
+	out := flyMission(t, false, fault.SchemeUnprotectedParallel, 11)
+	if !out.damaged {
+		t.Fatal("unprotected mission survived the latchups — SEL model too gentle")
+	}
+}
+
+func TestMissionPayloadSDCWithoutEMRDiscipline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour mission simulation")
+	}
+	// ILD keeps the chip alive, but without EMR's cache discipline the
+	// payload eventually downlinks corrupt science.
+	out := flyMission(t, true, fault.SchemeUnprotectedParallel, 13)
+	if out.damaged {
+		t.Fatal("chip damaged despite ILD")
+	}
+	if out.corruptRuns == 0 {
+		t.Skip("no SEU landed in a shared line this seed; weaker assertion only")
+	}
+}

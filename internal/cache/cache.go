@@ -1,0 +1,301 @@
+// Package cache models the shared, unprotected CPU cache of a commodity
+// SoC. Commodity compute pipelines and caches lack ECC (paper §2.2), so a
+// single-event upset that lands in a cached line silently corrupts every
+// subsequent read of that line — by any core — until the line is flushed.
+//
+// This is exactly the hazard EMR's conflict-aware scheduling removes: if
+// two redundant executors read the same input bytes while they sit in the
+// shared cache, one upset defeats both copies and the corruption outvotes
+// the remaining correct executor... or at best ties it. The cache is
+// therefore the centrepiece of the SEU experiments (paper Table 7).
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"radshield/internal/mem"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Stats counts cache events. Hit rate feeds the ILD feature vector; flush
+// counts feed the EMR cost model.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	LinesFlushed  uint64
+	FlipsInjected uint64
+	// FlipsAbsorbed counts strikes corrected in hardware on an
+	// ECC-protected cache (see SetECCProtected).
+	FlipsAbsorbed uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type line struct {
+	valid   bool
+	tag     uint64 // line number (addr / LineSize)
+	data    [LineSize]byte
+	lastUse uint64
+}
+
+// Cache is a set-associative, write-through cache over a backing Memory.
+// It is safe for concurrent use by the parallel EMR executors.
+type Cache struct {
+	mu      sync.Mutex
+	backing mem.Memory
+	sets    int
+	ways    int
+	lines   []line // sets × ways
+	useTick uint64
+	stats   Stats
+	ecc     bool
+}
+
+// SetECCProtected marks the cache array as SECDED-protected (some SoCs
+// ship ECC in their last-level cache though never in the pipelines,
+// paper §3.2). On a protected cache, injected single-bit strikes are
+// corrected in hardware and never reach readers.
+func (c *Cache) SetECCProtected(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ecc = on
+}
+
+// New returns a cache with the given geometry over backing. sets and ways
+// must be positive; sets must be a power of two so the set index is a
+// simple mask.
+func New(backing mem.Memory, sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %d sets × %d ways", sets, ways))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets (%d) must be a power of two", sets))
+	}
+	return &Cache{
+		backing: backing,
+		sets:    sets,
+		ways:    ways,
+		lines:   make([]line, sets*ways),
+	}
+}
+
+// SizeBytes returns the cache capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * LineSize }
+
+// Stats returns a snapshot of the event counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Read fills dst from addr, reading through the cache: lines already
+// present are served from the (unprotected, possibly upset) cached copy;
+// missing lines are fetched from backing memory and installed.
+func (c *Cache) Read(addr uint64, dst []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := uint64(len(dst))
+	if n == 0 {
+		return nil
+	}
+	for off := uint64(0); off < n; {
+		lineNo := (addr + off) / LineSize
+		inLine := (addr + off) % LineSize
+		chunk := LineSize - inLine
+		if chunk > n-off {
+			chunk = n - off
+		}
+		ln, err := c.lookupOrFetch(lineNo)
+		if err != nil {
+			return err
+		}
+		copy(dst[off:off+chunk], ln.data[inLine:inLine+chunk])
+		off += chunk
+	}
+	return nil
+}
+
+// Write stores src to backing memory (write-through) and updates any
+// cached copies so subsequent reads observe the new data.
+func (c *Cache) Write(addr uint64, src []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.backing.Write(addr, src); err != nil {
+		return err
+	}
+	n := uint64(len(src))
+	for off := uint64(0); off < n; {
+		lineNo := (addr + off) / LineSize
+		inLine := (addr + off) % LineSize
+		chunk := LineSize - inLine
+		if chunk > n-off {
+			chunk = n - off
+		}
+		if ln := c.peek(lineNo); ln != nil {
+			copy(ln.data[inLine:inLine+chunk], src[off:off+chunk])
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// FlushRange invalidates every cached line overlapping [addr, addr+n) and
+// returns the number of lines flushed (the EMR cost model charges per
+// line). The backing copy is authoritative (write-through), so flushing
+// discards any upsets the cached copies had absorbed.
+func (c *Cache) FlushRange(addr, n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := addr / LineSize
+	last := (addr + n - 1) / LineSize
+	flushed := 0
+	for lineNo := first; lineNo <= last; lineNo++ {
+		if ln := c.peek(lineNo); ln != nil {
+			ln.valid = false
+			flushed++
+		}
+	}
+	c.stats.LinesFlushed += uint64(flushed)
+	return flushed
+}
+
+// FlushAll invalidates the whole cache and returns the number of valid
+// lines discarded.
+func (c *Cache) FlushAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	flushed := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			c.lines[i].valid = false
+			flushed++
+		}
+	}
+	c.stats.LinesFlushed += uint64(flushed)
+	return flushed
+}
+
+// FlipBit flips bit (0..7) of the cached byte holding addr, if that line
+// is currently resident. It reports whether a resident line was struck.
+// The backing memory is untouched: this models an upset in the cache
+// array itself.
+func (c *Cache) FlipBit(addr uint64, bit uint) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ln := c.peek(addr / LineSize)
+	if ln == nil {
+		return false
+	}
+	if c.ecc {
+		// The strike lands but per-line SECDED corrects it before any
+		// reader consumes the word.
+		c.stats.FlipsAbsorbed++
+		return true
+	}
+	ln.data[addr%LineSize] ^= 1 << (bit & 7)
+	c.stats.FlipsInjected++
+	return true
+}
+
+// Contains reports whether the line holding addr is resident.
+func (c *Cache) Contains(addr uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peek(addr/LineSize) != nil
+}
+
+// ResidentLines returns the number of currently valid lines.
+func (c *Cache) ResidentLines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// set returns the slice of ways for the set holding lineNo.
+func (c *Cache) set(lineNo uint64) []line {
+	idx := int(lineNo) & (c.sets - 1)
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+// peek returns the resident line for lineNo, or nil, without fetching.
+func (c *Cache) peek(lineNo uint64) *line {
+	set := c.set(lineNo)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineNo {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// lookupOrFetch returns the line for lineNo, fetching from backing on a
+// miss and evicting the LRU way if the set is full.
+func (c *Cache) lookupOrFetch(lineNo uint64) (*line, error) {
+	c.useTick++
+	if ln := c.peek(lineNo); ln != nil {
+		c.stats.Hits++
+		ln.lastUse = c.useTick
+		return ln, nil
+	}
+	c.stats.Misses++
+	set := c.set(lineNo)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	if victim.valid {
+		c.stats.Evictions++
+	}
+	base := lineNo * LineSize
+	// Clamp the fetch to the device: the final partial line reads short.
+	span := uint64(LineSize)
+	if base+span > c.backing.Size() {
+		if base >= c.backing.Size() {
+			return nil, &mem.BoundsError{Device: "cache-fetch", Addr: base, Len: LineSize, Size: c.backing.Size()}
+		}
+		span = c.backing.Size() - base
+	}
+	var buf [LineSize]byte
+	if err := c.backing.Read(base, buf[:span]); err != nil {
+		return nil, err
+	}
+	victim.valid = true
+	victim.tag = lineNo
+	victim.data = buf
+	victim.lastUse = c.useTick
+	return victim, nil
+}
+
+var _ mem.Memory = (*Cache)(nil)
+
+// Size implements mem.Memory by delegating to the backing device, so a
+// Cache can stand wherever a Memory is expected (executors read inputs
+// through it transparently).
+func (c *Cache) Size() uint64 { return c.backing.Size() }

@@ -1,0 +1,186 @@
+// Package ecc implements the Hamming SECDED(72,64) error-correcting code
+// used by commodity ECC DRAM and flash controllers: every 64-bit data word
+// carries 8 check bits that allow single-error correction and double-error
+// detection.
+//
+// The simulated memory hierarchy (package mem) uses this codec to decide
+// which injected upsets are absorbed by hardware and which escape to
+// software — the paper's "reliability frontier" is drawn exactly at the
+// boundary where SECDED protection ends.
+package ecc
+
+import "math/bits"
+
+// Result classifies the outcome of decoding a (data, check) pair.
+type Result int
+
+const (
+	// OK means the word decoded cleanly with no detectable error.
+	OK Result = iota
+	// CorrectedData means a single bit flip in the data word was corrected.
+	CorrectedData
+	// CorrectedCheck means a single bit flip in the check bits was
+	// corrected; the data word was already intact.
+	CorrectedCheck
+	// Detected means an uncorrectable (double-bit) error was detected.
+	// The returned data must not be trusted.
+	Detected
+)
+
+// String returns a short human-readable name for the result.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case CorrectedData:
+		return "corrected-data"
+	case CorrectedCheck:
+		return "corrected-check"
+	case Detected:
+		return "detected-uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// codeword layout: positions 1..71 hold the classic Hamming(71,64)
+// codeword — parity bits at the seven power-of-two positions (1, 2, 4, 8,
+// 16, 32, 64) and the 64 data bits at the remaining positions in
+// ascending order. Bit 0 of the check byte is the overall (extension)
+// parity across all 72 bits, giving double-error detection.
+
+// dataPositions[i] is the codeword position of data bit i.
+var dataPositions = func() [64]uint8 {
+	var pos [64]uint8
+	i := 0
+	for p := uint8(1); p <= 71; p++ {
+		if p&(p-1) == 0 { // power of two: parity position
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	return pos
+}()
+
+// parityIndex maps a power-of-two position to its check-byte bit (1..7).
+func parityIndex(pos uint8) uint { return uint(bits.TrailingZeros8(pos)) + 1 }
+
+// syndrome computes the XOR of the codeword positions of all set data
+// bits. Parity bits are chosen so that the full-codeword syndrome is zero.
+func syndrome(data uint64) uint8 {
+	var s uint8
+	for data != 0 {
+		i := bits.TrailingZeros64(data)
+		s ^= dataPositions[i]
+		data &= data - 1
+	}
+	return s
+}
+
+// Encode computes the 8 SECDED check bits for a 64-bit data word.
+func Encode(data uint64) uint8 {
+	s := syndrome(data)
+	var check uint8
+	// Parity bit at position p covers all positions whose index has bit p
+	// set; setting it to the matching syndrome bit zeroes the syndrome.
+	for _, p := range [...]uint8{1, 2, 4, 8, 16, 32, 64} {
+		if s&p != 0 {
+			check |= 1 << parityIndex(p)
+		}
+	}
+	// Overall parity across data and the seven Hamming parity bits.
+	total := uint(bits.OnesCount64(data)) + uint(bits.OnesCount8(check>>1))
+	if total%2 == 1 {
+		check |= 1
+	}
+	return check
+}
+
+// Decode verifies a (data, check) pair and corrects a single-bit error in
+// either the data or the check bits. It returns the (possibly corrected)
+// data and a Result describing what happened. When Result is Detected the
+// returned data is the raw, untrusted input.
+func Decode(data uint64, check uint8) (uint64, Result) {
+	expected := Encode(data)
+	diff := expected ^ check
+
+	// Syndrome: XOR of parity-position values whose stored parity
+	// disagrees with the recomputed one.
+	var s uint8
+	for _, p := range [...]uint8{1, 2, 4, 8, 16, 32, 64} {
+		if diff&(1<<parityIndex(p)) != 0 {
+			s ^= p
+		}
+	}
+	overallOdd := parityOverall(data, check)
+
+	switch {
+	case s == 0 && !overallOdd:
+		return data, OK
+	case s == 0 && overallOdd:
+		// Flip confined to the overall-parity bit itself.
+		return data, CorrectedCheck
+	case s != 0 && overallOdd:
+		// Single-bit error at codeword position s.
+		if s&(s-1) == 0 {
+			return data, CorrectedCheck // a Hamming parity bit flipped
+		}
+		if i, ok := dataBitAt(s); ok {
+			return data ^ (1 << i), CorrectedData
+		}
+		// Syndrome points past the codeword: treat as uncorrectable.
+		return data, Detected
+	default: // s != 0 && !overallOdd
+		return data, Detected
+	}
+}
+
+// parityOverall reports whether the total number of set bits across the
+// data word and the full check byte is odd.
+func parityOverall(data uint64, check uint8) bool {
+	return (bits.OnesCount64(data)+bits.OnesCount8(check))%2 == 1
+}
+
+// dataBitAt returns the data-bit index stored at codeword position pos.
+func dataBitAt(pos uint8) (int, bool) {
+	if pos == 0 || pos > 71 || pos&(pos-1) == 0 {
+		return 0, false
+	}
+	// Data bits fill non-power-of-two positions in order; count how many
+	// non-power positions precede pos.
+	i := 0
+	for p := uint8(1); p < pos; p++ {
+		if p&(p-1) != 0 {
+			i++
+		}
+	}
+	return i, true
+}
+
+// Word is a convenience pairing of a data word with its check bits, the
+// unit stored by ECC-protected simulated memory.
+type Word struct {
+	Data  uint64
+	Check uint8
+}
+
+// NewWord encodes data into a protected Word.
+func NewWord(data uint64) Word { return Word{Data: data, Check: Encode(data)} }
+
+// Read decodes the word, returning corrected data and the decode result.
+func (w Word) Read() (uint64, Result) { return Decode(w.Data, w.Check) }
+
+// FlipDataBit returns a copy of w with data bit i (0..63) inverted,
+// simulating an SEU striking the stored data.
+func (w Word) FlipDataBit(i int) Word {
+	w.Data ^= 1 << uint(i&63)
+	return w
+}
+
+// FlipCheckBit returns a copy of w with check bit i (0..7) inverted,
+// simulating an SEU striking the stored ECC metadata.
+func (w Word) FlipCheckBit(i int) Word {
+	w.Check ^= 1 << uint(i&7)
+	return w
+}

@@ -1,0 +1,244 @@
+// Package emr implements Efficient Modular Redundancy, Radshield's SEU
+// mitigation (paper §3.2): a runtime that executes every job three times
+// across executors while guaranteeing that no single upset — in the CPU
+// pipeline, the shared cache, or unprotected DRAM — can corrupt a
+// majority of the redundant copies.
+//
+// The key ideas, all reproduced here:
+//
+//   - Reliability frontier. Inputs and outputs live on the last
+//     ECC-protected level (storage always; DRAM when ECC DRAM is
+//     fitted). Only data in flight beyond the frontier needs triple
+//     execution.
+//   - Conflicts and jobsets. Two jobs whose datasets overlap in memory
+//     may be served the same (unprotected) cache line; EMR groups
+//     non-conflicting jobs into jobsets and staggers redundant copies so
+//     no two executors ever consume the same cached bytes, flushing each
+//     job's lines when it completes.
+//   - Common-data replication. Regions referenced by ≥ threshold of all
+//     datasets (encryption keys, model weights, match images) are copied
+//     into per-executor replicas, removing those conflicts without cache
+//     clears.
+//
+// The runtime also implements the paper's baselines — sequential 3-MR and
+// unprotected parallel 3-MR — as alternative schemes over the same
+// machinery, so the Figure 11–14 comparisons are apples to apples.
+package emr
+
+import (
+	"fmt"
+	"time"
+
+	"radshield/internal/cache"
+	"radshield/internal/fault"
+	"radshield/internal/mem"
+)
+
+// Frontier selects where the reliability frontier sits (paper Figure 3).
+type Frontier int
+
+const (
+	// FrontierDRAM: the device has ECC DRAM; inputs/outputs live in DRAM.
+	FrontierDRAM Frontier = iota
+	// FrontierStorage: DRAM is unprotected (e.g. Snapdragon 801); only
+	// flash storage can be trusted, and the page cache must be treated as
+	// vulnerable.
+	FrontierStorage
+)
+
+// String names the frontier placement.
+func (f Frontier) String() string {
+	switch f {
+	case FrontierDRAM:
+		return "dram"
+	case FrontierStorage:
+		return "storage"
+	default:
+		return "unknown"
+	}
+}
+
+// CostModel carries the virtual-time and energy coefficients used to
+// account runtime and energy for a run. The simulation executes real
+// computation over simulated memory but charges time analytically, so
+// results are deterministic and hardware-independent.
+type CostModel struct {
+	CoreFreqHz       float64       // executor core frequency
+	DiskBytesPerSec  float64       // storage streaming bandwidth
+	DRAMBytesPerSec  float64       // DRAM fetch bandwidth
+	AllocBytesPerSec float64       // allocator + memset bandwidth
+	FlushLineCost    time.Duration // per cache-line flush cost
+	IdleWatts        float64       // board baseline power
+	CoreWatts        float64       // one busy executor core
+}
+
+// DefaultCostModel is calibrated to a flight-class embedded board: a
+// 1.4 GHz core, UFS-class storage, LPDDR4-class DRAM.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CoreFreqHz:       1.4e9,
+		DiskBytesPerSec:  400e6,
+		DRAMBytesPerSec:  3.2e9,
+		AllocBytesPerSec: 6.4e9,
+		FlushLineCost:    40 * time.Nanosecond,
+		IdleWatts:        7.75, // 1.55 A × 5 V
+		CoreWatts:        3.4,
+	}
+}
+
+// Config describes the device and scheme a Runtime executes under.
+type Config struct {
+	Scheme   fault.Scheme
+	Frontier Frontier
+	// DRAMECC: whether the working DRAM has SECDED. Required true when
+	// Frontier is FrontierDRAM (the frontier must be protected).
+	DRAMECC     bool
+	DRAMSize    uint64
+	StorageSize uint64
+	CacheSets   int
+	CacheWays   int
+	Executors   int // redundant copies; the paper uses 3
+	// CacheECC marks the shared cache as SECDED-protected. Per the paper
+	// §3.2, when cache ECC exists EMR "simply reverts to 3-MR": shared
+	// cached data no longer needs replication or flush discipline, so the
+	// EMR scheme executes as plain parallel 3-MR while remaining fully
+	// protected (single-bit cache upsets are absorbed in hardware).
+	CacheECC bool
+	// ParallelExecution runs each EMR round's executor visits on real
+	// goroutines (the flight implementation pins executors to cores).
+	// Outputs are identical to sequential execution — jobs are pure and
+	// the cache is coherent — but the virtual cost accounting can vary by
+	// a few cache evictions between runs, and fault-injection hooks force
+	// sequential execution so campaigns stay exactly reproducible.
+	ParallelExecution bool
+	// ReplicationThreshold is the fraction of datasets that must share an
+	// identical region before it is replicated per-executor (paper
+	// default 0.01). Values > 1 disable replication; 0 replicates any
+	// region shared by at least two datasets.
+	ReplicationThreshold float64
+	Cost                 CostModel
+}
+
+// DefaultConfig returns a 3-executor EMR configuration with an ECC-DRAM
+// frontier and a 512 KiB shared cache.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:               fault.SchemeEMR,
+		Frontier:             FrontierDRAM,
+		DRAMECC:              true,
+		DRAMSize:             64 << 20,
+		StorageSize:          64 << 20,
+		CacheSets:            512,
+		CacheWays:            16,
+		Executors:            3,
+		ReplicationThreshold: 0.01,
+		Cost:                 DefaultCostModel(),
+	}
+}
+
+// Runtime owns the simulated device (frontier memory, working DRAM,
+// shared cache) and executes Specs under the configured scheme.
+type Runtime struct {
+	cfg         Config
+	bus         *mem.Bus
+	storage     *mem.Storage
+	dram        *mem.DRAM
+	storageBase uint64
+	dramBase    uint64
+	cache       *cache.Cache
+
+	inputBytes uint64 // bytes staged through LoadInput
+	diskLoaded uint64 // bytes pulled from disk during staging
+}
+
+// New validates the config and builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Executors < 1 {
+		return nil, fmt.Errorf("emr: Executors = %d, want ≥ 1", cfg.Executors)
+	}
+	if cfg.Scheme != fault.SchemeNone && cfg.Scheme != fault.SchemeChecksum && cfg.Executors < 3 {
+		return nil, fmt.Errorf("emr: scheme %v needs ≥ 3 executors, have %d", cfg.Scheme, cfg.Executors)
+	}
+	if cfg.Frontier == FrontierDRAM && !cfg.DRAMECC {
+		return nil, fmt.Errorf("emr: DRAM frontier requires ECC DRAM; set Frontier to storage instead")
+	}
+	if cfg.DRAMSize == 0 || cfg.StorageSize == 0 {
+		return nil, fmt.Errorf("emr: DRAMSize and StorageSize must be nonzero")
+	}
+	if cfg.CacheSets <= 0 || cfg.CacheWays <= 0 {
+		return nil, fmt.Errorf("emr: invalid cache geometry %d×%d", cfg.CacheSets, cfg.CacheWays)
+	}
+	if cfg.ReplicationThreshold < 0 {
+		return nil, fmt.Errorf("emr: negative replication threshold %v", cfg.ReplicationThreshold)
+	}
+	if cfg.Cost.CoreFreqHz <= 0 || cfg.Cost.DiskBytesPerSec <= 0 ||
+		cfg.Cost.DRAMBytesPerSec <= 0 || cfg.Cost.AllocBytesPerSec <= 0 {
+		return nil, fmt.Errorf("emr: cost model rates must be positive")
+	}
+
+	rt := &Runtime{
+		cfg:     cfg,
+		bus:     mem.NewBus(),
+		storage: mem.NewStorage(cfg.StorageSize),
+		dram:    mem.NewDRAM(cfg.DRAMSize, cfg.DRAMECC),
+	}
+	rt.storageBase = rt.bus.Map(rt.storage)
+	rt.dramBase = rt.bus.Map(rt.dram)
+	rt.cache = cache.New(rt.bus, cfg.CacheSets, cfg.CacheWays)
+	rt.cache.SetECCProtected(cfg.CacheECC)
+	return rt, nil
+}
+
+// Config returns the runtime configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Cache exposes the shared cache for fault-injection campaigns.
+func (r *Runtime) Cache() *cache.Cache { return r.cache }
+
+// FlipFrontierBit injects a bit flip into frontier memory at a
+// bus-relative address (fault campaigns use region addresses from
+// InputRefs, which are bus addresses).
+func (r *Runtime) FlipFrontierBit(addr uint64, bit uint) error {
+	return r.bus.FlipBit(addr, bit)
+}
+
+// frontierAlloc reserves n bytes on the frontier device and returns the
+// bus address.
+func (r *Runtime) frontierAlloc(n uint64) (uint64, error) {
+	switch r.cfg.Frontier {
+	case FrontierStorage:
+		a, err := r.storage.Alloc(n)
+		return r.storageBase + a, err
+	default:
+		a, err := r.dram.Alloc(n)
+		return r.dramBase + a, err
+	}
+}
+
+// workAlloc reserves n bytes of working DRAM (replicas, scratch outputs)
+// and returns the bus address.
+func (r *Runtime) workAlloc(n uint64) (uint64, error) {
+	a, err := r.dram.Alloc(n)
+	return r.dramBase + a, err
+}
+
+// LoadInput stages data onto the reliability frontier (the paper's
+// "input data ... stored within the reliability frontier") and returns a
+// reference covering it. Loading is charged as one streaming disk read —
+// input data originates from the spacecraft's storage regardless of
+// where the frontier sits.
+func (r *Runtime) LoadInput(name string, data []byte) (InputRef, error) {
+	if len(data) == 0 {
+		return InputRef{}, fmt.Errorf("emr: LoadInput(%q): empty input", name)
+	}
+	addr, err := r.frontierAlloc(uint64(len(data)))
+	if err != nil {
+		return InputRef{}, fmt.Errorf("emr: LoadInput(%q): %w", name, err)
+	}
+	if err := r.bus.Write(addr, data); err != nil {
+		return InputRef{}, fmt.Errorf("emr: LoadInput(%q): %w", name, err)
+	}
+	r.inputBytes += uint64(len(data))
+	r.diskLoaded += uint64(len(data))
+	return InputRef{Name: name, Region: mem.Region{Addr: addr, Len: uint64(len(data))}}, nil
+}

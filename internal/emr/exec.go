@@ -1,0 +1,468 @@
+package emr
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"radshield/internal/cache"
+	"radshield/internal/fault"
+	"radshield/internal/mem"
+)
+
+// cacheLineSize aliases the cache geometry for fetch accounting.
+const cacheLineSize = cache.LineSize
+
+// Phase marks where in a job's lifecycle a hook fires.
+type Phase int
+
+const (
+	// PhaseBeforeRead fires before an executor fetches its input regions
+	// — flips injected here land in whatever the cache currently holds.
+	PhaseBeforeRead Phase = iota
+	// PhaseAfterRead fires once the executor's input lines are resident
+	// in the shared cache but before the job consumes them — the window
+	// in which a cache SEU corrupts the data an executor computes on.
+	// Under EMR's flush discipline only this executor is reading those
+	// lines; under unprotected parallel 3-MR the same lines feed every
+	// executor.
+	PhaseAfterRead
+	// PhaseAfterJob fires after an executor computed its output but
+	// before it is recorded; hooks may corrupt Output (modelling a
+	// pipeline SEU) or set Fail (modelling a corrupted job descriptor —
+	// the paper's segfault case).
+	PhaseAfterJob
+)
+
+// HookPoint is the context handed to a fault-injection hook.
+type HookPoint struct {
+	Phase    Phase
+	Jobset   int // -1 for schemes without jobsets
+	Dataset  int
+	Executor int
+	// Regions are the input regions this executor will read / has read,
+	// with replicas resolved to their private addresses.
+	Regions []mem.Region
+	// Output is the executor's freshly computed output (PhaseAfterJob
+	// only); hooks may mutate it in place.
+	Output []byte
+	// Fail, when set by the hook, aborts this executor's job with the
+	// given error.
+	Fail error
+}
+
+// Hook observes and perturbs execution at defined points. A nil hook is
+// a no-op. Hooks run synchronously; execution is deterministic.
+type Hook func(*HookPoint)
+
+// Spec describes one computation: the datasets, the job function, and
+// its cost characteristics (paper Figure 7's InputData + job function +
+// dtss_compute triple).
+type Spec struct {
+	Name     string
+	Datasets []Dataset
+	Job      JobFunc
+	// CyclesPerByte models the job's compute intensity for the virtual
+	// clock (e.g. ≈20 for AES, hundreds for DNN inference).
+	CyclesPerByte float64
+	// ExtraConflict lets developers declare algorithm-specific conflicts
+	// EMR cannot see in the memory regions (paper §3.2).
+	ExtraConflict func(i, j int) bool
+	// ReplicationThreshold overrides the runtime's threshold when
+	// non-nil (used by the Figure 13 sweep).
+	ReplicationThreshold *float64
+	// Hook receives fault-injection callbacks.
+	Hook Hook
+}
+
+// VoteStats counts voting outcomes across a run's datasets.
+type VoteStats struct {
+	Unanimous int // all executors agreed
+	Corrected int // one executor outvoted (error masked)
+	Failed    int // no majority / too few valid outputs
+}
+
+// DatasetResult is the per-dataset outcome.
+type DatasetResult struct {
+	Output       []byte
+	Err          error
+	Disagreement bool // executors disagreed (even if corrected)
+}
+
+// Result is what Run returns.
+type Result struct {
+	Outputs    [][]byte // voted output per dataset (nil on failure)
+	PerDataset []DatasetResult
+	Report     Report
+}
+
+// errVoteFailed is the dataset error when voting finds no majority.
+var errVoteFailed = fmt.Errorf("emr: executors disagree with no majority")
+
+// Run executes the spec under the runtime's scheme and returns outputs
+// plus the full accounting report. Execution is deterministic: redundant
+// copies are interleaved in a fixed schedule whose parallel makespan is
+// accounted by the virtual cost model.
+func (r *Runtime) Run(spec Spec) (*Result, error) {
+	if len(spec.Datasets) == 0 {
+		return nil, fmt.Errorf("emr: Run(%q): no datasets", spec.Name)
+	}
+	if spec.Job == nil {
+		return nil, fmt.Errorf("emr: Run(%q): nil job function", spec.Name)
+	}
+	if spec.CyclesPerByte <= 0 {
+		return nil, fmt.Errorf("emr: Run(%q): CyclesPerByte (%v) must be positive", spec.Name, spec.CyclesPerByte)
+	}
+
+	switch r.cfg.Scheme {
+	case fault.SchemeEMR:
+		if r.cfg.CacheECC {
+			// Cache ECC closes the shared-cache hazard in hardware; the
+			// paper's prescription is to revert to plain parallel 3-MR.
+			return r.runUnprotected(&spec)
+		}
+		return r.runEMR(&spec)
+	case fault.SchemeUnprotectedParallel:
+		return r.runUnprotected(&spec)
+	case fault.SchemeSerial3MR:
+		return r.runSerial(&spec)
+	case fault.SchemeNone:
+		return r.runNone(&spec)
+	case fault.SchemeChecksum:
+		return r.runChecksummed(&spec)
+	default:
+		return nil, fmt.Errorf("emr: unknown scheme %v", r.cfg.Scheme)
+	}
+}
+
+// visitIO summarizes one visit's data movement for the cost model.
+type visitIO struct {
+	total   uint64 // bytes the job consumed (drives compute time)
+	fetched uint64 // bytes actually fetched from the frontier (cache misses × line size)
+}
+
+// visit performs one executor's processing of one dataset: resolve
+// regions, fire the pre-read hook, fetch bytes through the shared cache,
+// run the job, fire the post-job hook. It returns the output, the IO
+// summary, and an error if the job failed. Fetch volume comes from the
+// cache's real miss count, so schemes that keep data resident
+// (unprotected sharing, per-pass reuse, replicas) are charged less than
+// EMR's deliberate flush-and-refetch — exactly the trade the paper
+// measures.
+func (r *Runtime) visit(spec *Spec, a *analysis, jobset, dsIdx, executor int) (out []byte, io visitIO, err error) {
+	ds := spec.Datasets[dsIdx]
+	regions := make([]mem.Region, len(ds.Inputs))
+	for i, in := range ds.Inputs {
+		if a != nil {
+			regions[i] = a.executorRegion(executor, in)
+		} else {
+			regions[i] = in.Region
+		}
+	}
+	if spec.Hook != nil {
+		hp := &HookPoint{Phase: PhaseBeforeRead, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions}
+		spec.Hook(hp)
+		if hp.Fail != nil {
+			return nil, io, hp.Fail
+		}
+	}
+	// First pass: fetch the input lines into the shared cache. This
+	// establishes residency; the bytes the job actually consumes are read
+	// in the second pass, so an upset striking the cached lines in
+	// between (PhaseAfterRead) corrupts what this executor computes on —
+	// the realistic compute-time vulnerability window.
+	missesBefore := r.cache.Stats().Misses
+	inputs := make([][]byte, len(regions))
+	for i, reg := range regions {
+		buf := make([]byte, reg.Len)
+		if err := r.cache.Read(reg.Addr, buf); err != nil {
+			// An uncorrectable ECC machine check is a detected error.
+			return nil, io, fmt.Errorf("emr: executor %d reading %q: %w", executor, ds.Inputs[i].Name, err)
+		}
+		inputs[i] = buf
+		io.total += reg.Len
+	}
+	io.fetched = (r.cache.Stats().Misses - missesBefore) * cacheLineSize
+	if spec.Hook != nil {
+		hp := &HookPoint{Phase: PhaseAfterRead, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions}
+		spec.Hook(hp)
+		if hp.Fail != nil {
+			return nil, io, hp.Fail
+		}
+		// Second pass: re-read through the cache so injected line upsets
+		// reach the job. Skipped when no hook is installed — the reread
+		// is observationally identical then.
+		for i, reg := range regions {
+			if err := r.cache.Read(reg.Addr, inputs[i]); err != nil {
+				return nil, io, fmt.Errorf("emr: executor %d re-reading %q: %w", executor, ds.Inputs[i].Name, err)
+			}
+		}
+	}
+	out, err = spec.Job(inputs)
+	if err != nil {
+		return nil, io, err
+	}
+	if spec.Hook != nil {
+		hp := &HookPoint{Phase: PhaseAfterJob, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions, Output: out}
+		spec.Hook(hp)
+		if hp.Fail != nil {
+			return nil, io, hp.Fail
+		}
+		out = hp.Output
+	}
+	return out, io, nil
+}
+
+// flushShared invalidates the cached lines of a dataset's non-replicated
+// regions and returns the number of lines flushed.
+func (r *Runtime) flushShared(a *analysis, dsIdx int) int {
+	lines := 0
+	for _, reg := range a.conflictRegions[dsIdx] {
+		lines += r.cache.FlushRange(reg.Addr, reg.Len)
+	}
+	return lines
+}
+
+// runEMR executes under the conflict-aware scheme: jobsets run with the
+// executors staggered so no two redundant copies of the same dataset are
+// ever in flight together, and each visit flushes its shared lines.
+func (r *Runtime) runEMR(spec *Spec) (*Result, error) {
+	a, err := r.plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	n := len(spec.Datasets)
+	ex := r.cfg.Executors
+	acct := r.newAccounting(spec, a)
+	outputs := make([][][]byte, n) // dataset → executor → output
+	errs := make([]error, n*ex)
+	for i := range outputs {
+		outputs[i] = make([][]byte, ex)
+	}
+
+	parallel := r.cfg.ParallelExecution && spec.Hook == nil && ex > 1
+	for js, set := range a.jobsets {
+		k := len(set)
+		// Stagger starting positions so executors occupy distinct
+		// datasets each round (for k ≥ ex the offsets are distinct).
+		var visits []visitParts
+		for t := 0; t < k; t++ {
+			type visitResult struct {
+				out   []byte
+				io    visitIO
+				lines int
+				err   error
+			}
+			results := make([]visitResult, ex)
+			runOne := func(e int) {
+				d := set[(t+e*k/ex)%k]
+				out, io, err := r.visit(spec, a, js, d, e)
+				lines := r.flushShared(a, d)
+				results[e] = visitResult{out: out, io: io, lines: lines, err: err}
+			}
+			if parallel && k >= ex {
+				// Each executor is on a distinct dataset this round, so
+				// real goroutines are safe: the shared cache is locked
+				// per access and flush ranges are disjoint.
+				var wg sync.WaitGroup
+				for e := 0; e < ex; e++ {
+					wg.Add(1)
+					go func(e int) {
+						defer wg.Done()
+						runOne(e)
+					}(e)
+				}
+				wg.Wait()
+			} else {
+				for e := 0; e < ex; e++ {
+					runOne(e)
+				}
+			}
+			for e := 0; e < ex; e++ {
+				d := set[(t+e*k/ex)%k]
+				res := results[e]
+				visits = append(visits, r.parts(spec, res.io.total, res.io.fetched, res.lines))
+				outputs[d][e] = res.out
+				errs[d*ex+e] = res.err
+			}
+		}
+		acct.addJobsetMakespan(visits, k, ex)
+	}
+
+	res := r.vote(spec, outputs, errs, acct)
+	res.Report.Jobsets = len(a.jobsets)
+	res.Report.ConflictPairs = a.conflictPairs
+	return res, nil
+}
+
+// runUnprotected executes parallel 3-MR without cache discipline: the
+// redundant copies of each dataset run simultaneously sharing the cache,
+// and nothing is flushed.
+func (r *Runtime) runUnprotected(spec *Spec) (*Result, error) {
+	n := len(spec.Datasets)
+	ex := r.cfg.Executors
+	acct := r.newAccounting(spec, nil)
+	outputs := make([][][]byte, n)
+	errs := make([]error, n*ex)
+	for i := range outputs {
+		outputs[i] = make([][]byte, ex)
+	}
+	for d := 0; d < n; d++ {
+		var total, fetched uint64
+		for e := 0; e < ex; e++ {
+			out, io, err := r.visit(spec, nil, -1, d, e)
+			outputs[d][e] = out
+			errs[d*ex+e] = err
+			total = io.total
+			fetched += io.fetched // later copies mostly hit the shared lines
+		}
+		// All copies run in lockstep on separate cores: elapsed is one
+		// visit's compute plus the (shared) fetch.
+		v := r.parts(spec, total, fetched, 0)
+		acct.addVisit(v)
+		acct.makespan += v.total()
+		acct.busy += time.Duration(ex)*v.compute + v.fetch
+	}
+	return r.vote(spec, outputs, errs, acct), nil
+}
+
+// runSerial executes classic sequential 3-MR: three full passes over all
+// datasets on one core, with a full cache clear between passes.
+func (r *Runtime) runSerial(spec *Spec) (*Result, error) {
+	n := len(spec.Datasets)
+	ex := r.cfg.Executors
+	acct := r.newAccounting(spec, nil)
+	// Each pass re-stages inputs from disk (the paper's Table 6 charges
+	// serial 3-MR three disk reads).
+	acct.diskRead = time.Duration(float64(ex) * float64(r.diskLoaded) / r.cfg.Cost.DiskBytesPerSec * float64(time.Second))
+	outputs := make([][][]byte, n)
+	errs := make([]error, n*ex)
+	for i := range outputs {
+		outputs[i] = make([][]byte, ex)
+	}
+	for pass := 0; pass < ex; pass++ {
+		for d := 0; d < n; d++ {
+			out, io, err := r.visit(spec, nil, -1, d, pass)
+			outputs[d][pass] = out
+			errs[d*ex+pass] = err
+			v := r.parts(spec, io.total, io.fetched, 0)
+			acct.addVisit(v)
+			acct.makespan += v.total()
+			acct.busy += v.total()
+		}
+		lines := r.cache.FlushAll()
+		flushDur := time.Duration(lines) * r.cfg.Cost.FlushLineCost
+		acct.makespan += flushDur
+		acct.flush += flushDur
+		acct.busy += flushDur
+	}
+	return r.vote(spec, outputs, errs, acct), nil
+}
+
+// runNone executes once with no redundancy.
+func (r *Runtime) runNone(spec *Spec) (*Result, error) {
+	n := len(spec.Datasets)
+	acct := r.newAccounting(spec, nil)
+	outputs := make([][][]byte, n)
+	errs := make([]error, n)
+	for d := 0; d < n; d++ {
+		out, io, err := r.visit(spec, nil, -1, d, 0)
+		outputs[d] = [][]byte{out}
+		errs[d] = err
+		v := r.parts(spec, io.total, io.fetched, 0)
+		acct.addVisit(v)
+		acct.makespan += v.total()
+		acct.busy += v.total()
+	}
+	return r.vote(spec, outputs, errs, acct), nil
+}
+
+// vote tallies executor outputs into per-dataset results and writes the
+// winning outputs back inside the reliability frontier.
+func (r *Runtime) vote(spec *Spec, outputs [][][]byte, errs []error, acct *accounting) *Result {
+	n := len(outputs)
+	res := &Result{
+		Outputs:    make([][]byte, n),
+		PerDataset: make([]DatasetResult, n),
+	}
+	res.Report.Datasets = n
+	ex := len(outputs[0])
+	for d := 0; d < n; d++ {
+		var valid [][]byte
+		var hadError bool
+		for e := 0; e < ex; e++ {
+			var err error
+			if r.cfg.Scheme == fault.SchemeNone {
+				err = errs[d]
+			} else {
+				err = errs[d*ex+e]
+			}
+			if err != nil {
+				hadError = true
+				res.Report.ExecErrors++
+				continue
+			}
+			valid = append(valid, outputs[d][e])
+		}
+		dr := &res.PerDataset[d]
+		switch {
+		case ex == 1: // SchemeNone
+			if hadError {
+				dr.Err = errs[d]
+			} else {
+				dr.Output = valid[0]
+			}
+		case len(valid) < 2:
+			dr.Err = fmt.Errorf("emr: %d of %d executors failed", ex-len(valid), ex)
+			acct.votes.Failed++
+		default:
+			winner, unanimous, ok := majority(valid)
+			switch {
+			case !ok:
+				dr.Err = errVoteFailed
+				dr.Disagreement = true
+				acct.votes.Failed++
+			case unanimous && !hadError && len(valid) == ex:
+				dr.Output = winner
+				acct.votes.Unanimous++
+			default:
+				dr.Output = winner
+				dr.Disagreement = !unanimous
+				acct.votes.Corrected++
+			}
+		}
+		if dr.Output != nil {
+			res.Outputs[d] = dr.Output
+			acct.outputBytes += uint64(len(dr.Output))
+			// Persist the voted output inside the frontier.
+			if addr, err := r.frontierAlloc(uint64(len(dr.Output))); err == nil {
+				if werr := r.bus.Write(addr, dr.Output); werr != nil {
+					dr.Err = werr
+					dr.Output = nil
+					res.Outputs[d] = nil
+				}
+			}
+		}
+	}
+	res.Report = acct.finish(r, res.Report)
+	return res
+}
+
+// majority finds a value shared by at least two outputs. It returns the
+// winner, whether all outputs were identical, and whether a majority
+// exists at all.
+func majority(valid [][]byte) (winner []byte, unanimous, ok bool) {
+	for i := 0; i < len(valid); i++ {
+		matches := 1
+		for j := 0; j < len(valid); j++ {
+			if i != j && bytes.Equal(valid[i], valid[j]) {
+				matches++
+			}
+		}
+		if matches >= 2 || len(valid) == 1 {
+			return valid[i], matches == len(valid), true
+		}
+	}
+	return nil, false, false
+}

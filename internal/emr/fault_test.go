@@ -1,0 +1,247 @@
+package emr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"radshield/internal/fault"
+)
+
+// cacheFlipHook returns a hook that flips one bit in the first input
+// region's cached line at the PhaseAfterRead of the given executor and
+// dataset — the compute-time cache-SEU window. landed reports whether the
+// flip struck a resident line.
+func cacheFlipHook(rt *Runtime, executor, dataset int, landed *bool) Hook {
+	done := false
+	return func(hp *HookPoint) {
+		if done || hp.Phase != PhaseAfterRead || hp.Executor != executor || hp.Dataset != dataset {
+			return
+		}
+		done = true
+		*landed = rt.Cache().FlipBit(hp.Regions[0].Addr+3, 5)
+	}
+}
+
+func TestCacheSEUCausesSDCUnderUnprotectedParallel(t *testing.T) {
+	// The paper's central hazard (§3.2): in unprotected parallel 3-MR the
+	// redundant copies share cached lines, so one upset corrupts several
+	// of them and the wrong answer wins the vote — silently.
+	want := golden(t, 4, 256, false)
+
+	rt := newRuntime(t, fault.SchemeUnprotectedParallel)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	landed := false
+	spec.Hook = cacheFlipHook(rt, 0, 2, &landed)
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !landed {
+		t.Fatal("flip did not strike a resident line")
+	}
+	// No error surfaced...
+	if res.PerDataset[2].Err != nil || res.Report.Votes.Failed != 0 {
+		t.Fatalf("unexpected detected error: %+v", res.PerDataset[2])
+	}
+	// ...but the output is wrong: silent data corruption.
+	if bytes.Equal(res.Outputs[2], want[2]) {
+		t.Fatal("expected SDC, got correct output — hazard not reproduced")
+	}
+	// The corruption reached every copy identically, so the vote looks
+	// clean (either unanimous or at worst corrected).
+	if res.PerDataset[2].Disagreement && res.Report.Votes.Corrected == 0 {
+		t.Fatalf("vote state inconsistent: %+v", res.Report.Votes)
+	}
+}
+
+func TestCacheSEUMaskedByEMR(t *testing.T) {
+	// Same strike under EMR: the flush discipline means the upset line
+	// only ever feeds one executor, which the other two outvote.
+	want := golden(t, 4, 256, false)
+
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	landed := false
+	spec.Hook = cacheFlipHook(rt, 0, 2, &landed)
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !landed {
+		t.Fatal("flip did not strike a resident line")
+	}
+	if !bytes.Equal(res.Outputs[2], want[2]) {
+		t.Fatal("EMR produced wrong output despite single-executor corruption")
+	}
+	if res.Report.Votes.Corrected != 1 {
+		t.Fatalf("votes = %+v, want exactly 1 corrected", res.Report.Votes)
+	}
+}
+
+func TestCacheSEUMaskedBySerial3MR(t *testing.T) {
+	want := golden(t, 4, 256, false)
+	rt := newRuntime(t, fault.SchemeSerial3MR)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	landed := false
+	spec.Hook = cacheFlipHook(rt, 1, 2, &landed) // strike during pass 1
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !landed {
+		t.Fatal("flip did not strike a resident line")
+	}
+	if !bytes.Equal(res.Outputs[2], want[2]) {
+		t.Fatal("serial 3-MR produced wrong output")
+	}
+	if res.Report.Votes.Corrected != 1 {
+		t.Fatalf("votes = %+v, want 1 corrected", res.Report.Votes)
+	}
+}
+
+func TestCacheSEUCausesSDCUnderNoProtection(t *testing.T) {
+	want := golden(t, 4, 256, false)
+	rt := newRuntime(t, fault.SchemeNone)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	landed := false
+	spec.Hook = cacheFlipHook(rt, 0, 1, &landed)
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !landed {
+		t.Fatal("flip did not land")
+	}
+	if bytes.Equal(res.Outputs[1], want[1]) {
+		t.Fatal("expected SDC under no protection")
+	}
+}
+
+func TestPipelineSEUOutvoted(t *testing.T) {
+	// An upset in one executor's pipeline manifests as a wrong output
+	// from that executor; EMR's vote corrects it.
+	want := golden(t, 4, 256, false)
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	done := false
+	spec.Hook = func(hp *HookPoint) {
+		if !done && hp.Phase == PhaseAfterJob && hp.Executor == 1 && hp.Dataset == 0 {
+			done = true
+			hp.Output[0] ^= 0x40
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Outputs[0], want[0]) {
+		t.Fatal("pipeline SEU not outvoted")
+	}
+	if res.Report.Votes.Corrected != 1 {
+		t.Fatalf("votes = %+v", res.Report.Votes)
+	}
+}
+
+func TestJobDescriptorCorruptionIsDetectedError(t *testing.T) {
+	// The paper's observed case: a corrupted pointer in a job descriptor
+	// segfaults the executor — a detected, recoverable error.
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	segv := errors.New("SIGSEGV: corrupted job pointer")
+	done := false
+	spec.Hook = func(hp *HookPoint) {
+		if !done && hp.Phase == PhaseBeforeRead && hp.Executor == 2 && hp.Dataset == 3 {
+			done = true
+			hp.Fail = segv
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.ExecErrors != 1 {
+		t.Fatalf("ExecErrors = %d", res.Report.ExecErrors)
+	}
+	// Two healthy copies remain: output survives, vote is corrected.
+	if res.Outputs[3] == nil || res.Report.Votes.Corrected != 1 {
+		t.Fatalf("descriptor corruption not recovered: votes=%+v", res.Report.Votes)
+	}
+}
+
+func TestECCDRAMAbsorbsFrontierSEU(t *testing.T) {
+	// A flip on the ECC-DRAM frontier is corrected in hardware: no
+	// effect at all (the paper's rationale for the reliability frontier).
+	want := golden(t, 4, 256, false)
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	// Flip a bit in dataset 1's frontier region before any execution.
+	addr := spec.Datasets[1].Inputs[0].Region.Addr
+	if err := rt.FlipFrontierBit(addr, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Outputs[1], want[1]) {
+		t.Fatal("ECC frontier flip reached the output")
+	}
+	if res.Report.Votes.Unanimous != 4 {
+		t.Fatalf("votes = %+v, want all unanimous (hardware corrected)", res.Report.Votes)
+	}
+}
+
+func TestDoubleFrontierFlipIsDetectedNotSilent(t *testing.T) {
+	// Two flips in one ECC word: SECDED detects but cannot correct; the
+	// read fails as a machine check — a detected error, never SDC.
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 4, 256, false)
+	addr := spec.Datasets[1].Inputs[0].Region.Addr
+	rt.FlipFrontierBit(addr, 2)
+	rt.FlipFrontierBit(addr, 5)
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != nil {
+		t.Fatal("uncorrectable word still produced an output — all executors read the same poisoned frontier")
+	}
+	if res.PerDataset[1].Err == nil {
+		t.Fatal("no error recorded for uncorrectable frontier word")
+	}
+	// Other datasets unaffected.
+	if res.Outputs[0] == nil || res.Outputs[2] == nil || res.Outputs[3] == nil {
+		t.Fatal("unrelated datasets affected")
+	}
+}
+
+func TestReplicaSEUAffectsOneExecutor(t *testing.T) {
+	// A flip in one executor's private replica (e.g. its copy of the
+	// encryption key) corrupts only that executor.
+	want := golden(t, 8, 128, true)
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 8, 128, true)
+	done := false
+	spec.Hook = func(hp *HookPoint) {
+		// Regions[1] is the key input; under EMR it resolves to the
+		// executor's replica. Flip executor 0's replica in the cache
+		// right after it was fetched.
+		if !done && hp.Phase == PhaseAfterRead && hp.Executor == 0 && hp.Dataset == 0 {
+			done = true
+			if !rt.Cache().FlipBit(hp.Regions[1].Addr, 1) {
+				t.Error("replica line not resident")
+			}
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Outputs[0], want[0]) {
+		t.Fatal("replica corruption defeated the vote")
+	}
+	if res.Report.Votes.Corrected < 1 {
+		t.Fatalf("votes = %+v, want at least one corrected", res.Report.Votes)
+	}
+}

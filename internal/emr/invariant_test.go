@@ -1,0 +1,188 @@
+package emr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"radshield/internal/fault"
+)
+
+// mixJob hashes its inputs with avalanche finalization (murmur3-style),
+// so distinct corruptions virtually never collide into equal wrong
+// outputs. The weaker sumJob (a linear ×31 hash) is unsuitable for the
+// no-silent-corruption property below: flipping bit b of the LAST input
+// byte shifts the sum by exactly 2^b, which aliases with a pipeline flip
+// of the same output bit — two different faults, one identical wrong
+// answer, a false counterexample the real workloads (AES, DEFLATE, SAD)
+// do not exhibit.
+func mixJob(inputs [][]byte) ([]byte, error) {
+	var h uint32 = 2166136261
+	for _, in := range inputs {
+		for _, b := range in {
+			h = (h ^ uint32(b)) * 16777619
+		}
+	}
+	// Avalanche finalizer: single-bit input changes flip ~half the output.
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return []byte{byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h)}, nil
+}
+
+// The strongest guarantee EMR offers, as a property test: under ANY
+// number of randomly placed cache strikes and pipeline corruptions, every
+// dataset result is either byte-identical to the fault-free output or a
+// visibly detected failure (nil output with an error). Silent wrong
+// answers require two executors of the same dataset to produce the SAME
+// wrong bytes, which the flush discipline (no shared lines) and
+// independent corruption (distinct flips) make vanishingly unlikely —
+// the residual probability is a hash collision of the job function.
+func TestPropertyEMRNeverSilentlyWrong(t *testing.T) {
+	goldenOutputs := invariantGolden(t)
+
+	f := func(seed int64, strikes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt, err := New(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		spec := chunkedSpec2(rt, 8, 256, true)
+		spec.Job = mixJob
+		remaining := int(strikes%24) + 1
+		spec.Hook = func(hp *HookPoint) {
+			if remaining <= 0 {
+				return
+			}
+			switch hp.Phase {
+			case PhaseAfterRead:
+				if rng.Float64() < 0.15 {
+					reg := hp.Regions[rng.Intn(len(hp.Regions))]
+					fl := fault.RandomFlip(rng, reg.Len)
+					if rt.Cache().FlipBit(reg.Addr+fl.Offset, fl.Bit) {
+						remaining--
+					}
+				}
+			case PhaseAfterJob:
+				if rng.Float64() < 0.05 && len(hp.Output) > 0 {
+					hp.Output[rng.Intn(len(hp.Output))] ^= 1 << uint(rng.Intn(8))
+					remaining--
+				}
+			}
+		}
+		res, err := rt.Run(spec)
+		if err != nil {
+			return false
+		}
+		for i := range goldenOutputs {
+			out := res.Outputs[i]
+			if out == nil {
+				// Detected failure: must carry an error.
+				if res.PerDataset[i].Err == nil {
+					return false
+				}
+				continue
+			}
+			if !bytes.Equal(out, goldenOutputs[i]) {
+				// Silent wrong answer: the invariant is broken.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// invariantGolden computes the fault-free mixJob outputs.
+func invariantGolden(t *testing.T) [][]byte {
+	t.Helper()
+	rt := newRuntime(t, fault.SchemeNone)
+	spec := chunkedSpec2(rt, 8, 256, true)
+	spec.Job = mixJob
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Outputs
+}
+
+// chunkedSpec2 is chunkedSpec without the *testing.T plumbing, for use
+// inside quick.Check closures.
+func chunkedSpec2(rt *Runtime, n, chunk int, withKey bool) Spec {
+	data := make([]byte, n*chunk)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	ref, err := rt.LoadInput("data", data)
+	if err != nil {
+		panic(err)
+	}
+	inputsFor := func(i int) []InputRef {
+		return []InputRef{ref.Slice(uint64(i*chunk), uint64(chunk))}
+	}
+	var keyRef InputRef
+	if withKey {
+		key := make([]byte, 32)
+		for i := range key {
+			key[i] = byte(0xA0 + i)
+		}
+		keyRef, err = rt.LoadInput("key", key)
+		if err != nil {
+			panic(err)
+		}
+	}
+	datasets := make([]Dataset, n)
+	for i := 0; i < n; i++ {
+		ins := inputsFor(i)
+		if withKey {
+			ins = append(ins, keyRef)
+		}
+		datasets[i] = Dataset{Inputs: ins}
+	}
+	return Spec{Name: "chunked", Datasets: datasets, Job: sumJob, CyclesPerByte: 10}
+}
+
+// Contrast property: the same strike pressure against unprotected
+// parallel 3-MR DOES produce silent wrong answers (the hazard exists and
+// our injection is strong enough to matter).
+func TestPropertyUnprotectedEventuallySilentlyWrong(t *testing.T) {
+	goldenOutputs := invariantGolden(t)
+	sawSDC := false
+	for seed := int64(0); seed < 40 && !sawSDC; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.Scheme = fault.SchemeUnprotectedParallel
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := chunkedSpec2(rt, 8, 256, true)
+		spec.Job = mixJob
+		spec.Hook = func(hp *HookPoint) {
+			if hp.Phase == PhaseAfterRead && rng.Float64() < 0.15 {
+				reg := hp.Regions[rng.Intn(len(hp.Regions))]
+				fl := fault.RandomFlip(rng, reg.Len)
+				rt.Cache().FlipBit(reg.Addr+fl.Offset, fl.Bit)
+			}
+		}
+		res, err := rt.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range goldenOutputs {
+			if res.Outputs[i] != nil && res.PerDataset[i].Err == nil &&
+				!res.PerDataset[i].Disagreement &&
+				!bytes.Equal(res.Outputs[i], goldenOutputs[i]) {
+				sawSDC = true
+			}
+		}
+	}
+	if !sawSDC {
+		t.Fatal("no silent corruption under unprotected parallel 3-MR in 40 campaigns — injection too weak to validate the EMR property test")
+	}
+}

@@ -1,0 +1,220 @@
+package emr
+
+import (
+	"fmt"
+	"sort"
+
+	"radshield/internal/mem"
+)
+
+// InputRef names a region of frontier memory a job reads. Refs are plain
+// values: workloads slice them up freely to describe datasets.
+type InputRef struct {
+	Name   string
+	Region mem.Region
+}
+
+// Slice narrows the ref to [off, off+n) within it. It panics when the
+// slice escapes the ref — dataset construction bugs must fail fast.
+func (r InputRef) Slice(off, n uint64) InputRef {
+	if off+n > r.Region.Len {
+		panic(fmt.Sprintf("emr: Slice(%d, %d) outside %q of %d bytes", off, n, r.Name, r.Region.Len))
+	}
+	return InputRef{
+		Name:   r.Name,
+		Region: mem.Region{Addr: r.Region.Addr + off, Len: n},
+	}
+}
+
+// Dataset is the set of input regions one job consumes (paper Figure 8:
+// "a set of memory regions each computation uses as input").
+type Dataset struct {
+	Inputs []InputRef
+}
+
+// JobFunc computes one job: it receives the dataset's bytes in
+// declaration order and returns the output. The bytes come from the
+// simulated memory hierarchy, so upsets that reached the executor are
+// visible in the slices.
+type JobFunc func(inputs [][]byte) ([]byte, error)
+
+// regionKey identifies an exact region (identical pointer and offset, as
+// the paper's common-data detection requires).
+type regionKey struct {
+	addr uint64
+	len  uint64
+}
+
+// analysis is the pre-execution plan: which regions are replicated,
+// which datasets conflict, and the jobset grouping.
+type analysis struct {
+	replicated map[regionKey]bool
+	// replicas[e][key] is the bus address of executor e's private copy.
+	replicas []map[regionKey]uint64
+	// conflictRegions[i] lists dataset i's non-replicated regions.
+	conflictRegions [][]mem.Region
+	jobsets         [][]int
+	conflictPairs   int
+	replicaBytes    uint64
+}
+
+// detectCommon counts identical regions across datasets and marks those
+// above the replication threshold (paper: "EMR detects this 'common
+// data' by looking for datasets within the input data with identical
+// pointers and offsets").
+func detectCommon(datasets []Dataset, threshold float64) map[regionKey]bool {
+	counts := make(map[regionKey]int)
+	for _, d := range datasets {
+		seen := make(map[regionKey]bool, len(d.Inputs))
+		for _, in := range d.Inputs {
+			k := regionKey{in.Region.Addr, in.Region.Len}
+			if !seen[k] { // count each region once per dataset
+				seen[k] = true
+				counts[k]++
+			}
+		}
+	}
+	replicated := make(map[regionKey]bool)
+	if threshold > 1 || len(datasets) == 0 {
+		return replicated
+	}
+	if threshold == 0 {
+		// Replicate everything: the fully-protected parallel 3-MR
+		// endpoint of the paper's Figure 13 sweep (3× memory, zero
+		// conflicts, zero cache clears).
+		for k := range counts {
+			replicated[k] = true
+		}
+		return replicated
+	}
+	need := threshold * float64(len(datasets))
+	for k, c := range counts {
+		// A region used by a single dataset gains nothing from
+		// replication; require sharing.
+		if c >= 2 && float64(c) >= need {
+			replicated[k] = true
+		}
+	}
+	return replicated
+}
+
+// conflict reports whether datasets a and b share any byte through their
+// non-replicated regions.
+func conflict(a, b []mem.Region) bool {
+	for _, ra := range a {
+		for _, rb := range b {
+			if ra.Overlaps(rb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildJobsets greedily assigns each dataset to the first jobset it does
+// not conflict with (paper: "EMR greedily creates jobsets by assigning
+// jobs to the first available jobset without conflicts").
+func buildJobsets(regions [][]mem.Region, extra func(i, j int) bool) (jobsets [][]int, pairs int) {
+	for i := range regions {
+		placed := false
+		for s := range jobsets {
+			ok := true
+			for _, j := range jobsets[s] {
+				if conflict(regions[i], regions[j]) || (extra != nil && extra(i, j)) {
+					ok = false
+					pairs++
+					break
+				}
+			}
+			if ok {
+				jobsets[s] = append(jobsets[s], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			jobsets = append(jobsets, []int{i})
+		}
+	}
+	return jobsets, pairs
+}
+
+// plan runs replication detection, replica materialization, and jobset
+// construction for a spec.
+func (r *Runtime) plan(spec *Spec) (*analysis, error) {
+	a := &analysis{
+		replicated: detectCommon(spec.Datasets, r.effectiveThreshold(spec)),
+		replicas:   make([]map[regionKey]uint64, r.cfg.Executors),
+	}
+
+	// Materialize per-executor replicas of common regions, copying the
+	// canonical bytes from the frontier. Deterministic order keeps
+	// allocation layouts stable across runs.
+	keys := make([]regionKey, 0, len(a.replicated))
+	for k := range a.replicated {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return keys[i].len < keys[j].len
+	})
+	for e := 0; e < r.cfg.Executors; e++ {
+		a.replicas[e] = make(map[regionKey]uint64, len(keys))
+	}
+	buf := make([]byte, 0)
+	for _, k := range keys {
+		if cap(buf) < int(k.len) {
+			buf = make([]byte, k.len)
+		}
+		buf = buf[:k.len]
+		if err := r.bus.Read(k.addr, buf); err != nil {
+			return nil, fmt.Errorf("emr: reading common region %#x: %w", k.addr, err)
+		}
+		for e := 0; e < r.cfg.Executors; e++ {
+			addr, err := r.workAlloc(k.len)
+			if err != nil {
+				return nil, fmt.Errorf("emr: allocating replica: %w", err)
+			}
+			if err := r.bus.Write(addr, buf); err != nil {
+				return nil, fmt.Errorf("emr: writing replica: %w", err)
+			}
+			a.replicas[e][k] = addr
+			a.replicaBytes += k.len
+		}
+	}
+
+	// Conflict graph over non-replicated regions only.
+	a.conflictRegions = make([][]mem.Region, len(spec.Datasets))
+	for i, d := range spec.Datasets {
+		for _, in := range d.Inputs {
+			k := regionKey{in.Region.Addr, in.Region.Len}
+			if !a.replicated[k] {
+				a.conflictRegions[i] = append(a.conflictRegions[i], in.Region)
+			}
+		}
+	}
+	a.jobsets, a.conflictPairs = buildJobsets(a.conflictRegions, spec.ExtraConflict)
+	return a, nil
+}
+
+// effectiveThreshold resolves the replication threshold for a spec: the
+// spec may override the runtime default; zero means "use config".
+func (r *Runtime) effectiveThreshold(spec *Spec) float64 {
+	if spec.ReplicationThreshold != nil {
+		return *spec.ReplicationThreshold
+	}
+	return r.cfg.ReplicationThreshold
+}
+
+// executorRegion resolves the region executor e actually reads for an
+// input: the private replica when the region is replicated, the shared
+// frontier region otherwise.
+func (a *analysis) executorRegion(e int, in InputRef) mem.Region {
+	k := regionKey{in.Region.Addr, in.Region.Len}
+	if a.replicated[k] {
+		return mem.Region{Addr: a.replicas[e][k], Len: in.Region.Len}
+	}
+	return in.Region
+}

@@ -1,0 +1,107 @@
+package emr
+
+import (
+	"errors"
+	"testing"
+
+	"radshield/internal/fault"
+)
+
+func TestAllExecutorsFailIsDetected(t *testing.T) {
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 3, 128, false)
+	boom := errors.New("triple failure")
+	spec.Hook = func(hp *HookPoint) {
+		if hp.Phase == PhaseBeforeRead && hp.Dataset == 1 {
+			hp.Fail = boom
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != nil {
+		t.Fatal("output produced despite all executors failing")
+	}
+	if res.PerDataset[1].Err == nil {
+		t.Fatal("no error recorded")
+	}
+	if res.Report.Votes.Failed != 1 || res.Report.ExecErrors != 3 {
+		t.Fatalf("votes=%+v errors=%d", res.Report.Votes, res.Report.ExecErrors)
+	}
+	// Neighbouring datasets unaffected.
+	if res.Outputs[0] == nil || res.Outputs[2] == nil {
+		t.Fatal("unrelated datasets lost")
+	}
+}
+
+func TestThreeWayDisagreementIsDetected(t *testing.T) {
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 3, 128, false)
+	spec.Hook = func(hp *HookPoint) {
+		// Each executor's output corrupted differently on dataset 0.
+		if hp.Phase == PhaseAfterJob && hp.Dataset == 0 {
+			hp.Output[0] ^= 1 << uint(hp.Executor)
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != nil {
+		t.Fatal("three-way disagreement still produced an output")
+	}
+	if !errors.Is(res.PerDataset[0].Err, errVoteFailed) {
+		t.Fatalf("error = %v, want vote failure", res.PerDataset[0].Err)
+	}
+	if !res.PerDataset[0].Disagreement {
+		t.Fatal("disagreement flag not set")
+	}
+	if res.Report.Votes.Failed != 1 {
+		t.Fatalf("votes = %+v", res.Report.Votes)
+	}
+}
+
+func TestTwoExecutorsFailOneSurvivorIsNotTrusted(t *testing.T) {
+	// With only one valid output there is no majority: the dataset fails
+	// rather than trusting a single unverified copy.
+	rt := newRuntime(t, fault.SchemeEMR)
+	spec := chunkedSpec(t, rt, 2, 128, false)
+	boom := errors.New("double failure")
+	spec.Hook = func(hp *HookPoint) {
+		if hp.Phase == PhaseBeforeRead && hp.Dataset == 0 && hp.Executor != 2 {
+			hp.Fail = boom
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[0] != nil {
+		t.Fatal("single survivor trusted without a majority")
+	}
+	if res.Report.Votes.Failed != 1 || res.Report.ExecErrors != 2 {
+		t.Fatalf("votes=%+v errors=%d", res.Report.Votes, res.Report.ExecErrors)
+	}
+}
+
+func TestSchemeNoneErrorSurfaces(t *testing.T) {
+	rt := newRuntime(t, fault.SchemeNone)
+	spec := chunkedSpec(t, rt, 2, 128, false)
+	boom := errors.New("solo failure")
+	spec.Hook = func(hp *HookPoint) {
+		if hp.Phase == PhaseBeforeRead && hp.Dataset == 1 {
+			hp.Fail = boom
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1] != nil || !errors.Is(res.PerDataset[1].Err, boom) {
+		t.Fatalf("unprotected failure not surfaced: %+v", res.PerDataset[1])
+	}
+	if res.Outputs[0] == nil {
+		t.Fatal("healthy dataset lost")
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeatureSelectionRanksRealCountersFirst(t *testing.T) {
+	res := FeatureSelection(DefaultSELConfig())
+	t.Logf("\n%s", res.Tbl)
+	if res.TopCounters < 0.95 {
+		t.Fatalf("genuine counters carry %.3f importance, want ≥0.95", res.TopCounters)
+	}
+	if res.DistractorMass > 0.05 {
+		t.Fatalf("distractors carry %.3f importance, want ≈0", res.DistractorMass)
+	}
+	// The paper singles out instruction rate, bus cycles, and frequency
+	// as the features most correlated with total current; at least one
+	// must appear in the top 5 ranks.
+	foundActivity := false
+	for _, row := range res.Tbl.Rows[:5] {
+		name := row[1]
+		if strings.Contains(name, "instr_per_sec") ||
+			strings.Contains(name, "freq_hz") ||
+			strings.Contains(name, "bus_cycles") {
+			foundActivity = true
+		}
+	}
+	if !foundActivity {
+		t.Fatalf("no activity counter in the top 5: %v", res.Tbl.Rows[:5])
+	}
+}

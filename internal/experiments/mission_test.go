@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMissionSurvivalShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo mission campaign")
+	}
+	c := DefaultMissionConfig()
+	c.Missions = 3
+	c.Duration = 8 * time.Hour
+	protected, unprotected, tbl, err := MissionSurvival(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	if protected.Survived != c.Missions {
+		t.Errorf("Radshield arm survived %d/%d missions", protected.Survived, c.Missions)
+	}
+	if protected.LatchupsCleared == 0 {
+		t.Error("no latchups cleared — boost rates for a meaningful campaign")
+	}
+	if unprotected.Survived == c.Missions {
+		t.Error("unprotected arm survived everything — environment too gentle")
+	}
+	if unprotected.LostToLatchup == 0 {
+		t.Error("no latchup losses in the unprotected arm")
+	}
+}

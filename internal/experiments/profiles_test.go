@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMissionProfilesDetectionOpportunities(t *testing.T) {
+	stats, tbl := MissionProfiles(1)
+	t.Logf("\n%s", tbl)
+	if len(stats) != 4 {
+		t.Fatalf("profiles = %d", len(stats))
+	}
+	byName := map[string]ProfileStats{}
+	for _, s := range stats {
+		byName[s.Profile] = s
+	}
+	// §3.1's premise: every real mission profile has frequent natural
+	// quiescence.
+	for _, name := range []string{"leo-smallsat", "mars-sol", "deep-space-cruise"} {
+		s := byName[name]
+		if s.QuiescentFraction < 0.3 {
+			t.Errorf("%s: quiescent fraction %.2f unexpectedly low", name, s.QuiescentFraction)
+		}
+		if s.OpportunitiesPerHour < 10 {
+			t.Errorf("%s: %.1f opportunities/hr, want plenty", name, s.OpportunitiesPerHour)
+		}
+	}
+	// Cruise is the quietest profile.
+	if byName["deep-space-cruise"].QuiescentFraction <= byName["ground-testbed"].QuiescentFraction {
+		t.Error("cruise not quieter than the ground testbed")
+	}
+	// Bubbles bound the worst gap to ≈ the pause period everywhere.
+	for _, s := range stats {
+		if s.WorstGapBubbled > 4*time.Minute {
+			t.Errorf("%s: bubbled worst gap %v exceeds the pause+bubble bound", s.Profile, s.WorstGapBubbled)
+		}
+		if s.WorstGapBubbled > s.WorstGap {
+			t.Errorf("%s: bubbles worsened the gap (%v → %v)", s.Profile, s.WorstGap, s.WorstGapBubbled)
+		}
+	}
+}

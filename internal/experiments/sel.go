@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"radshield/internal/forest"
+	"radshield/internal/ild"
+	"radshield/internal/machine"
+	"radshield/internal/stats"
+	"radshield/internal/trace"
+)
+
+// SELConfig parameterizes the SEL-detection experiments. The defaults
+// scale the paper's 960-hour campaign down to laptop runtimes while
+// keeping sample counts large enough for stable rates; pass a longer
+// Duration to approach the paper's scale.
+type SELConfig struct {
+	Duration    time.Duration // flight-campaign length (paper: 960 h)
+	SampleEvery time.Duration // telemetry cadence (paper: 1 ms)
+	TrainFor    time.Duration // ground-twin training span
+	SELEvery    time.Duration // latchup injection period (paper: 30 min)
+	SELAmps     float64       // latchup magnitude (paper: +0.07 A)
+	Window      time.Duration // detection window (paper: 3 min)
+	Seed        int64
+}
+
+// DefaultSELConfig returns a campaign that runs in a few seconds.
+func DefaultSELConfig() SELConfig {
+	return SELConfig{
+		Duration:    4 * time.Hour,
+		SampleEvery: 10 * time.Millisecond,
+		TrainFor:    2 * time.Minute,
+		SELEvery:    30 * time.Minute,
+		SELAmps:     0.07,
+		Window:      3 * time.Minute,
+		Seed:        1,
+	}
+}
+
+// machineConfig builds the testbed board at the experiment cadence.
+func (c SELConfig) machineConfig(seed int64) machine.Config {
+	mc := machine.DefaultConfig()
+	mc.SampleEvery = c.SampleEvery
+	mc.SensorSeed = seed
+	return mc
+}
+
+// ildConfig builds the detector config at the experiment cadence.
+func (c SELConfig) ildConfig() ild.Config {
+	ic := ild.DefaultConfig()
+	ic.SampleEvery = c.SampleEvery
+	ic.DetectionWindow = c.Window
+	return ic
+}
+
+// TrainILD performs the pre-launch procedure: run the ground twin over a
+// quiescent trace and fit the linear current model.
+func TrainILD(c SELConfig) (*ild.Detector, error) {
+	m := machine.New(c.machineConfig(c.Seed + 100))
+	trainer := ild.NewTrainer(c.ildConfig())
+	rng := rand.New(rand.NewSource(c.Seed + 101))
+	m.RunTrace(trace.Quiescent(rng, c.TrainFor, 10*time.Second), func(tel machine.Telemetry) {
+		trainer.Add(tel)
+	})
+	return trainer.Fit()
+}
+
+// trainForestBaseline reproduces the black-box ML baseline exactly as
+// the paper describes it (§4.1.2): "a random forest classifier trained
+// on current draw under emulated SEL and during quiescence ... trained
+// solely on current draw and not on performance counters", with no
+// temporal element. Workload currents never appear in training, and the
+// orbital thermal drift of the baseline is not a feature it can see —
+// both failure modes the paper attributes to black-box detectors.
+func trainForestBaseline(c SELConfig) *ild.ForestDetector {
+	var currents []float64
+	var labels []int
+	for pass, sel := range []float64{0, c.SELAmps} {
+		m := machine.New(c.machineConfig(c.Seed + 200 + int64(pass)))
+		if sel > 0 {
+			m.InjectSEL(sel)
+		}
+		rng := rand.New(rand.NewSource(c.Seed + 202))
+		tr := trace.Quiescent(rng, 10*time.Minute, 15*time.Second)
+		label := 0
+		if sel > 0 {
+			label = 1
+		}
+		i := 0
+		m.RunTrace(tr, func(tel machine.Telemetry) {
+			i++
+			if i%8 != 0 { // subsample to keep forest training tractable
+				return
+			}
+			currents = append(currents, tel.CurrentA)
+			labels = append(labels, label)
+		})
+	}
+	return ild.TrainForestDetector(currents, labels, forest.Config{Trees: 30, MaxDepth: 8, Seed: c.Seed})
+}
+
+// DetectorAccuracyResult is one Table 2 column, extended with detection
+// latency (time from SEL onset to first flag, over detected episodes).
+type DetectorAccuracyResult struct {
+	Name              string
+	Episodes          int
+	FalseNegativeRate float64
+	FalsePositiveRate float64
+	MeanLatency       time.Duration
+	MaxLatency        time.Duration
+}
+
+// Table2 runs the detector-accuracy campaign (paper Table 2): a long
+// flight-software trace with periodic +SELAmps latchups, evaluated
+// simultaneously by ILD, the current-only random forest, and three
+// static thresholds.
+func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
+	det, err := TrainILD(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	monitors := []struct {
+		name string
+		m    ild.Monitor
+	}{
+		{"ILD", det},
+		{"RandomForest", trainForestBaseline(c)},
+		{"Static 1.75A", ild.NewStaticThreshold(1.75)},
+		{"Static 1.80A", ild.NewStaticThreshold(1.80)},
+		{"Static 1.85A", ild.NewStaticThreshold(1.85)},
+	}
+
+	m := machine.New(c.machineConfig(c.Seed))
+	rng := rand.New(rand.NewSource(c.Seed + 1))
+	flight := trace.FlightSoftware(rng, c.Duration, 4)
+	// Bubbles one second longer than the sustain requirement: the sample
+	// straddling the workload→bubble boundary reads as busy and resets
+	// the averaging window, so a bare 3 s bubble never quite fills a 3 s
+	// window.
+	policy := ild.BubblePolicy{BubbleLen: c.ildConfig().SustainFor + time.Second, Pause: 3 * time.Minute}
+	flight = ild.InjectBubbles(flight, policy)
+
+	type state struct {
+		episodeHit []bool // per episode: fired within window
+		latencies  []time.Duration
+		fpSamples  int
+		negSamples int
+	}
+	states := make([]state, len(monitors))
+
+	var episodeStart time.Duration
+	nextSEL := c.SELEvery
+	episodeEnd := time.Duration(-1)
+
+	m.RunTrace(flight, func(tel machine.Telemetry) {
+		// Episode scheduling.
+		if episodeEnd < 0 && tel.T >= nextSEL {
+			m.InjectSEL(c.SELAmps)
+			episodeStart = tel.T
+			episodeEnd = tel.T + c.Window
+			for i := range states {
+				states[i].episodeHit = append(states[i].episodeHit, false)
+			}
+		}
+		inEpisode := episodeEnd >= 0
+		for i, mon := range monitors {
+			fired := mon.m.Observe(tel)
+			if inEpisode {
+				if fired && !states[i].episodeHit[len(states[i].episodeHit)-1] {
+					states[i].episodeHit[len(states[i].episodeHit)-1] = true
+					states[i].latencies = append(states[i].latencies, tel.T-episodeStart)
+				}
+			} else {
+				states[i].negSamples++
+				if fired {
+					states[i].fpSamples++
+				}
+			}
+		}
+		if inEpisode && tel.T >= episodeEnd {
+			m.ClearSEL()
+			episodeEnd = -1
+			nextSEL = tel.T + c.SELEvery
+		}
+	})
+
+	results := make([]DetectorAccuracyResult, len(monitors))
+	tbl := &Table{
+		Title:  "Table 2: SEL detector accuracy",
+		Header: []string{"Detector", "Episodes", "FalseNegRate", "FalsePosRate", "MeanLatency", "MaxLatency"},
+	}
+	for i, mon := range monitors {
+		st := states[i]
+		missed := 0
+		for _, hit := range st.episodeHit {
+			if !hit {
+				missed++
+			}
+		}
+		fnr := 0.0
+		if len(st.episodeHit) > 0 {
+			fnr = float64(missed) / float64(len(st.episodeHit))
+		}
+		fpr := 0.0
+		if st.negSamples > 0 {
+			fpr = float64(st.fpSamples) / float64(st.negSamples)
+		}
+		var mean, max time.Duration
+		for _, l := range st.latencies {
+			mean += l
+			if l > max {
+				max = l
+			}
+		}
+		if len(st.latencies) > 0 {
+			mean /= time.Duration(len(st.latencies))
+		}
+		results[i] = DetectorAccuracyResult{
+			Name: mon.name, Episodes: len(st.episodeHit),
+			FalseNegativeRate: fnr, FalsePositiveRate: fpr,
+			MeanLatency: mean, MaxLatency: max,
+		}
+		tbl.AddRow(mon.name, fmt.Sprint(len(st.episodeHit)), pct(fnr), pct(fpr),
+			mean.Round(time.Millisecond).String(), max.Round(time.Millisecond).String())
+	}
+	return results, tbl, nil
+}
+
+// Fig10 sweeps the latchup magnitude (paper Figure 10): one-minute SEL
+// episodes at +0.01 A … +0.10 A during quiescence, reporting the miss
+// rate per magnitude. The paper's knee is at ≈0.05 A (ILD's threshold is
+// 0.055 A with the rolling-min floor beneath it).
+func Fig10(c SELConfig, episodesPer int) (*Figure, error) {
+	det, err := TrainILD(c)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		Title:  "Figure 10: misdetection rate vs latchup current",
+		XLabel: "additional latchup current (A)",
+		YLabel: "false negative rate",
+	}
+	s := Series{Name: "ILD"}
+	for amps := 0.01; amps <= 0.1005; amps += 0.01 {
+		m := machine.New(c.machineConfig(c.Seed + int64(amps*1000)))
+		rng := rand.New(rand.NewSource(c.Seed + 2))
+		missed := 0
+		for ep := 0; ep < episodesPer; ep++ {
+			det.Reset()
+			// One minute latched, one minute clear, all quiescent.
+			m.InjectSEL(amps)
+			hit := false
+			m.RunTrace(trace.Quiescent(rng, time.Minute, 10*time.Second), func(tel machine.Telemetry) {
+				if det.Observe(tel) {
+					hit = true
+				}
+			})
+			m.ClearSEL()
+			det.Reset()
+			m.RunTrace(trace.Quiescent(rng, 10*time.Second, 5*time.Second), nil)
+			if !hit {
+				missed++
+			}
+		}
+		s.Add(amps, float64(missed)/float64(episodesPer))
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// Table3 reports ILD's worst-case overhead (paper Table 3): the bubble
+// measurement cost per hour of compute and the additional cost of one
+// false-positive reboot.
+func Table3(rebootCost time.Duration) *Table {
+	p := ild.DefaultBubblePolicy()
+	meas, reboot := p.WorstCaseOverheadPerHour(rebootCost)
+	tbl := &Table{
+		Title:  "Table 3: worst-case ILD overhead per hour of compute",
+		Header: []string{"Measurement Overhead", "Reboot-Only Overhead"},
+	}
+	tbl.AddRow(fmt.Sprintf("+%v / hr", meas), fmt.Sprintf("+%v / hr", reboot))
+	return tbl
+}
+
+// Fig2Result carries the Figure 2 current traces.
+type Fig2Result struct {
+	Fig            *Figure
+	MaxNominalA    float64
+	MaxLatchedA    float64
+	ThresholdA     float64
+	CrossesNominal bool // workload activity alone crosses the trip line
+	CrossesLatched bool // quiescent SEL current crosses the trip line
+}
+
+// Fig2 reproduces the paper's Figure 2: the current draw of a navigation
+// workload before and after a micro-SEL, against the supply's static 4 A
+// trip line — demonstrating that the threshold fires on compute and
+// never on the latchup.
+func Fig2(c SELConfig) *Fig2Result {
+	mc := c.machineConfig(c.Seed + 7)
+	m := machine.New(mc)
+	rng := rand.New(rand.NewSource(c.Seed + 8))
+
+	res := &Fig2Result{ThresholdA: mc.Power.TripThresholdA}
+	fig := &Figure{
+		Title:  "Figure 2: navigation workload current, before/after SEL",
+		XLabel: "time (s)",
+		YLabel: "current (A)",
+	}
+	nominal := Series{Name: "nominal"}
+	m.RunTrace(trace.Navigation(rng, time.Minute, 4), func(tel machine.Telemetry) {
+		nominal.Add(tel.T.Seconds(), tel.RawA)
+		if tel.RawA > res.MaxNominalA {
+			res.MaxNominalA = tel.RawA
+		}
+	})
+	m.InjectSEL(c.SELAmps)
+	latched := Series{Name: fmt.Sprintf("under SEL (+%.2f A)", c.SELAmps)}
+	m.RunTrace(trace.Quiescent(rng, time.Minute, 10*time.Second), func(tel machine.Telemetry) {
+		latched.Add(tel.T.Seconds(), tel.RawA)
+		if tel.RawA > res.MaxLatchedA {
+			res.MaxLatchedA = tel.RawA
+		}
+	})
+	fig.Series = append(fig.Series, nominal, latched)
+	res.Fig = fig
+	res.CrossesNominal = res.MaxNominalA > res.ThresholdA
+	res.CrossesLatched = res.MaxLatchedA > res.ThresholdA
+	return res
+}
+
+// Fig5Result carries the Figure 5 correlation experiment.
+type Fig5Result struct {
+	Fig         *Figure
+	Correlation float64
+}
+
+// Fig5 reproduces the paper's Figure 5: a matrix-multiply workload
+// stepped across 0–4 cores and the DVFS range correlates ≈99.7 % with
+// measured current.
+func Fig5(c SELConfig) *Fig5Result {
+	m := machine.New(c.machineConfig(c.Seed + 9))
+	tr := trace.MatMulSteps(4, 600e6, 1.4e9, 100e6, 500*time.Millisecond)
+	fig := &Figure{
+		Title:  "Figure 5: current vs CPU activity under stepped matmul",
+		XLabel: "time (s)",
+		YLabel: "current (A) / instruction rate",
+	}
+	cur := Series{Name: "current (A)"}
+	instr := Series{Name: "instructions/s (×1e9)"}
+	var xs, ys []float64
+	m.RunTrace(tr, func(tel machine.Telemetry) {
+		cur.Add(tel.T.Seconds(), tel.CurrentA)
+		instr.Add(tel.T.Seconds(), tel.TotalInstrPerSec()/1e9)
+		xs = append(xs, tel.TotalInstrPerSec())
+		ys = append(ys, tel.CurrentA)
+	})
+	fig.Series = append(fig.Series, cur, instr)
+	return &Fig5Result{Fig: fig, Correlation: stats.Correlation(xs, ys)}
+}

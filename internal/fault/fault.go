@@ -1,0 +1,219 @@
+// Package fault models the space radiation environment and provides the
+// fault injectors the ground evaluation uses (the software analogue of
+// the paper's potentiometer for SELs and GDB/QEMU tool for SEUs).
+//
+// Two error classes matter to operators (paper §2):
+//
+//   - SEU: a transient single-bit flip in memory, cache, or pipeline
+//     state. MBUs (multi-bit upsets) flip two bits at once.
+//   - SEL: a latchup — a persistent, localized short-circuit that adds a
+//     small current draw and thermally destroys the chip in ~5 minutes
+//     unless power cycled. Modern process nodes produce micro-SELs as
+//     small as +0.07 A.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind is the class of radiation event.
+type Kind int
+
+const (
+	// SEU is a single-event upset: one bit flip.
+	SEU Kind = iota
+	// MBU is a multi-bit upset: two adjacent bit flips.
+	MBU
+	// SEL is a single-event latchup.
+	SEL
+)
+
+// String returns the event-kind name.
+func (k Kind) String() string {
+	switch k {
+	case SEU:
+		return "SEU"
+	case MBU:
+		return "MBU"
+	case SEL:
+		return "SEL"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled radiation strike.
+type Event struct {
+	T    time.Duration // offset from campaign start
+	Kind Kind
+	// Amps is the added latchup current for SEL events (zero otherwise).
+	Amps float64
+}
+
+// Environment describes radiation intensity for an orbit/location. Rates
+// are per-device expectations, matching how the paper reports them
+// (e.g. "1.6 bit flips per day on the Snapdragon 801").
+type Environment struct {
+	Name       string
+	SEUPerDay  float64 // expected upsets per day hitting the device
+	MBUFrac    float64 // fraction of upsets that are multi-bit
+	SELPerYear float64 // expected latchups per year
+	// SELAmpsMin/Max bound the uniform micro-latchup current increase.
+	SELAmpsMin float64
+	SELAmpsMax float64
+}
+
+// Preset environments. SEU rates follow the paper's CRÈME-MC-derived
+// figure for a Snapdragon-class SoC (1.6 bits/day in deep space); LEO
+// sits lower thanks to residual geomagnetic shielding; sea level is the
+// paper's 700,000× reduction.
+var (
+	DeepSpace = Environment{Name: "deep-space", SEUPerDay: 1.6, MBUFrac: 0.1, SELPerYear: 2.0, SELAmpsMin: 0.07, SELAmpsMax: 0.25}
+	LEO       = Environment{Name: "leo", SEUPerDay: 0.4, MBUFrac: 0.08, SELPerYear: 0.8, SELAmpsMin: 0.07, SELAmpsMax: 0.25}
+	Mars      = Environment{Name: "mars-surface", SEUPerDay: 1.0, MBUFrac: 0.1, SELPerYear: 1.2, SELAmpsMin: 0.07, SELAmpsMax: 0.25}
+	SeaLevel  = Environment{Name: "sea-level", SEUPerDay: 1.6 / 700000, MBUFrac: 0.02, SELPerYear: 0, SELAmpsMin: 0, SELAmpsMax: 0}
+)
+
+// Schedule draws a Poisson-process event timeline for the duration. The
+// returned events are sorted by time. Deterministic per rng seed.
+func (e Environment) Schedule(rng *rand.Rand, dur time.Duration) []Event {
+	var events []Event
+	day := float64(24 * time.Hour)
+	year := 365.25 * day
+
+	appendArrivals := func(ratePerNano float64, mk func() Event) {
+		if ratePerNano <= 0 {
+			return
+		}
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / ratePerNano
+			if t >= float64(dur) {
+				return
+			}
+			ev := mk()
+			ev.T = time.Duration(t)
+			events = append(events, ev)
+		}
+	}
+
+	appendArrivals(e.SEUPerDay/day, func() Event {
+		if rng.Float64() < e.MBUFrac {
+			return Event{Kind: MBU}
+		}
+		return Event{Kind: SEU}
+	})
+	appendArrivals(e.SELPerYear/year, func() Event {
+		amps := e.SELAmpsMin
+		if e.SELAmpsMax > e.SELAmpsMin {
+			amps += rng.Float64() * (e.SELAmpsMax - e.SELAmpsMin)
+		}
+		return Event{Kind: SEL, Amps: amps}
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events
+}
+
+// BitFlip addresses one bit inside a byte-addressed target.
+type BitFlip struct {
+	Offset uint64 // byte offset within the target
+	Bit    uint   // bit within the byte, 0..7
+}
+
+// RandomFlip draws a uniformly random bit position within size bytes.
+// It panics on size 0 — there is nothing to strike.
+func RandomFlip(rng *rand.Rand, size uint64) BitFlip {
+	if size == 0 {
+		panic("fault: RandomFlip over empty target")
+	}
+	return BitFlip{
+		Offset: uint64(rng.Int63n(int64(size))),
+		Bit:    uint(rng.Intn(8)),
+	}
+}
+
+// MBUFlips draws two adjacent-bit flips (same byte where possible),
+// modelling a multi-bit upset from a single particle track.
+func MBUFlips(rng *rand.Rand, size uint64) [2]BitFlip {
+	f := RandomFlip(rng, size)
+	second := BitFlip{Offset: f.Offset, Bit: (f.Bit + 1) % 8}
+	return [2]BitFlip{f, second}
+}
+
+// Flipper is anything whose stored bits a particle can strike.
+// mem.DRAM and mem.Storage satisfy it directly.
+type Flipper interface {
+	FlipBit(addr uint64, bit uint) error
+}
+
+// Inject applies a flip to a target at the given base address.
+func Inject(target Flipper, base uint64, f BitFlip) error {
+	return target.FlipBit(base+f.Offset, f.Bit)
+}
+
+// Outcome classifies the end state of one fault-injection run, the
+// categories of the paper's Table 7.
+type Outcome int
+
+const (
+	// Corrected: redundancy masked the fault; output correct, error
+	// observed and outvoted.
+	Corrected Outcome = iota
+	// NoEffect: the flip landed in dead data or was absorbed by ECC;
+	// output correct, nothing observed.
+	NoEffect
+	// DetectedError: the run failed visibly (crash, vote tie, ECC
+	// machine check) — recoverable by retry.
+	DetectedError
+	// SDC: silent data corruption — wrong output, no indication. The
+	// failure mode Radshield exists to prevent.
+	SDC
+)
+
+// String returns the Table 7 column name for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Corrected:
+		return "Corrected"
+	case NoEffect:
+		return "No Effect"
+	case DetectedError:
+		return "Error"
+	case SDC:
+		return "SDC"
+	default:
+		return "unknown"
+	}
+}
+
+// Tally accumulates outcomes across a campaign (one Table 7 row).
+type Tally struct {
+	Counts [4]int
+}
+
+// Add records one outcome.
+func (t *Tally) Add(o Outcome) {
+	if o < 0 || int(o) >= len(t.Counts) {
+		panic(fmt.Sprintf("fault: invalid outcome %d", o))
+	}
+	t.Counts[o]++
+}
+
+// Total returns the number of runs recorded.
+func (t *Tally) Total() int {
+	sum := 0
+	for _, c := range t.Counts {
+		sum += c
+	}
+	return sum
+}
+
+// String formats the tally as a Table 7 row fragment.
+func (t *Tally) String() string {
+	return fmt.Sprintf("Corrected=%d NoEffect=%d Error=%d SDC=%d",
+		t.Counts[Corrected], t.Counts[NoEffect], t.Counts[DetectedError], t.Counts[SDC])
+}

@@ -1,0 +1,286 @@
+// Package forest implements CART decision trees and random-forest
+// classification from scratch.
+//
+// It plays two roles in the reproduction:
+//
+//  1. The black-box baseline of Table 2: a random forest trained on
+//     current draw alone (the state of the art ILD is compared against,
+//     after Dorise et al.), which cannot distinguish compute-induced
+//     current from latchup current.
+//  2. The feature-selection step of §3.1: the paper chose ILD's Table 1
+//     counters by training a random forest on all candidate metrics and
+//     keeping the most important features; Forest.Importance reproduces
+//     that (mean Gini-decrease importance).
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls forest training.
+type Config struct {
+	Trees       int     // number of trees (default 50)
+	MaxDepth    int     // per-tree depth cap (default 12)
+	MinLeaf     int     // minimum samples per leaf (default 2)
+	FeatureFrac float64 // fraction of features tried per split (default sqrt(d)/d)
+	Seed        int64
+}
+
+func (c Config) withDefaults(d int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.FeatureFrac <= 0 || c.FeatureFrac > 1 {
+		c.FeatureFrac = math.Sqrt(float64(d)) / float64(d)
+	}
+	return c
+}
+
+type node struct {
+	feature int // -1 for leaf
+	thresh  float64
+	left    *node
+	right   *node
+	class   int // majority class at leaf
+}
+
+// Forest is a trained random-forest classifier.
+type Forest struct {
+	trees      []*node
+	classes    int
+	features   int
+	importance []float64
+}
+
+// Train fits a random forest on X (row-major) with integer class labels
+// 0..k-1. It panics on malformed input: training data is produced by
+// experiment code, not end users.
+func Train(X [][]float64, y []int, cfg Config) *Forest {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		panic(fmt.Sprintf("forest: %d samples vs %d labels", n, len(y)))
+	}
+	d := len(X[0])
+	classes := 0
+	for i, label := range y {
+		if len(X[i]) != d {
+			panic(fmt.Sprintf("forest: row %d has %d features, want %d", i, len(X[i]), d))
+		}
+		if label < 0 {
+			panic(fmt.Sprintf("forest: negative label %d", label))
+		}
+		if label+1 > classes {
+			classes = label + 1
+		}
+	}
+	cfg = cfg.withDefaults(d)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	f := &Forest{classes: classes, features: d, importance: make([]float64, d)}
+	mtry := int(math.Ceil(cfg.FeatureFrac * float64(d)))
+	if mtry < 1 {
+		mtry = 1
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tr := &trainer{
+			X: X, y: y, classes: classes, cfg: cfg, rng: rng,
+			mtry: mtry, importance: f.importance,
+		}
+		f.trees = append(f.trees, tr.build(idx, 0))
+	}
+	// Normalize importance to sum to 1 (when any split happened).
+	var total float64
+	for _, v := range f.importance {
+		total += v
+	}
+	if total > 0 {
+		for i := range f.importance {
+			f.importance[i] /= total
+		}
+	}
+	return f
+}
+
+type trainer struct {
+	X          [][]float64
+	y          []int
+	classes    int
+	cfg        Config
+	rng        *rand.Rand
+	mtry       int
+	importance []float64
+}
+
+func (t *trainer) build(idx []int, depth int) *node {
+	counts := make([]int, t.classes)
+	for _, i := range idx {
+		counts[t.y[i]]++
+	}
+	majority, best := 0, -1
+	pure := true
+	for c, k := range counts {
+		if k > best {
+			best, majority = k, c
+		}
+		if k != 0 && k != len(idx) {
+			pure = false
+		}
+	}
+	if pure || depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf {
+		return &node{feature: -1, class: majority}
+	}
+
+	parentGini := gini(counts, len(idx))
+	bestFeature, bestThresh := -1, 0.0
+	bestGain := 0.0
+	var bestLeft, bestRight []int
+
+	// Random feature subset.
+	feats := t.rng.Perm(len(t.X[0]))[:t.mtry]
+	for _, feat := range feats {
+		vals := make([]float64, len(idx))
+		for i, r := range idx {
+			vals[i] = t.X[r][feat]
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints of distinct adjacent values
+		// (subsampled for speed on large nodes).
+		stride := 1
+		if len(vals) > 64 {
+			stride = len(vals) / 64
+		}
+		for i := stride; i < len(vals); i += stride {
+			if vals[i] == vals[i-1] {
+				continue
+			}
+			thresh := (vals[i] + vals[i-1]) / 2
+			lc := make([]int, t.classes)
+			rc := make([]int, t.classes)
+			ln := 0
+			for _, r := range idx {
+				if t.X[r][feat] <= thresh {
+					lc[t.y[r]]++
+					ln++
+				} else {
+					rc[t.y[r]]++
+				}
+			}
+			rn := len(idx) - ln
+			if ln < t.cfg.MinLeaf || rn < t.cfg.MinLeaf {
+				continue
+			}
+			g := parentGini -
+				(float64(ln)*gini(lc, ln)+float64(rn)*gini(rc, rn))/float64(len(idx))
+			if g > bestGain {
+				bestGain, bestFeature, bestThresh = g, feat, thresh
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &node{feature: -1, class: majority}
+	}
+	for _, r := range idx {
+		if t.X[r][bestFeature] <= bestThresh {
+			bestLeft = append(bestLeft, r)
+		} else {
+			bestRight = append(bestRight, r)
+		}
+	}
+	t.importance[bestFeature] += bestGain * float64(len(idx))
+	return &node{
+		feature: bestFeature,
+		thresh:  bestThresh,
+		left:    t.build(bestLeft, depth+1),
+		right:   t.build(bestRight, depth+1),
+	}
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, k := range counts {
+		p := float64(k) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// Predict returns the majority vote of the trees for x.
+func (f *Forest) Predict(x []float64) int {
+	if len(x) != f.features {
+		panic(fmt.Sprintf("forest: Predict with %d features, model has %d", len(x), f.features))
+	}
+	votes := make([]int, f.classes)
+	for _, t := range f.trees {
+		votes[classify(t, x)]++
+	}
+	best, cls := -1, 0
+	for c, v := range votes {
+		if v > best {
+			best, cls = v, c
+		}
+	}
+	return cls
+}
+
+// PredictProb returns the fraction of trees voting for class 1 — useful
+// for threshold sweeps in detector comparisons.
+func (f *Forest) PredictProb(x []float64) float64 {
+	if f.classes < 2 {
+		return 0
+	}
+	ones := 0
+	for _, t := range f.trees {
+		if classify(t, x) == 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(f.trees))
+}
+
+func classify(n *node, x []float64) int {
+	for n.feature >= 0 {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+// Importance returns normalized per-feature Gini importance (sums to 1
+// when the forest made any split).
+func (f *Forest) Importance() []float64 {
+	return append([]float64(nil), f.importance...)
+}
+
+// TopFeatures returns the indices of the k most important features in
+// descending importance order — the paper's feature-selection step.
+func (f *Forest) TopFeatures(k int) []int {
+	idx := make([]int, f.features)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return f.importance[idx[a]] > f.importance[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

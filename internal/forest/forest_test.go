@@ -1,0 +1,179 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// separableDataset returns a 2D dataset where class = 1 iff x0 > 5.
+func separableDataset(rng *rand.Rand, n int) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64() * 10
+		x1 := rng.Float64() * 10 // noise feature
+		X[i] = []float64{x0, x1}
+		if x0 > 5 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestLearnsSeparableBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := separableDataset(rng, 500)
+	f := Train(X, y, Config{Trees: 20, Seed: 2})
+	correct := 0
+	for i := 0; i < 200; i++ {
+		x0 := rng.Float64() * 10
+		want := 0
+		if x0 > 5 {
+			want = 1
+		}
+		if f.Predict([]float64{x0, rng.Float64() * 10}) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Fatalf("accuracy = %.3f, want ≥0.95", acc)
+	}
+}
+
+func TestImportanceIdentifiesSignalFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := separableDataset(rng, 500)
+	f := Train(X, y, Config{Trees: 20, Seed: 4, FeatureFrac: 1})
+	imp := f.Importance()
+	if imp[0] <= imp[1] {
+		t.Fatalf("importance = %v, want feature 0 dominant", imp)
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("importance sum = %v, want 1", sum)
+	}
+	top := f.TopFeatures(1)
+	if len(top) != 1 || top[0] != 0 {
+		t.Fatalf("TopFeatures = %v, want [0]", top)
+	}
+}
+
+func TestTopFeaturesClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := separableDataset(rng, 100)
+	f := Train(X, y, Config{Trees: 5, Seed: 6})
+	if got := f.TopFeatures(10); len(got) != 2 {
+		t.Fatalf("TopFeatures(10) len = %d, want 2", len(got))
+	}
+}
+
+func TestPredictProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := separableDataset(rng, 400)
+	f := Train(X, y, Config{Trees: 21, Seed: 8})
+	if p := f.PredictProb([]float64{9.5, 5}); p < 0.8 {
+		t.Errorf("PredictProb(clear positive) = %v, want high", p)
+	}
+	if p := f.PredictProb([]float64{0.5, 5}); p > 0.2 {
+		t.Errorf("PredictProb(clear negative) = %v, want low", p)
+	}
+}
+
+func TestPureNodeShortCircuits(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{0, 0, 0}
+	f := Train(X, y, Config{Trees: 3, Seed: 1})
+	if got := f.Predict([]float64{99}); got != 0 {
+		t.Fatalf("single-class forest predicted %d", got)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	// With MinLeaf = n, no split is legal: the tree must be a leaf that
+	// predicts the majority class everywhere.
+	X := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}}
+	y := []int{0, 0, 0, 0, 1, 1}
+	f := Train(X, y, Config{Trees: 5, MinLeaf: 6, Seed: 2})
+	for _, v := range []float64{0, 5} {
+		if got := f.Predict([]float64{v}); got != 0 {
+			t.Fatalf("Predict(%v) = %d, want majority 0", v, got)
+		}
+	}
+}
+
+func TestTrainPanicsOnMalformedInput(t *testing.T) {
+	cases := []func(){
+		func() { Train(nil, nil, Config{}) },
+		func() { Train([][]float64{{1}}, []int{0, 1}, Config{}) },
+		func() { Train([][]float64{{1}, {1, 2}}, []int{0, 1}, Config{}) },
+		func() { Train([][]float64{{1}}, []int{-1}, Config{}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPredictDimensionPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X, y := separableDataset(rng, 50)
+	f := Train(X, y, Config{Trees: 3, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	f.Predict([]float64{1})
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := separableDataset(rng, 300)
+	a := Train(X, y, Config{Trees: 10, Seed: 42})
+	b := Train(X, y, Config{Trees: 10, Seed: 42})
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i) / 5, float64(50-i) / 5}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed forests diverged")
+		}
+	}
+}
+
+func TestMulticlass(t *testing.T) {
+	// Three bands on one feature.
+	rng := rand.New(rand.NewSource(13))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 600; i++ {
+		v := rng.Float64() * 30
+		X = append(X, []float64{v})
+		y = append(y, int(v/10))
+	}
+	f := Train(X, y, Config{Trees: 25, Seed: 3})
+	cases := map[float64]int{2: 0, 15: 1, 28: 2}
+	for v, want := range cases {
+		if got := f.Predict([]float64{v}); got != want {
+			t.Errorf("Predict(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := separableDataset(rng, 1000)
+	f := Train(X, y, Config{Trees: 50, Seed: 1})
+	x := []float64{3.3, 7.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Predict(x)
+	}
+}

@@ -1,0 +1,83 @@
+package ild
+
+import (
+	"time"
+
+	"radshield/internal/trace"
+)
+
+// BubblePolicy controls quiescence injection during long-running jobs
+// (paper §3.1, "injecting quiescent time during long jobs").
+type BubblePolicy struct {
+	// BubbleLen is the injected quiescent span (paper: 3 s).
+	BubbleLen time.Duration
+	// Pause is the bubble-free period after a clean bubble (paper: 3 min).
+	Pause time.Duration
+}
+
+// DefaultBubblePolicy returns the paper's 3 s / 180 s cadence.
+func DefaultBubblePolicy() BubblePolicy {
+	return BubblePolicy{BubbleLen: 3 * time.Second, Pause: 3 * time.Minute}
+}
+
+// OverheadFraction returns the worst-case runtime overhead when every
+// quiescent period must be induced: BubbleLen per Pause of compute
+// (paper: 3 s per 180 s ≈ 2 %).
+func (p BubblePolicy) OverheadFraction() float64 {
+	if p.Pause <= 0 {
+		return 0
+	}
+	return float64(p.BubbleLen) / float64(p.Pause)
+}
+
+// WorstCaseOverheadPerHour returns Table 3's two numbers: seconds of
+// overhead added to each hour of compute by measurement bubbles alone,
+// and with one false-positive reboot of the given cost added on top.
+func (p BubblePolicy) WorstCaseOverheadPerHour(rebootCost time.Duration) (measurement, withReboot time.Duration) {
+	measurement = time.Duration(p.OverheadFraction() * float64(time.Hour))
+	return measurement, measurement + rebootCost
+}
+
+// InjectBubbles rewrites a trace, splitting workload segments so that a
+// quiescent bubble appears after every Pause of continuous workload
+// time. Quiescent stretches already present reset the countdown — the
+// paper only induces quiescence "in case such quiescence has not occurred
+// naturally".
+func InjectBubbles(tr *trace.Trace, p BubblePolicy) *trace.Trace {
+	if p.BubbleLen <= 0 || p.Pause <= 0 {
+		out := &trace.Trace{}
+		return out.Append(tr.Segments...)
+	}
+	out := &trace.Trace{}
+	sinceBubble := time.Duration(0)
+	for _, seg := range tr.Segments {
+		if seg.Kind != trace.Workload {
+			// Natural quiescence long enough to measure in counts as a
+			// bubble opportunity; short blips do not.
+			if seg.Duration >= p.BubbleLen {
+				sinceBubble = 0
+			}
+			out.Append(seg)
+			continue
+		}
+		remaining := seg.Duration
+		for remaining > 0 {
+			untilBubble := p.Pause - sinceBubble
+			if untilBubble <= 0 {
+				out.Append(trace.Segment{Duration: p.BubbleLen, Kind: trace.Idle})
+				sinceBubble = 0
+				continue
+			}
+			span := remaining
+			if span > untilBubble {
+				span = untilBubble
+			}
+			part := seg
+			part.Duration = span
+			out.Append(part)
+			remaining -= span
+			sinceBubble += span
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package ild
+
+import (
+	"fmt"
+	"time"
+
+	"radshield/internal/linmodel"
+	"radshield/internal/machine"
+	"radshield/internal/stats"
+)
+
+// Config holds ILD's tuning parameters. Defaults are the paper's
+// experimentally-determined values.
+type Config struct {
+	// ThresholdA flags an SEL when the running-average difference between
+	// measured and predicted current exceeds it (paper: 0.055 A, swept
+	// over 0.04–0.08 A in 0.005 A increments).
+	ThresholdA float64
+	// SustainFor is how long the excess must persist (paper: 3 s).
+	SustainFor time.Duration
+	// SampleEvery is the telemetry cadence, used to size the averaging
+	// window (paper: 1 ms).
+	SampleEvery time.Duration
+	// QuiescentInstrPerSec is the CPU-load gate: the system counts as
+	// quiescent when the summed instruction rate is below it. Housekeeping
+	// tasks sit well below, payload workloads well above.
+	QuiescentInstrPerSec float64
+	// DetectionWindow is the required detection latency (paper: 3 min,
+	// against a ~5 min thermal damage horizon).
+	DetectionWindow time.Duration
+	// AdaptRate, when positive, lets the detector track slow baseline
+	// drift (thermal cycles, component aging) by nudging the model
+	// intercept toward small residuals: intercept += AdaptRate × diff per
+	// quiescent sample, but only while |diff| < ThresholdA/2 so a genuine
+	// latchup step is never absorbed. Zero disables adaptation (the
+	// paper's fixed ground-trained model).
+	AdaptRate float64
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		ThresholdA:           0.055,
+		SustainFor:           3 * time.Second,
+		SampleEvery:          time.Millisecond,
+		QuiescentInstrPerSec: 3e8,
+		DetectionWindow:      3 * time.Minute,
+	}
+}
+
+// Detector is a trained ILD instance. Feed it telemetry samples in
+// order; it reports when an SEL should be declared.
+type Detector struct {
+	cfg    Config
+	model  *linmodel.Model
+	window *stats.WindowMean
+	// appSignal is the application's explicit quiescence declaration
+	// (paper §3.1: "applications may also signal to ILD when they are no
+	// longer processing data"): unset → infer from CPU load; set → trust
+	// the application.
+	appSignal    bool
+	appQuiescent bool
+}
+
+// SignalQuiescent lets the running application declare whether it is
+// processing data. While a signal is asserted it overrides the CPU-load
+// heuristic: a `true` lets ILD measure immediately after the app parks
+// (even if background activity muddies the load estimate), a `false`
+// keeps measurements gated during phases the heuristic might misread.
+func (d *Detector) SignalQuiescent(quiescent bool) {
+	d.appSignal = true
+	d.appQuiescent = quiescent
+}
+
+// ClearSignal reverts to CPU-load-based quiescence inference.
+func (d *Detector) ClearSignal() { d.appSignal = false }
+
+// NewDetector builds a detector from a trained current model. The config
+// must use the same telemetry cadence the model was trained at.
+func NewDetector(model *linmodel.Model, cfg Config) *Detector {
+	if cfg.ThresholdA <= 0 {
+		panic(fmt.Sprintf("ild: ThresholdA = %v, want > 0", cfg.ThresholdA))
+	}
+	if cfg.SustainFor <= 0 || cfg.SampleEvery <= 0 {
+		panic("ild: SustainFor and SampleEvery must be positive")
+	}
+	n := int(cfg.SustainFor / cfg.SampleEvery)
+	if n < 1 {
+		n = 1
+	}
+	return &Detector{cfg: cfg, model: model, window: stats.NewWindowMean(n)}
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Model exposes the fitted current model (telemetry downlink includes
+// its coefficients; ablations rebuild detectors around it).
+func (d *Detector) Model() *linmodel.Model { return d.model }
+
+// Quiescent reports whether the sample shows a quiescent system — the
+// only state ILD trusts for detection (paper: workload current variance
+// is two orders of magnitude above a micro-SEL). An asserted application
+// signal takes precedence over the CPU-load heuristic.
+func (d *Detector) Quiescent(tel machine.Telemetry) bool {
+	if d.appSignal {
+		return d.appQuiescent
+	}
+	return tel.TotalInstrPerSec() < d.cfg.QuiescentInstrPerSec
+}
+
+// Observe consumes one telemetry sample and reports whether an SEL is
+// declared at this instant. Non-quiescent samples reset the averaging
+// window: measurements taken under load are never used.
+func (d *Detector) Observe(tel machine.Telemetry) bool {
+	if !d.Quiescent(tel) {
+		d.window.Reset()
+		return false
+	}
+	diff := tel.CurrentA - d.model.Predict(Features(tel))
+	d.window.Add(diff)
+	// Drift adaptation: only small residuals train the intercept, so a
+	// latchup's step change is never learned away.
+	if d.cfg.AdaptRate > 0 && diff < d.cfg.ThresholdA/2 && diff > -d.cfg.ThresholdA/2 {
+		d.model.Intercept += d.cfg.AdaptRate * diff
+	}
+	return d.window.Full() && d.window.Mean() > d.cfg.ThresholdA
+}
+
+// Residual returns the current running-average difference (measured −
+// predicted); useful for telemetry downlink and debugging.
+func (d *Detector) Residual() float64 { return d.window.Mean() }
+
+// Reset clears the averaging window (used after a power cycle).
+func (d *Detector) Reset() { d.window.Reset() }
+
+// Trainer accumulates quiescent training samples and fits the linear
+// model. Satellite operators run this on the ground twin before launch
+// (paper §3.1, "training a model to detect SELs").
+type Trainer struct {
+	cfg Config
+	X   [][]float64
+	y   []float64
+}
+
+// NewTrainer returns a Trainer with the given config.
+func NewTrainer(cfg Config) *Trainer { return &Trainer{cfg: cfg} }
+
+// Add records one telemetry sample if it is quiescent; it reports
+// whether the sample was used.
+func (t *Trainer) Add(tel machine.Telemetry) bool {
+	if tel.TotalInstrPerSec() >= t.cfg.QuiescentInstrPerSec {
+		return false
+	}
+	t.X = append(t.X, Features(tel))
+	t.y = append(t.y, tel.CurrentA)
+	return true
+}
+
+// Samples returns how many training samples were collected.
+func (t *Trainer) Samples() int { return len(t.X) }
+
+// Fit trains the current model. A small ridge keeps the system solvable
+// when some counters are constant during quiescence (e.g. idle cores
+// pinned to the same frequency).
+func (t *Trainer) Fit() (*Detector, error) {
+	if len(t.X) == 0 {
+		return nil, fmt.Errorf("ild: no quiescent training samples collected")
+	}
+	model, err := linmodel.Fit(t.X, t.y, 1e-6)
+	if err != nil {
+		return nil, fmt.Errorf("ild: training failed: %w", err)
+	}
+	return NewDetector(model, t.cfg), nil
+}

@@ -1,0 +1,197 @@
+package ild
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"radshield/internal/machine"
+	"radshield/internal/trace"
+)
+
+// trainedDetector builds a machine and an ILD detector trained on a
+// quiescent ground trace, mirroring the pre-launch procedure.
+func trainedDetector(t *testing.T, seed int64) (*machine.Machine, *Detector) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.SensorSeed = seed
+	m := machine.New(cfg)
+	trainer := NewTrainer(DefaultConfig())
+	rng := rand.New(rand.NewSource(seed))
+	tr := trace.Quiescent(rng, 30*time.Second, 5*time.Second)
+	m.RunTrace(tr, func(tel machine.Telemetry) { trainer.Add(tel) })
+	if trainer.Samples() < 1000 {
+		t.Fatalf("only %d training samples", trainer.Samples())
+	}
+	det, err := trainer.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, det
+}
+
+func TestNoFalseAlarmDuringCleanQuiescence(t *testing.T) {
+	m, det := trainedDetector(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	tr := trace.Quiescent(rng, 60*time.Second, 5*time.Second)
+	alarms := 0
+	m.RunTrace(tr, func(tel machine.Telemetry) {
+		if det.Observe(tel) {
+			alarms++
+		}
+	})
+	if alarms != 0 {
+		t.Fatalf("clean quiescence produced %d alarm samples", alarms)
+	}
+}
+
+func TestDetectsMicroSELWithinSustainWindow(t *testing.T) {
+	m, det := trainedDetector(t, 3)
+	m.InjectSEL(0.07)
+	rng := rand.New(rand.NewSource(4))
+	tr := trace.Quiescent(rng, 30*time.Second, 5*time.Second)
+	var firstAlarm time.Duration = -1
+	start := m.Clock().Now()
+	m.RunTrace(tr, func(tel machine.Telemetry) {
+		if firstAlarm < 0 && det.Observe(tel) {
+			firstAlarm = tel.T - start
+		}
+	})
+	if firstAlarm < 0 {
+		t.Fatal("+0.07 A SEL never detected")
+	}
+	// Window must fill (3 s) before a flag; detection should follow
+	// almost immediately after.
+	if firstAlarm < det.Config().SustainFor || firstAlarm > det.Config().SustainFor+5*time.Second {
+		t.Fatalf("first alarm at %v, want shortly after %v", firstAlarm, det.Config().SustainFor)
+	}
+}
+
+func TestIgnoresSELBelowThresholdMargin(t *testing.T) {
+	// A +0.03 A excess sits below the 0.055 A decision threshold: the
+	// detector must stay quiet (the paper tunes the threshold to trade
+	// exactly this off; real SELs are ≥0.07 A).
+	m, det := trainedDetector(t, 5)
+	m.InjectSEL(0.03)
+	rng := rand.New(rand.NewSource(6))
+	alarms := 0
+	m.RunTrace(trace.Quiescent(rng, 20*time.Second, 5*time.Second), func(tel machine.Telemetry) {
+		if det.Observe(tel) {
+			alarms++
+		}
+	})
+	if alarms != 0 {
+		t.Fatalf("sub-threshold SEL produced %d alarms", alarms)
+	}
+}
+
+func TestWorkloadGatesDetection(t *testing.T) {
+	// Under load the detector must neither alarm nor accumulate window
+	// state — even with an active SEL (it waits for quiescence).
+	m, det := trainedDetector(t, 7)
+	m.InjectSEL(0.07)
+	rng := rand.New(rand.NewSource(8))
+	busy := trace.Burst(rng, 10*time.Second, 4)
+	alarmsUnderLoad := 0
+	m.RunTrace(busy, func(tel machine.Telemetry) {
+		if det.Observe(tel) {
+			alarmsUnderLoad++
+		}
+	})
+	if alarmsUnderLoad != 0 {
+		t.Fatalf("alarms under load: %d", alarmsUnderLoad)
+	}
+	// Once the workload ends, quiescence exposes the latchup.
+	detected := false
+	m.RunTrace(trace.Quiescent(rng, 10*time.Second, 5*time.Second), func(tel machine.Telemetry) {
+		if det.Observe(tel) {
+			detected = true
+		}
+	})
+	if !detected {
+		t.Fatal("SEL not detected after workload ended")
+	}
+}
+
+func TestHousekeepingBlipsDoNotAlarm(t *testing.T) {
+	// Frequent housekeeping (the system-task current spikes that defeat
+	// black-box detectors) must be explained away by the counter model.
+	m, det := trainedDetector(t, 9)
+	rng := rand.New(rand.NewSource(10))
+	tr := trace.Quiescent(rng, 60*time.Second, time.Second) // blip every ~1 s
+	alarms := 0
+	m.RunTrace(tr, func(tel machine.Telemetry) {
+		if det.Observe(tel) {
+			alarms++
+		}
+	})
+	if alarms != 0 {
+		t.Fatalf("housekeeping produced %d alarms", alarms)
+	}
+}
+
+func TestResidualAndReset(t *testing.T) {
+	m, det := trainedDetector(t, 11)
+	m.InjectSEL(0.07)
+	rng := rand.New(rand.NewSource(12))
+	m.RunTrace(trace.Quiescent(rng, 5*time.Second, 2*time.Second), func(tel machine.Telemetry) {
+		det.Observe(tel)
+	})
+	if r := det.Residual(); r < 0.05 {
+		t.Fatalf("residual = %v, want ≈0.07", r)
+	}
+	det.Reset()
+	if det.Residual() != 0 {
+		t.Fatal("Reset did not clear residual")
+	}
+}
+
+func TestTrainerRejectsBusySamples(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m := machine.New(cfg)
+	trainer := NewTrainer(DefaultConfig())
+	rng := rand.New(rand.NewSource(13))
+	used := 0
+	m.RunTrace(trace.Burst(rng, 2*time.Second, 4), func(tel machine.Telemetry) {
+		if trainer.Add(tel) {
+			used++
+		}
+	})
+	if used != 0 {
+		t.Fatalf("trainer accepted %d busy samples", used)
+	}
+	if _, err := trainer.Fit(); err == nil {
+		t.Fatal("Fit with no samples succeeded")
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{ThresholdA: 0, SustainFor: time.Second, SampleEvery: time.Millisecond},
+		{ThresholdA: 0.05, SustainFor: 0, SampleEvery: time.Millisecond},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewDetector(nil, cfg)
+		}()
+	}
+}
+
+func TestFeatureVectorShape(t *testing.T) {
+	tel := machine.Telemetry{PerCore: make([]machine.CoreTelemetry, 4)}
+	f := Features(tel)
+	if len(f) != FeatureDim(4) {
+		t.Fatalf("feature dim = %d, want %d", len(f), FeatureDim(4))
+	}
+	names := FeatureNames(4)
+	if len(names) != len(f) {
+		t.Fatalf("names (%d) and features (%d) disagree", len(names), len(f))
+	}
+	if names[0] != "core0.instr_per_sec" || names[len(names)-1] != "disk_writes_per_sec" {
+		t.Fatalf("unexpected names: %v", names)
+	}
+}

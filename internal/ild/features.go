@@ -1,0 +1,68 @@
+// Package ild implements the Idle Latchup Detector, Radshield's white-box
+// SEL mitigation (paper §3.1), together with the black-box baselines it
+// is evaluated against (static current thresholds and a current-only
+// random forest, paper §4.1.2).
+//
+// ILD's pipeline:
+//
+//	telemetry (counters + current) → quiescence gate → linear model
+//	predicts expected current → running-average of (measured − predicted)
+//	over 3 s → flag SEL when the average exceeds 0.055 A → power cycle.
+//
+// During long workloads, quiescent "bubbles" are injected so detection
+// opportunities exist at least once per pause period (worst case 2 %
+// runtime overhead).
+package ild
+
+import (
+	"radshield/internal/machine"
+)
+
+// FeatureNames returns human-readable labels for the feature vector of a
+// machine with n cores, for reports and feature-importance tables.
+func FeatureNames(cores int) []string {
+	var names []string
+	for i := 0; i < cores; i++ {
+		prefix := "core" + string(rune('0'+i)) + "."
+		names = append(names,
+			prefix+"instr_per_sec",
+			prefix+"bus_cycles_per_sec",
+			prefix+"freq_hz",
+			prefix+"branch_miss_rate",
+			prefix+"cache_hit_rate",
+		)
+	}
+	return append(names, "disk_reads_per_sec", "disk_writes_per_sec")
+}
+
+// FeaturesPerCore is the number of per-core metrics in the vector.
+const FeaturesPerCore = 5
+
+// extraFeatures is the number of board-wide metrics (disk read, disk
+// write).
+const extraFeatures = 2
+
+// FeatureDim returns the feature-vector length for a core count.
+func FeatureDim(cores int) int { return cores*FeaturesPerCore + extraFeatures }
+
+// Features converts one telemetry sample into the model input vector —
+// the paper's Table 1 metric set: per-core instruction completion rate,
+// bus cycle rate, CPU frequency, branch miss rate and cache hit rate,
+// plus disk read/write IO counts.
+//
+// Rates are scaled to keep the normal-equation system well conditioned
+// (instruction rates are ~1e9 while ratios are ~1e-2).
+func Features(tel machine.Telemetry) []float64 {
+	out := make([]float64, 0, FeatureDim(len(tel.PerCore)))
+	for _, c := range tel.PerCore {
+		out = append(out,
+			c.InstrPerSec/1e9,
+			c.BusCyclesPerSec/1e9,
+			c.FreqHz/1e9,
+			c.BranchMissRate,
+			c.CacheHitRate,
+		)
+	}
+	out = append(out, tel.DiskReadPerSec/1e3, tel.DiskWritePerSec/1e3)
+	return out
+}

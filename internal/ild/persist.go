@@ -1,0 +1,98 @@
+package ild
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"radshield/internal/linmodel"
+)
+
+// Model persistence: operators train ILD on the ground twin before
+// launch (paper §3.1) and must carry the fitted coefficients to the
+// flight computer — and later re-uplink refreshed coefficients over a
+// radiation-exposed, bandwidth-starved command link. The wire format is
+// therefore fixed-layout binary with a CRC, not a schema-bearing
+// encoding: 8 + 8 + 8·(1+len(weights)) + 4 bytes total.
+//
+// Layout (big-endian):
+//
+//	magic "ILDMDL01" | u64 weight count | f64 intercept | f64 weights… | u32 CRC32(all prior bytes)
+
+const persistMagic = "ILDMDL01"
+
+// ErrBadModelBlob is wrapped by DecodeModel errors.
+var ErrBadModelBlob = fmt.Errorf("ild: malformed model blob")
+
+// EncodeModel serializes a fitted current model for uplink.
+func EncodeModel(m *linmodel.Model) []byte {
+	n := len(m.Weights)
+	buf := make([]byte, 0, 8+8+8*(n+1)+4)
+	buf = append(buf, persistMagic...)
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], uint64(n))
+	buf = append(buf, u[:]...)
+	binary.BigEndian.PutUint64(u[:], math.Float64bits(m.Intercept))
+	buf = append(buf, u[:]...)
+	for _, w := range m.Weights {
+		binary.BigEndian.PutUint64(u[:], math.Float64bits(w))
+		buf = append(buf, u[:]...)
+	}
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], crc32.ChecksumIEEE(buf))
+	return append(buf, c[:]...)
+}
+
+// DecodeModel parses and verifies an uplinked model blob.
+func DecodeModel(blob []byte) (*linmodel.Model, error) {
+	if len(blob) < len(persistMagic)+8+8+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadModelBlob, len(blob))
+	}
+	body, crc := blob[:len(blob)-4], binary.BigEndian.Uint32(blob[len(blob)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch (corrupted in transit?)", ErrBadModelBlob)
+	}
+	if string(body[:8]) != persistMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadModelBlob, body[:8])
+	}
+	n := binary.BigEndian.Uint64(body[8:16])
+	want := 16 + 8*(1+int(n))
+	if uint64(len(body)) != uint64(want) || n > 1<<16 {
+		return nil, fmt.Errorf("%w: %d weights in %d bytes", ErrBadModelBlob, n, len(body))
+	}
+	m := &linmodel.Model{
+		Intercept: math.Float64frombits(binary.BigEndian.Uint64(body[16:24])),
+		Weights:   make([]float64, n),
+	}
+	for i := range m.Weights {
+		off := 24 + i*8
+		m.Weights[i] = math.Float64frombits(binary.BigEndian.Uint64(body[off : off+8]))
+	}
+	for _, v := range append([]float64{m.Intercept}, m.Weights...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite coefficient", ErrBadModelBlob)
+		}
+	}
+	return m, nil
+}
+
+// Export serializes this detector's model for downlink/archival.
+func (d *Detector) Export() []byte { return EncodeModel(d.model) }
+
+// RestoreDetector rebuilds a detector from an uplinked model blob and a
+// flight configuration.
+func RestoreDetector(blob []byte, cfg Config) (*Detector, error) {
+	m, err := DecodeModel(blob)
+	if err != nil {
+		return nil, err
+	}
+	return NewDetector(m, cfg), nil
+}
+
+// SizeForCores returns the blob size for a board with the given core
+// count — operators budget uplink windows in bytes (a 4-core model is
+// 204 bytes, a fraction of one command frame).
+func SizeForCores(cores int) int {
+	return 8 + 8 + 8*(1+FeatureDim(cores)) + 4
+}

@@ -1,0 +1,82 @@
+package ild
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"radshield/internal/linmodel"
+	"radshield/internal/machine"
+	"radshield/internal/trace"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	_, det := trainedDetector(t, 71)
+	blob := det.Export()
+	if len(blob) != SizeForCores(4) {
+		t.Fatalf("blob size %d, want %d", len(blob), SizeForCores(4))
+	}
+	restored, err := RestoreDetector(blob, det.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, back := det.Model(), restored.Model()
+	if orig.Intercept != back.Intercept {
+		t.Fatalf("intercept %v vs %v", orig.Intercept, back.Intercept)
+	}
+	for i := range orig.Weights {
+		if orig.Weights[i] != back.Weights[i] {
+			t.Fatalf("weight %d differs", i)
+		}
+	}
+}
+
+func TestRestoredDetectorStillDetects(t *testing.T) {
+	m, det := trainedDetector(t, 72)
+	restored, err := RestoreDetector(det.Export(), det.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectSEL(0.08)
+	rng := rand.New(rand.NewSource(73))
+	detected := false
+	m.RunTrace(trace.Quiescent(rng, 15*time.Second, 10*time.Second), func(tel machine.Telemetry) {
+		if restored.Observe(tel) {
+			detected = true
+		}
+	})
+	if !detected {
+		t.Fatal("restored detector missed the SEL")
+	}
+}
+
+func TestDecodeModelRejectsCorruption(t *testing.T) {
+	_, det := trainedDetector(t, 74)
+	blob := det.Export()
+
+	cases := map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:10] },
+		"flipped bit":  func(b []byte) []byte { c := append([]byte(nil), b...); c[20] ^= 4; return c },
+		"bad magic":    func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"crc clobber":  func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)-1] ^= 1; return c },
+		"length lying": func(b []byte) []byte { c := append([]byte(nil), b...); c[15] = 99; return c },
+	}
+	for name, corrupt := range cases {
+		if _, err := DecodeModel(corrupt(blob)); !errors.Is(err, ErrBadModelBlob) {
+			t.Errorf("%s: err = %v, want ErrBadModelBlob", name, err)
+		}
+	}
+}
+
+func TestDecodeModelRejectsNonFinite(t *testing.T) {
+	bad := EncodeModel(&linmodel.Model{Weights: []float64{1, math.NaN()}, Intercept: 0.5})
+	if _, err := DecodeModel(bad); !errors.Is(err, ErrBadModelBlob) {
+		t.Fatalf("NaN model accepted: %v", err)
+	}
+	inf := EncodeModel(&linmodel.Model{Weights: []float64{1}, Intercept: math.Inf(1)})
+	if _, err := DecodeModel(inf); !errors.Is(err, ErrBadModelBlob) {
+		t.Fatalf("Inf model accepted: %v", err)
+	}
+}

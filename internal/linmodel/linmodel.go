@@ -1,0 +1,162 @@
+// Package linmodel implements ordinary/ridge least-squares linear
+// regression, solved by normal equations with Gaussian elimination.
+//
+// This is the model ILD settled on after rejecting heavier classifiers
+// (paper §3.1: "we adopted a simple linear model which was both efficient
+// and accurate"): current_draw ≈ w · features + b, trained on quiescent
+// ground data before launch, evaluated every millisecond on orbit.
+package linmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear regression.
+type Model struct {
+	Weights   []float64
+	Intercept float64
+}
+
+// ErrSingular is returned when the normal-equation system cannot be
+// solved (e.g. perfectly collinear features and no ridge penalty).
+var ErrSingular = errors.New("linmodel: singular system; add ridge regularization or drop collinear features")
+
+// Fit solves min_w Σ (y - Xw - b)² + ridge·‖w‖². X is row-major samples ×
+// features; all rows must share a length. ridge ≥ 0 (the intercept is not
+// penalized).
+func Fit(X [][]float64, y []float64, ridge float64) (*Model, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("linmodel: %d samples vs %d targets", n, len(y))
+	}
+	d := len(X[0])
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("linmodel: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("linmodel: negative ridge %v", ridge)
+	}
+
+	// Augment with an intercept column: solve (A'A + λI*) w = A'y where
+	// A = [X | 1] and λ is zero on the intercept diagonal entry.
+	k := d + 1
+	ata := make([][]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k)
+	}
+	aty := make([]float64, k)
+	for r := 0; r < n; r++ {
+		for i := 0; i < k; i++ {
+			xi := 1.0
+			if i < d {
+				xi = X[r][i]
+			}
+			aty[i] += xi * y[r]
+			for j := i; j < k; j++ {
+				xj := 1.0
+				if j < d {
+					xj = X[r][j]
+				}
+				ata[i][j] += xi * xj
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	for i := 0; i < d; i++ {
+		ata[i][i] += ridge
+	}
+
+	w, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Weights: w[:d], Intercept: w[d]}, nil
+}
+
+// Predict evaluates the model on one feature vector. It panics on a
+// dimension mismatch: feature plumbing bugs should fail loudly in tests.
+func (m *Model) Predict(x []float64) float64 {
+	if len(x) != len(m.Weights) {
+		panic(fmt.Sprintf("linmodel: Predict with %d features, model has %d", len(x), len(m.Weights)))
+	}
+	sum := m.Intercept
+	for i, w := range m.Weights {
+		sum += w * x[i]
+	}
+	return sum
+}
+
+// PredictBatch evaluates the model over many rows.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// RMSE returns the root-mean-square prediction error over a dataset.
+func (m *Model) RMSE(X [][]float64, y []float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, row := range X {
+		e := m.Predict(row) - y[i]
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(len(X)))
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// (a, b), returning x with a·x = b.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies: callers may reuse their matrices.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= m[col][c] * x[c]
+		}
+		x[col] = sum / m[col][col]
+	}
+	return x, nil
+}

@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAccessors(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	if m.Config().Cores != cfg.Cores {
+		t.Fatal("Config accessor")
+	}
+	if m.Sensor() == nil {
+		t.Fatal("Sensor accessor")
+	}
+}
+
+func TestClearSELLeavesCountersAlone(t *testing.T) {
+	m := New(DefaultConfig())
+	m.InjectSEL(0.07)
+	m.Step(time.Second)
+	cyclesBefore := m.cores[0].Counters().Cycles
+	m.ClearSEL()
+	if m.SELActive() {
+		t.Fatal("ClearSEL did not clear")
+	}
+	if m.PowerCycles() != 0 {
+		t.Fatal("ClearSEL counted as a power cycle")
+	}
+	if got := m.cores[0].Counters().Cycles; got != cyclesBefore {
+		t.Fatal("ClearSEL disturbed counters")
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FilterK = 0
+	cfg.SupplyVoltage = 0
+	m := New(cfg)
+	if m.cfg.FilterK != 1 {
+		t.Fatalf("FilterK default = %d, want 1", m.cfg.FilterK)
+	}
+	if m.cfg.SupplyVoltage != 5.0 {
+		t.Fatalf("SupplyVoltage default = %v, want 5.0", m.cfg.SupplyVoltage)
+	}
+}
+
+func TestNewRejectsZeroSampleInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleEvery=0 accepted")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.SampleEvery = 0
+	New(cfg)
+}
+
+func TestClampF(t *testing.T) {
+	if clampF(5, 1, 10) != 5 || clampF(0, 1, 10) != 1 || clampF(20, 1, 10) != 10 {
+		t.Fatal("clampF")
+	}
+}

@@ -1,0 +1,382 @@
+// Package machine assembles the simulated spacecraft computer that the
+// SEL experiments run on: CPU cores (package cpu), the current model and
+// sensor (package power), disk IO rates, a DVFS governor, and a
+// latchup/thermal state machine — the software analogue of the paper's
+// Raspberry Pi Zero 2 W testbed with its INA3221 current monitor and the
+// potentiometer used to emulate latchups.
+//
+// The machine plays activity traces (package trace) and emits Telemetry
+// samples — exactly the (performance counters, measured current) pairs
+// ILD consumes. Time is simulated (package simclock), so the paper's
+// 960-hour campaign runs in seconds.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"radshield/internal/cpu"
+	"radshield/internal/power"
+	"radshield/internal/simclock"
+	"radshield/internal/trace"
+)
+
+// Config describes the board.
+type Config struct {
+	Cores       int
+	MinFreqHz   float64 // DVFS floor
+	MaxFreqHz   float64 // DVFS ceiling
+	Power       power.Params
+	SensorSeed  int64
+	SampleEvery time.Duration // telemetry cadence (paper: 1 ms)
+	FilterK     int           // raw draws folded into the rolling-min filtered reading
+	// Governor enables ondemand-style DVFS: when a trace segment does not
+	// pin a frequency, the core frequency tracks its utilisation.
+	Governor bool
+	// SELDamageAfter is how long an uncleared latchup takes to destroy
+	// the chip (paper: ≈5 minutes of localized heating).
+	SELDamageAfter time.Duration
+	// SupplyVoltage is used for energy integration (W = V·I).
+	SupplyVoltage float64
+	// AutoSupplyTrip enables the power supply's own over-current
+	// protection (paper §3.1: "larger current spikes on the order of 1A
+	// are already addressed by additional thresholding circuitry"): when
+	// TripSustain of consecutive samples exceed the trip threshold, the
+	// supply power cycles the board on its own. It catches classic
+	// ampere-scale latchups; micro-SELs sail under it — that gap is
+	// ILD's whole reason to exist.
+	AutoSupplyTrip bool
+	// TripSustain is how long the excess must persist before the supply
+	// reacts (integrating comparators ignore microsecond transients).
+	TripSustain time.Duration
+	// SupplyTripA is the deployed trip level. It must sit above the
+	// workload envelope (unlike the naive 4 A example threshold of the
+	// paper's Figure 2, which full compute load crosses legitimately) or
+	// the supply reboots the board on every heavy burst.
+	SupplyTripA float64
+}
+
+// DefaultConfig returns the Pi-Zero-2W-class board of the paper's SEL
+// testbed: 4 cores, 0.6–1.4 GHz DVFS, 1 ms sampling, min-of-5 filter.
+func DefaultConfig() Config {
+	return Config{
+		Cores:          4,
+		MinFreqHz:      600e6,
+		MaxFreqHz:      1.4e9,
+		Power:          power.DefaultParams(),
+		SensorSeed:     1,
+		SampleEvery:    time.Millisecond,
+		FilterK:        5,
+		Governor:       true,
+		SELDamageAfter: 5 * time.Minute,
+		SupplyVoltage:  5.0,
+		AutoSupplyTrip: true,
+		TripSustain:    50 * time.Millisecond,
+		SupplyTripA:    6.0, // above the ≈4.5 A full-load envelope
+	}
+}
+
+// CoreTelemetry carries the per-core counter rates of one sample interval
+// — the paper's Table 1 feature set.
+type CoreTelemetry struct {
+	InstrPerSec     float64
+	BusCyclesPerSec float64
+	FreqHz          float64
+	BranchMissRate  float64 // misses per instruction over the interval
+	CacheHitRate    float64 // hits per reference over the interval
+}
+
+// Telemetry is one sample of the machine's OS-visible state plus the
+// measured current.
+type Telemetry struct {
+	T               time.Duration // simulated timestamp
+	CurrentA        float64       // rolling-min filtered sensor reading
+	RawA            float64       // single unfiltered reading (for comparison)
+	PerCore         []CoreTelemetry
+	DiskReadPerSec  float64
+	DiskWritePerSec float64
+}
+
+// TotalInstrPerSec sums instruction rates across cores — the CPU-load
+// proxy ILD's quiescence detector uses.
+func (t Telemetry) TotalInstrPerSec() float64 {
+	var sum float64
+	for _, c := range t.PerCore {
+		sum += c.InstrPerSec
+	}
+	return sum
+}
+
+// Machine is the simulated board.
+type Machine struct {
+	cfg    Config
+	clock  *simclock.Clock
+	cores  []*cpu.Core
+	sensor *power.Sensor
+
+	diskReadRate  float64 // sectors/s, from the current segment
+	diskWriteRate float64
+	dramRate      float64 // bytes/s aggregate, derived from core loads
+
+	lastCounters []cpu.Counters
+	lastDiskR    float64 // cumulative sectors at last sample
+	lastDiskW    float64
+	cumDiskR     float64
+	cumDiskW     float64
+	lastSample   time.Duration
+
+	selAmps     float64
+	selSince    time.Duration
+	damaged     bool
+	powerCycles int
+
+	tripConsecutive int
+	supplyTrips     int
+
+	energyJ float64
+}
+
+// New returns a machine for the config. Invalid configs panic: the
+// machine is constructed once per experiment from trusted code.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic(fmt.Sprintf("machine: Cores = %d, want > 0", cfg.Cores))
+	}
+	if cfg.SampleEvery <= 0 {
+		panic("machine: SampleEvery must be positive")
+	}
+	if cfg.FilterK < 1 {
+		cfg.FilterK = 1
+	}
+	if cfg.SupplyVoltage <= 0 {
+		cfg.SupplyVoltage = 5.0
+	}
+	m := &Machine{
+		cfg:          cfg,
+		clock:        simclock.New(),
+		sensor:       power.NewSensor(power.NewModel(cfg.Power), cfg.SensorSeed),
+		lastCounters: make([]cpu.Counters, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, cpu.NewCore(i, cfg.MinFreqHz))
+	}
+	return m
+}
+
+// Clock returns the machine's simulated time source.
+func (m *Machine) Clock() *simclock.Clock { return m.clock }
+
+// Config returns the board configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Sensor exposes the current sensor (the fault layer injects SELs through
+// the machine, not the sensor, so most callers never need this).
+func (m *Machine) Sensor() *power.Sensor { return m.sensor }
+
+// InjectSEL adds a persistent latchup current of the given magnitude.
+// Injecting while one is active stacks (multiple strikes).
+func (m *Machine) InjectSEL(amps float64) {
+	if m.selAmps == 0 {
+		m.selSince = m.clock.Now()
+	}
+	m.selAmps += amps
+	m.sensor.SetSELOffset(m.selAmps)
+}
+
+// SELActive reports whether an uncleard latchup is present.
+func (m *Machine) SELActive() bool { return m.selAmps > 0 }
+
+// SELAmps returns the injected latchup current.
+func (m *Machine) SELAmps() float64 { return m.selAmps }
+
+// Damaged reports whether an SEL has persisted past the thermal damage
+// horizon — mission over for this computer.
+func (m *Machine) Damaged() bool { return m.damaged }
+
+// PowerCycles returns how many power cycles were commanded.
+func (m *Machine) PowerCycles() int { return m.powerCycles }
+
+// EnergyJoules returns the integrated electrical energy drawn so far.
+func (m *Machine) EnergyJoules() float64 { return m.energyJ }
+
+// PowerCycle clears any latchup (the paper: power cycles, unlike reboots,
+// drain the residual charge) and restarts the counters. Accumulated
+// damage is permanent.
+func (m *Machine) PowerCycle() {
+	m.powerCycles++
+	m.selAmps = 0
+	m.sensor.SetSELOffset(0)
+	for i, c := range m.cores {
+		c.SetLoad(cpu.IdleLoad)
+		m.lastCounters[i] = c.Counters()
+	}
+}
+
+// ApplySegment installs a trace segment's activity onto the cores and IO
+// rates.
+func (m *Machine) ApplySegment(s trace.Segment) {
+	m.dramRate = 0
+	for i, c := range m.cores {
+		var load cpu.Load
+		if i < len(s.Loads) {
+			load = s.Loads[i]
+		}
+		c.SetLoad(load)
+		m.dramRate += load.MemBytesPerSec
+		switch {
+		case s.FreqHz > 0:
+			c.SetFreqHz(clampF(s.FreqHz, m.cfg.MinFreqHz, m.cfg.MaxFreqHz))
+		case m.cfg.Governor:
+			// ondemand: frequency tracks utilisation.
+			c.SetFreqHz(m.cfg.MinFreqHz + load.Util*(m.cfg.MaxFreqHz-m.cfg.MinFreqHz))
+		}
+	}
+	m.diskReadRate = s.DiskReadPerSec
+	m.diskWriteRate = s.DiskWritePerSec
+}
+
+// BoardState returns the electrical view of the machine for the power
+// model.
+func (m *Machine) BoardState() power.BoardState {
+	cores := make([]power.CoreState, len(m.cores))
+	for i, c := range m.cores {
+		l := c.Load()
+		cores[i] = power.CoreState{FreqHz: c.FreqHz(), Util: l.Util, IPC: l.IPC}
+	}
+	return power.BoardState{
+		Cores:             cores,
+		DRAMBytesPerSec:   m.dramRate,
+		DiskSectorsPerSec: m.diskReadRate + m.diskWriteRate,
+	}
+}
+
+// Step advances the machine by dt: core counters, disk IO accumulation,
+// energy integration, thermal damage tracking, and the simulated clock.
+func (m *Machine) Step(dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	sec := dt.Seconds()
+	for _, c := range m.cores {
+		c.Step(dt)
+	}
+	m.cumDiskR += m.diskReadRate * sec
+	m.cumDiskW += m.diskWriteRate * sec
+	m.energyJ += m.sensor.TrueCurrent(m.BoardState()) * m.cfg.SupplyVoltage * sec
+	m.clock.Advance(dt)
+	// Orbital thermal cycle: the current baseline drifts sinusoidally
+	// with board temperature, invisibly to the performance counters.
+	if p := m.cfg.Power; p.ThermalDriftA > 0 && p.ThermalDriftPeriodSec > 0 {
+		phase := 2 * math.Pi * m.clock.Now().Seconds() / p.ThermalDriftPeriodSec
+		m.sensor.SetBaselineOffset(p.ThermalDriftA * math.Sin(phase))
+	}
+	if m.selAmps > 0 && m.cfg.SELDamageAfter > 0 &&
+		m.clock.Now()-m.selSince >= m.cfg.SELDamageAfter {
+		m.damaged = true
+	}
+}
+
+// Sample produces a Telemetry observation over the interval since the
+// previous sample.
+func (m *Machine) Sample() Telemetry {
+	now := m.clock.Now()
+	interval := now - m.lastSample
+	sec := interval.Seconds()
+	if sec <= 0 {
+		sec = m.cfg.SampleEvery.Seconds() // degenerate: avoid div-by-zero
+	}
+	tel := Telemetry{T: now, PerCore: make([]CoreTelemetry, len(m.cores))}
+	for i, c := range m.cores {
+		cur := c.Counters()
+		d := cur.Sub(m.lastCounters[i])
+		m.lastCounters[i] = cur
+		ct := CoreTelemetry{
+			InstrPerSec:     float64(d.Instructions) / sec,
+			BusCyclesPerSec: float64(d.BusCycles) / sec,
+			FreqHz:          c.FreqHz(),
+		}
+		if d.Instructions > 0 {
+			ct.BranchMissRate = float64(d.BranchMisses) / float64(d.Instructions)
+		}
+		if d.CacheRefs > 0 {
+			ct.CacheHitRate = float64(d.CacheHits) / float64(d.CacheRefs)
+		}
+		tel.PerCore[i] = ct
+	}
+	tel.DiskReadPerSec = (m.cumDiskR - m.lastDiskR) / sec
+	tel.DiskWritePerSec = (m.cumDiskW - m.lastDiskW) / sec
+	m.lastDiskR, m.lastDiskW = m.cumDiskR, m.cumDiskW
+	m.lastSample = now
+
+	state := m.BoardState()
+	tel.RawA = m.sensor.Sample(state)
+	tel.CurrentA = m.sensor.SampleFiltered(state, m.cfg.FilterK)
+
+	// The supply's own over-current circuit sees the raw reading and
+	// power cycles the board after a sustained excess.
+	if m.cfg.AutoSupplyTrip {
+		if tel.RawA > m.cfg.SupplyTripA {
+			m.tripConsecutive++
+		} else {
+			m.tripConsecutive = 0
+		}
+		need := int(m.cfg.TripSustain / m.cfg.SampleEvery)
+		if need < 1 {
+			need = 1
+		}
+		if m.tripConsecutive >= need {
+			m.tripConsecutive = 0
+			m.supplyTrips++
+			m.PowerCycle()
+		}
+	}
+	return tel
+}
+
+// SupplyTrips returns how many times the power supply's own over-current
+// protection power cycled the board.
+func (m *Machine) SupplyTrips() int { return m.supplyTrips }
+
+// RunTrace plays a trace through the machine at the telemetry cadence,
+// invoking onSample for every sample. onSample may be nil. It returns the
+// number of samples taken.
+//
+// The callback may call PowerCycle or InjectSEL; segment activity
+// continues unchanged (a latchup does not stop the workload).
+func (m *Machine) RunTrace(tr *trace.Trace, onSample func(Telemetry)) int {
+	samples := 0
+	pending := time.Duration(0) // time since last sample
+	for _, seg := range tr.Segments {
+		m.ApplySegment(seg)
+		remaining := seg.Duration
+		for remaining > 0 {
+			step := m.cfg.SampleEvery - pending
+			if step > remaining {
+				step = remaining
+			}
+			m.Step(step)
+			pending += step
+			remaining -= step
+			if pending >= m.cfg.SampleEvery {
+				pending = 0
+				samples++
+				tel := m.Sample()
+				if onSample != nil {
+					onSample(tel)
+				}
+			}
+		}
+	}
+	return samples
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

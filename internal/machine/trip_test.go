@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"radshield/internal/trace"
+)
+
+func TestSupplyTripCatchesClassicSEL(t *testing.T) {
+	// A classic, ampere-scale latchup pushes quiescent current past the
+	// 4 A trip line; the supply's own circuit must clear it without any
+	// software help.
+	cfg := DefaultConfig()
+	cfg.SensorSeed = 51
+	m := New(cfg)
+	m.InjectSEL(5.0) // 1.55 + 5.0 = 6.55 A sustained: a classic destructive latchup
+	rng := rand.New(rand.NewSource(52))
+	m.RunTrace(trace.Quiescent(rng, 2*time.Second, time.Second), nil)
+	if m.SupplyTrips() == 0 {
+		t.Fatal("supply never tripped on a +5 A latchup")
+	}
+	if m.SELActive() {
+		t.Fatal("trip did not clear the latchup")
+	}
+	if m.Damaged() {
+		t.Fatal("board damaged despite supply trip")
+	}
+}
+
+func TestSupplyTripBlindToMicroSEL(t *testing.T) {
+	// The paper's core motivation: a +0.07 A micro-latchup never reaches
+	// the hardware trip line — only ILD can see it.
+	cfg := DefaultConfig()
+	cfg.SensorSeed = 53
+	m := New(cfg)
+	m.InjectSEL(0.07)
+	rng := rand.New(rand.NewSource(54))
+	m.RunTrace(trace.Quiescent(rng, 10*time.Second, 2*time.Second), nil)
+	if m.SupplyTrips() != 0 {
+		t.Fatalf("supply tripped %d times on a micro-SEL", m.SupplyTrips())
+	}
+	if !m.SELActive() {
+		t.Fatal("micro-SEL cleared by something other than ILD")
+	}
+}
+
+func TestSupplyTripIgnoresTransientSpikes(t *testing.T) {
+	// Microsecond spikes regularly exceed 4 A during quiescence but are
+	// single samples; the sustain requirement must filter them.
+	cfg := DefaultConfig()
+	cfg.SensorSeed = 55
+	cfg.Power.SpikeProb = 0.2 // very spiky board
+	cfg.Power.SpikeMaxA = 3.0
+	m := New(cfg)
+	rng := rand.New(rand.NewSource(56))
+	m.RunTrace(trace.Quiescent(rng, 5*time.Second, time.Second), nil)
+	if m.SupplyTrips() != 0 {
+		t.Fatalf("supply tripped %d times on transient spikes", m.SupplyTrips())
+	}
+}
+
+func TestSupplyTripDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AutoSupplyTrip = false
+	cfg.SensorSeed = 57
+	m := New(cfg)
+	m.InjectSEL(5.0)
+	rng := rand.New(rand.NewSource(58))
+	m.RunTrace(trace.Quiescent(rng, time.Second, time.Second), nil)
+	if m.SupplyTrips() != 0 || !m.SELActive() {
+		t.Fatal("disabled supply trip still acted")
+	}
+}

@@ -1,0 +1,80 @@
+package mem
+
+import "fmt"
+
+// Bus composes several Memory devices into one flat physical address
+// space, the way an SoC interconnect exposes flash and DRAM behind a
+// single bus. The shared cache (package cache) sits on top of a Bus so
+// cached lines can come from either device.
+type Bus struct {
+	mappings []busMapping
+	size     uint64
+}
+
+type busMapping struct {
+	base uint64
+	dev  Memory
+}
+
+// NewBus returns an empty Bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Map attaches a device at the next available base address (aligned to
+// 4 KiB) and returns that base.
+func (b *Bus) Map(dev Memory) uint64 {
+	const align = 4096
+	base := (b.size + align - 1) / align * align
+	b.mappings = append(b.mappings, busMapping{base: base, dev: dev})
+	b.size = base + dev.Size()
+	return base
+}
+
+// Size returns one past the highest mapped address.
+func (b *Bus) Size() uint64 { return b.size }
+
+// find locates the mapping covering addr.
+func (b *Bus) find(addr uint64, n int) (*busMapping, error) {
+	for i := range b.mappings {
+		m := &b.mappings[i]
+		if addr >= m.base && addr+uint64(n) <= m.base+m.dev.Size() {
+			return m, nil
+		}
+	}
+	return nil, &BoundsError{Device: "bus", Addr: addr, Len: n, Size: b.size}
+}
+
+// Read implements Memory. An access must fall entirely within one device.
+func (b *Bus) Read(addr uint64, dst []byte) error {
+	m, err := b.find(addr, len(dst))
+	if err != nil {
+		return err
+	}
+	return m.dev.Read(addr-m.base, dst)
+}
+
+// Write implements Memory.
+func (b *Bus) Write(addr uint64, src []byte) error {
+	m, err := b.find(addr, len(src))
+	if err != nil {
+		return err
+	}
+	return m.dev.Write(addr-m.base, src)
+}
+
+// FlipBit routes a fault-injection flip to the owning device. It fails if
+// the device does not expose bit flipping.
+func (b *Bus) FlipBit(addr uint64, bit uint) error {
+	m, err := b.find(addr, 1)
+	if err != nil {
+		return err
+	}
+	f, ok := m.dev.(interface {
+		FlipBit(addr uint64, bit uint) error
+	})
+	if !ok {
+		return fmt.Errorf("mem: device at %#x does not support bit flips", addr)
+	}
+	return f.FlipBit(addr-m.base, bit)
+}
+
+var _ Memory = (*Bus)(nil)

@@ -1,0 +1,88 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBusMapsTwoDevices(t *testing.T) {
+	bus := NewBus()
+	flash := NewStorage(8192)
+	dram := NewDRAM(8192, true)
+	fb := bus.Map(flash)
+	db := bus.Map(dram)
+	if fb != 0 {
+		t.Fatalf("flash base = %#x, want 0", fb)
+	}
+	if db != 8192 {
+		t.Fatalf("dram base = %#x, want 0x2000", db)
+	}
+	if bus.Size() != 16384 {
+		t.Fatalf("Size = %d", bus.Size())
+	}
+
+	if err := bus.Write(fb+100, []byte("flash!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Write(db+100, []byte("dram!!")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if err := bus.Read(fb+100, buf); err != nil || string(buf) != "flash!" {
+		t.Fatalf("flash read = %q, %v", buf, err)
+	}
+	if err := bus.Read(db+100, buf); err != nil || string(buf) != "dram!!" {
+		t.Fatalf("dram read = %q, %v", buf, err)
+	}
+	// Devices are independent.
+	direct := make([]byte, 6)
+	if err := dram.Read(100, direct); err != nil || !bytes.Equal(direct, []byte("dram!!")) {
+		t.Fatalf("direct dram read = %q, %v", direct, err)
+	}
+}
+
+func TestBusAlignment(t *testing.T) {
+	bus := NewBus()
+	bus.Map(NewDRAM(100, false)) // rounds to 104 bytes internally
+	base2 := bus.Map(NewDRAM(100, false))
+	if base2%4096 != 0 {
+		t.Fatalf("second base %#x not 4K-aligned", base2)
+	}
+}
+
+func TestBusOutOfRange(t *testing.T) {
+	bus := NewBus()
+	bus.Map(NewDRAM(1024, false))
+	if err := bus.Read(5000, make([]byte, 1)); err == nil {
+		t.Fatal("read past bus succeeded")
+	}
+	// An access straddling the device boundary must fail, not wrap.
+	if err := bus.Read(1020, make([]byte, 10)); err == nil {
+		t.Fatal("straddling read succeeded")
+	}
+}
+
+func TestBusFlipBitRouting(t *testing.T) {
+	bus := NewBus()
+	dram := NewDRAM(1024, false)
+	base := bus.Map(dram)
+	bus.Write(base+10, []byte{0})
+	if err := bus.FlipBit(base+10, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	dram.Read(10, buf)
+	if buf[0] != 1 {
+		t.Fatalf("flip not routed: %v", buf[0])
+	}
+}
+
+func TestBusEmpty(t *testing.T) {
+	bus := NewBus()
+	if bus.Size() != 0 {
+		t.Fatal("empty bus has size")
+	}
+	if err := bus.Read(0, make([]byte, 1)); err == nil {
+		t.Fatal("read on empty bus succeeded")
+	}
+}

@@ -1,0 +1,98 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStorageAllocators(t *testing.T) {
+	s := NewStorage(4096)
+	a1, err := s.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.AllocBytes([]byte("persisted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 <= a1 {
+		t.Fatalf("allocations overlap: %d then %d", a1, a2)
+	}
+	buf := make([]byte, 9)
+	if err := s.Read(a2, buf); err != nil || string(buf) != "persisted" {
+		t.Fatalf("AllocBytes round trip = %q, %v", buf, err)
+	}
+	if _, err := s.Alloc(1 << 20); err == nil {
+		t.Fatal("oversized storage Alloc succeeded")
+	}
+}
+
+func TestAllocBytesPropagatesAllocFailure(t *testing.T) {
+	d := NewDRAM(64, false)
+	if _, err := d.AllocBytes(make([]byte, 1024)); err == nil {
+		t.Fatal("oversized AllocBytes succeeded")
+	}
+}
+
+func TestUncorrectableErrorMessage(t *testing.T) {
+	e := &UncorrectableError{Device: "dram", Addr: 0x40}
+	if msg := e.Error(); !strings.Contains(msg, "dram") || !strings.Contains(msg, "0x40") {
+		t.Fatalf("message = %q", msg)
+	}
+}
+
+func TestFlipBitBounds(t *testing.T) {
+	d := NewDRAM(64, false)
+	if err := d.FlipBit(1000, 0); err == nil {
+		t.Fatal("out-of-bounds FlipBit succeeded")
+	}
+	s := NewStorage(64)
+	if err := s.FlipBit(1000, 0); err == nil {
+		t.Fatal("out-of-bounds storage FlipBit succeeded")
+	}
+}
+
+func TestStorageBoundsErrors(t *testing.T) {
+	s := NewStorage(64)
+	if err := s.Read(60, make([]byte, 16)); err == nil {
+		t.Fatal("out-of-bounds storage Read succeeded")
+	}
+	if err := s.Write(60, make([]byte, 16)); err == nil {
+		t.Fatal("out-of-bounds storage Write succeeded")
+	}
+	// Failed IO must not count sectors.
+	if s.ReadSectors() != 0 || s.WriteSectors() != 0 {
+		t.Fatal("failed IO counted sectors")
+	}
+}
+
+func TestSectorsZeroLength(t *testing.T) {
+	if got := sectors(100, 0); got != 0 {
+		t.Fatalf("sectors(_, 0) = %d", got)
+	}
+}
+
+func TestBusWriteOutOfRange(t *testing.T) {
+	b := NewBus()
+	b.Map(NewDRAM(64, false))
+	if err := b.Write(1000, []byte{1}); err == nil {
+		t.Fatal("out-of-range bus Write succeeded")
+	}
+	if err := b.FlipBit(1000, 0); err == nil {
+		t.Fatal("out-of-range bus FlipBit succeeded")
+	}
+}
+
+func TestBusFlipBitUnsupportedDevice(t *testing.T) {
+	b := NewBus()
+	b.Map(&noFlipMem{size: 64})
+	if err := b.FlipBit(0, 0); err == nil {
+		t.Fatal("FlipBit on non-flippable device succeeded")
+	}
+}
+
+type noFlipMem struct{ size uint64 }
+
+func (m *noFlipMem) Read(addr uint64, dst []byte) error  { return nil }
+func (m *noFlipMem) Write(addr uint64, src []byte) error { return nil }
+func (m *noFlipMem) Size() uint64                        { return m.size }

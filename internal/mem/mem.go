@@ -1,0 +1,252 @@
+// Package mem models the memory devices of a commodity spacecraft
+// computer: DRAM (with or without SECDED ECC) and flash storage (always
+// SECDED-protected, per the paper's observation about commodity flash).
+//
+// These devices define the system's reliability frontier: data at rest on
+// an ECC-protected device survives single-event upsets (the codec corrects
+// them), while data on an unprotected device — or in flight through the
+// cache and pipeline — does not. Package emr draws its replication and
+// scheduling decisions from exactly this boundary.
+package mem
+
+import (
+	"fmt"
+
+	"radshield/internal/ecc"
+)
+
+// Memory is the raw byte-addressed device interface shared by DRAM and
+// Storage. Reads and writes are bounds-checked; ECC devices verify and
+// scrub on read.
+type Memory interface {
+	// Read fills dst with len(dst) bytes starting at addr.
+	Read(addr uint64, dst []byte) error
+	// Write stores src starting at addr.
+	Write(addr uint64, src []byte) error
+	// Size returns the device capacity in bytes.
+	Size() uint64
+}
+
+// UncorrectableError reports a double-bit (or worse) error that SECDED
+// detected but could not correct — the hardware analogue is a machine
+// check / bus abort.
+type UncorrectableError struct {
+	Device string
+	Addr   uint64
+}
+
+func (e *UncorrectableError) Error() string {
+	return fmt.Sprintf("mem: uncorrectable ECC error on %s at %#x", e.Device, e.Addr)
+}
+
+// BoundsError reports an access outside the device.
+type BoundsError struct {
+	Device string
+	Addr   uint64
+	Len    int
+	Size   uint64
+}
+
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("mem: %s access [%#x, %#x) outside device of %d bytes",
+		e.Device, e.Addr, e.Addr+uint64(e.Len), e.Size)
+}
+
+// Stats counts ECC and fault-injection events on a device.
+type Stats struct {
+	Corrected     uint64 // single-bit errors fixed by SECDED
+	Uncorrectable uint64 // double-bit errors detected (read failed)
+	FlipsInjected uint64 // bit flips injected by the fault injector
+	Reads         uint64 // Read calls
+	Writes        uint64 // Write calls
+}
+
+const wordSize = 8 // SECDED granule: 64-bit word + 8 check bits
+
+// DRAM is a byte-addressable volatile memory. With ECC enabled every
+// 64-bit word carries SECDED check bits that are verified (and scrubbed)
+// on read; without ECC, injected bit flips silently corrupt data — the
+// paper's unprotected-DRAM configuration (e.g. the Snapdragon 801).
+type DRAM struct {
+	data  []byte
+	check []byte // one check byte per 8-byte word; nil when ECC disabled
+	stats Stats
+	next  uint64 // bump-allocator watermark
+}
+
+// NewDRAM returns a DRAM of the given size (rounded up to a multiple of
+// 8 bytes) with or without SECDED ECC.
+func NewDRAM(size uint64, withECC bool) *DRAM {
+	size = (size + wordSize - 1) / wordSize * wordSize
+	d := &DRAM{data: make([]byte, size)}
+	if withECC {
+		// Encode(0) == 0, so freshly zeroed check bytes are already valid.
+		d.check = make([]byte, size/wordSize)
+	}
+	return d
+}
+
+// HasECC reports whether the device verifies SECDED codes on read.
+func (d *DRAM) HasECC() bool { return d.check != nil }
+
+// Size returns the capacity in bytes.
+func (d *DRAM) Size() uint64 { return uint64(len(d.data)) }
+
+// Stats returns a snapshot of the device's event counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Alloc reserves n bytes (cache-line aligned) and returns the base
+// address. It fails when the device is exhausted. DRAM is the arena the
+// EMR runtime allocates datasets, replicas, and output buffers from.
+func (d *DRAM) Alloc(n uint64) (uint64, error) {
+	const align = 64
+	base := (d.next + align - 1) / align * align
+	if base+n > d.Size() {
+		return 0, fmt.Errorf("mem: DRAM exhausted: need %d bytes at %#x, size %d", n, base, d.Size())
+	}
+	d.next = base + n
+	return base, nil
+}
+
+// AllocBytes allocates space for src, copies it in, and returns the base
+// address.
+func (d *DRAM) AllocBytes(src []byte) (uint64, error) {
+	addr, err := d.Alloc(uint64(len(src)))
+	if err != nil {
+		return 0, err
+	}
+	if err := d.Write(addr, src); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// Reset zeroes the allocator watermark so the arena can be reused between
+// experiment repetitions. Contents and ECC codes are cleared.
+func (d *DRAM) Reset() {
+	d.next = 0
+	for i := range d.data {
+		d.data[i] = 0
+	}
+	for i := range d.check {
+		d.check[i] = 0 // Encode(0) == 0
+	}
+}
+
+// Read implements Memory. On an ECC device every touched word is decoded:
+// single-bit errors are corrected in place (scrubbing, as DRAM
+// controllers do) and counted; double-bit errors abort the read with
+// *UncorrectableError.
+func (d *DRAM) Read(addr uint64, dst []byte) error {
+	if err := d.bounds(addr, len(dst)); err != nil {
+		return err
+	}
+	d.stats.Reads++
+	if d.check == nil {
+		copy(dst, d.data[addr:addr+uint64(len(dst))])
+		return nil
+	}
+	first := addr / wordSize
+	last := (addr + uint64(len(dst)) - 1) / wordSize
+	for w := first; w <= last; w++ {
+		if err := d.verifyWord(w); err != nil {
+			return err
+		}
+	}
+	copy(dst, d.data[addr:addr+uint64(len(dst))])
+	return nil
+}
+
+// Write implements Memory. On an ECC device the check bytes of every
+// touched word are recomputed (after verifying partially-overwritten
+// boundary words so pre-existing corruption is not silently re-encoded).
+func (d *DRAM) Write(addr uint64, src []byte) error {
+	if err := d.bounds(addr, len(src)); err != nil {
+		return err
+	}
+	d.stats.Writes++
+	if len(src) == 0 {
+		return nil
+	}
+	if d.check == nil {
+		copy(d.data[addr:], src)
+		return nil
+	}
+	end := addr + uint64(len(src))
+	first := addr / wordSize
+	last := (end - 1) / wordSize
+	// Partial boundary words: verify before read-modify-write.
+	if addr%wordSize != 0 {
+		if err := d.verifyWord(first); err != nil {
+			return err
+		}
+	}
+	if end%wordSize != 0 && last != first {
+		if err := d.verifyWord(last); err != nil {
+			return err
+		}
+	}
+	copy(d.data[addr:], src)
+	for w := first; w <= last; w++ {
+		d.check[w] = ecc.Encode(d.word(w))
+	}
+	return nil
+}
+
+// FlipBit inverts one stored bit without touching the ECC code,
+// simulating a particle strike on the DRAM array. bit selects within the
+// byte (0..7).
+func (d *DRAM) FlipBit(addr uint64, bit uint) error {
+	if err := d.bounds(addr, 1); err != nil {
+		return err
+	}
+	d.data[addr] ^= 1 << (bit & 7)
+	d.stats.FlipsInjected++
+	return nil
+}
+
+// word assembles the 64-bit little-endian word at index w.
+func (d *DRAM) word(w uint64) uint64 {
+	off := w * wordSize
+	var v uint64
+	for i := 0; i < wordSize; i++ {
+		v |= uint64(d.data[off+uint64(i)]) << (8 * uint(i))
+	}
+	return v
+}
+
+func (d *DRAM) setWord(w, v uint64) {
+	off := w * wordSize
+	for i := 0; i < wordSize; i++ {
+		d.data[off+uint64(i)] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// verifyWord decodes word w, scrubbing single-bit errors.
+func (d *DRAM) verifyWord(w uint64) error {
+	data, res := ecc.Decode(d.word(w), d.check[w])
+	switch res {
+	case ecc.OK:
+		return nil
+	case ecc.CorrectedData:
+		d.setWord(w, data)
+		d.stats.Corrected++
+		return nil
+	case ecc.CorrectedCheck:
+		d.check[w] = ecc.Encode(data)
+		d.stats.Corrected++
+		return nil
+	default:
+		d.stats.Uncorrectable++
+		return &UncorrectableError{Device: "dram", Addr: w * wordSize}
+	}
+}
+
+func (d *DRAM) bounds(addr uint64, n int) error {
+	if n < 0 || addr+uint64(n) > d.Size() || addr+uint64(n) < addr {
+		return &BoundsError{Device: "dram", Addr: addr, Len: n, Size: d.Size()}
+	}
+	return nil
+}
+
+var _ Memory = (*DRAM)(nil)

@@ -1,0 +1,68 @@
+package mem
+
+// Scrubber implements background ECC patrol scrubbing, the standard
+// defence against error accumulation in ECC memories: single-bit upsets
+// are harmless individually, but two upsets landing in the same 64-bit
+// word before anything reads it become uncorrectable. A scrubber walks
+// the array continuously, reading (and thereby correcting) every word,
+// bounding the window in which a second strike can pair with the first.
+//
+// The paper's reliability frontier assumes ECC devices absorb upsets;
+// patrol scrubbing is what keeps that assumption sound on long missions,
+// so this reproduction ships it as an optional extension.
+type Scrubber struct {
+	dram *DRAM
+	next uint64 // next word index to visit
+
+	passes     uint64
+	visited    uint64
+	lastErrors []error
+}
+
+// NewScrubber returns a scrubber over an ECC DRAM. It panics when the
+// device has no ECC — scrubbing a raw array is meaningless.
+func NewScrubber(d *DRAM) *Scrubber {
+	if !d.HasECC() {
+		panic("mem: NewScrubber on non-ECC DRAM")
+	}
+	return &Scrubber{dram: d}
+}
+
+// Step verifies the next n words (correcting any single-bit errors in
+// place) and returns how many uncorrectable words it encountered.
+// Uncorrectable words are left untouched and reported via Errors; the
+// scrubber continues past them.
+func (s *Scrubber) Step(n int) int {
+	words := s.dram.Size() / wordSize
+	if words == 0 {
+		return 0
+	}
+	uncorrectable := 0
+	for i := 0; i < n; i++ {
+		if err := s.dram.verifyWord(s.next); err != nil {
+			uncorrectable++
+			s.lastErrors = append(s.lastErrors, err)
+			if len(s.lastErrors) > 16 {
+				s.lastErrors = s.lastErrors[1:]
+			}
+		}
+		s.visited++
+		s.next++
+		if s.next == words {
+			s.next = 0
+			s.passes++
+		}
+	}
+	return uncorrectable
+}
+
+// Passes returns how many full sweeps of the array have completed.
+func (s *Scrubber) Passes() uint64 { return s.passes }
+
+// Visited returns the total number of word visits.
+func (s *Scrubber) Visited() uint64 { return s.visited }
+
+// Errors returns the most recent uncorrectable-word errors (up to 16).
+func (s *Scrubber) Errors() []error {
+	return append([]error(nil), s.lastErrors...)
+}

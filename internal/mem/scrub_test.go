@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScrubberRequiresECC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScrubber(non-ECC) did not panic")
+		}
+	}()
+	NewScrubber(NewDRAM(64, false))
+}
+
+func TestScrubberCorrectsSingleFlips(t *testing.T) {
+	d := NewDRAM(1024, true)
+	if err := d.Write(0, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	// Ten scattered single-bit flips, at most one per word.
+	for w := 0; w < 10; w++ {
+		d.FlipBit(uint64(w*64), uint(w%8))
+	}
+	s := NewScrubber(d)
+	if bad := s.Step(int(d.Size() / 8)); bad != 0 {
+		t.Fatalf("scrub found %d uncorrectable words, want 0", bad)
+	}
+	if s.Passes() != 1 {
+		t.Fatalf("Passes = %d, want 1", s.Passes())
+	}
+	if got := d.Stats().Corrected; got != 10 {
+		t.Fatalf("Corrected = %d, want 10", got)
+	}
+	// All clean now: a second pass corrects nothing further.
+	s.Step(int(d.Size() / 8))
+	if got := d.Stats().Corrected; got != 10 {
+		t.Fatalf("Corrected after second pass = %d, want still 10", got)
+	}
+}
+
+func TestScrubberReportsUncorrectable(t *testing.T) {
+	d := NewDRAM(256, true)
+	d.FlipBit(8, 0)
+	d.FlipBit(9, 3) // second flip in the same word: uncorrectable
+	s := NewScrubber(d)
+	if bad := s.Step(int(d.Size() / 8)); bad != 1 {
+		t.Fatalf("uncorrectable = %d, want 1", bad)
+	}
+	if errs := s.Errors(); len(errs) != 1 {
+		t.Fatalf("Errors len = %d", len(errs))
+	}
+	// The scrubber continued past the poisoned word.
+	if s.Visited() != d.Size()/8 {
+		t.Fatalf("Visited = %d, want %d", s.Visited(), d.Size()/8)
+	}
+}
+
+func TestScrubberPreventsAccumulation(t *testing.T) {
+	// Without scrubbing, periodic single flips accumulate into
+	// uncorrectable pairs; with scrubbing between strikes, every flip is
+	// repaired before the next can pair with it.
+	strike := func(d *DRAM, rng *rand.Rand) {
+		addr := uint64(rng.Intn(int(d.Size())))
+		d.FlipBit(addr, uint(rng.Intn(8)))
+	}
+	run := func(scrub bool) (uncorrectable int) {
+		d := NewDRAM(512, true) // small array: collisions are likely
+		rng := rand.New(rand.NewSource(7))
+		var s *Scrubber
+		if scrub {
+			s = NewScrubber(d)
+		}
+		for i := 0; i < 200; i++ {
+			strike(d, rng)
+			if scrub {
+				s.Step(int(d.Size() / 8)) // full patrol between strikes
+			}
+		}
+		// Final audit.
+		audit := NewScrubber(d)
+		return audit.Step(int(d.Size() / 8))
+	}
+	if bad := run(true); bad != 0 {
+		t.Fatalf("scrubbed array still has %d uncorrectable words", bad)
+	}
+	if bad := run(false); bad == 0 {
+		t.Fatal("unscrubbed array accumulated no uncorrectable words; strike count too low for the test")
+	}
+}

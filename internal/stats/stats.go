@@ -1,0 +1,287 @@
+// Package stats provides the small set of statistics primitives the
+// Radshield experiments need: summary statistics, Pearson correlation,
+// rolling-window aggregates, and binary-classification confusion counts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%v) out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys. It panics if the slices differ in length; it returns 0 when either
+// series has zero variance.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Correlation length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// RollingMin computes, for each index i, the minimum of
+// xs[max(0,i-before) : min(len,i+after+1)]. This is the transient-spike
+// filter ILD applies to current samples (±250 µs in the paper).
+func RollingMin(xs []float64, before, after int) []float64 {
+	if before < 0 || after < 0 {
+		panic("stats: RollingMin: negative window")
+	}
+	out := make([]float64, len(xs))
+	// Monotone deque over window [i-before, i+after].
+	type entry struct {
+		idx int
+		val float64
+	}
+	var deque []entry
+	push := func(i int) {
+		v := xs[i]
+		for len(deque) > 0 && deque[len(deque)-1].val >= v {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, entry{i, v})
+	}
+	next := 0 // next element to push
+	for i := range xs {
+		hi := i + after
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		for ; next <= hi; next++ {
+			push(next)
+		}
+		lo := i - before
+		for len(deque) > 0 && deque[0].idx < lo {
+			deque = deque[1:]
+		}
+		out[i] = deque[0].val
+	}
+	return out
+}
+
+// Confusion accumulates binary-classification outcomes for detector
+// accuracy experiments (paper Table 2 and Figure 10).
+type Confusion struct {
+	TruePositive  int
+	TrueNegative  int
+	FalsePositive int
+	FalseNegative int
+}
+
+// Record adds one (predicted, actual) observation.
+func (c *Confusion) Record(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TruePositive++
+	case predicted && !actual:
+		c.FalsePositive++
+	case !predicted && actual:
+		c.FalseNegative++
+	default:
+		c.TrueNegative++
+	}
+}
+
+// FalseNegativeRate returns FN / (FN + TP), or 0 when no positives exist.
+func (c *Confusion) FalseNegativeRate() float64 {
+	total := c.FalseNegative + c.TruePositive
+	if total == 0 {
+		return 0
+	}
+	return float64(c.FalseNegative) / float64(total)
+}
+
+// FalsePositiveRate returns FP / (FP + TN), or 0 when no negatives exist.
+func (c *Confusion) FalsePositiveRate() float64 {
+	total := c.FalsePositive + c.TrueNegative
+	if total == 0 {
+		return 0
+	}
+	return float64(c.FalsePositive) / float64(total)
+}
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	return c.TruePositive + c.TrueNegative + c.FalsePositive + c.FalseNegative
+}
+
+// String formats the confusion counts and rates for experiment reports.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d (FNR=%.4f FPR=%.4f)",
+		c.TruePositive, c.TrueNegative, c.FalsePositive, c.FalseNegative,
+		c.FalseNegativeRate(), c.FalsePositiveRate())
+}
+
+// RunningMean maintains an O(1)-update mean over an unbounded stream.
+type RunningMean struct {
+	n   int
+	sum float64
+}
+
+// Add incorporates x into the mean.
+func (r *RunningMean) Add(x float64) { r.n++; r.sum += x }
+
+// Mean returns the current mean, or 0 before any samples.
+func (r *RunningMean) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Count returns the number of samples added.
+func (r *RunningMean) Count() int { return r.n }
+
+// Reset discards all accumulated samples.
+func (r *RunningMean) Reset() { r.n, r.sum = 0, 0 }
+
+// WindowMean maintains a mean over the most recent capacity samples.
+// ILD uses it for the "running average difference" between measured and
+// predicted current over the 3-second decision window.
+type WindowMean struct {
+	buf  []float64
+	head int
+	full bool
+	sum  float64
+}
+
+// NewWindowMean returns a WindowMean over the given capacity (> 0).
+func NewWindowMean(capacity int) *WindowMean {
+	if capacity <= 0 {
+		panic("stats: NewWindowMean: capacity must be positive")
+	}
+	return &WindowMean{buf: make([]float64, capacity)}
+}
+
+// Add pushes x, evicting the oldest sample once the window is full.
+func (w *WindowMean) Add(x float64) {
+	if w.full {
+		w.sum -= w.buf[w.head]
+	}
+	w.buf[w.head] = x
+	w.sum += x
+	w.head++
+	if w.head == len(w.buf) {
+		w.head = 0
+		w.full = true
+	}
+}
+
+// Mean returns the mean of the samples currently in the window.
+func (w *WindowMean) Mean() float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	return w.sum / float64(n)
+}
+
+// Len returns the number of samples currently in the window.
+func (w *WindowMean) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.head
+}
+
+// Full reports whether the window has reached capacity.
+func (w *WindowMean) Full() bool { return w.full }
+
+// Reset empties the window.
+func (w *WindowMean) Reset() {
+	w.head, w.full, w.sum = 0, false, 0
+}

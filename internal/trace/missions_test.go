@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMarsSolShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sol := MarsSol(rng, 4)
+	want := time.Duration(MarsSolHours * float64(time.Hour))
+	if got := sol.Total(); got != want {
+		t.Fatalf("sol length = %v, want %v", got, want)
+	}
+	qf := sol.QuiescentFraction()
+	// Rovers sleep at night and pause between drives: mostly quiescent,
+	// but with a real daytime duty cycle.
+	if qf < 0.35 || qf > 0.85 {
+		t.Fatalf("sol quiescent fraction = %.2f, want mid-range", qf)
+	}
+	// The first stretch (overnight) must contain no workload.
+	var early time.Duration
+	for _, s := range sol.Segments {
+		if early > 2*time.Hour {
+			break
+		}
+		if s.Kind == Workload {
+			t.Fatalf("workload within the first 2h of the sol (night)")
+		}
+		early += s.Duration
+	}
+}
+
+func TestDeepSpaceCruiseMostlyQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := DeepSpaceCruise(rng, 12*time.Hour, time.Hour, 4)
+	if tr.Total() != 12*time.Hour {
+		t.Fatalf("Total = %v", tr.Total())
+	}
+	if qf := tr.QuiescentFraction(); qf < 0.85 {
+		t.Fatalf("cruise quiescent fraction = %.2f, want ≥0.85", qf)
+	}
+	// But not dead: navigation bursts exist.
+	if qf := tr.QuiescentFraction(); qf == 1 {
+		t.Fatal("cruise has no activity at all")
+	}
+}
+
+func TestGroundTestbedBusy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := GroundTestbed(rng, 2*time.Hour, 4)
+	if tr.Total() != 2*time.Hour {
+		t.Fatalf("Total = %v", tr.Total())
+	}
+	// The bench profile is mostly workload with regular induced pauses.
+	if qf := tr.QuiescentFraction(); qf < 0.05 || qf > 0.3 {
+		t.Fatalf("testbed quiescent fraction = %.2f, want ≈0.1", qf)
+	}
+}
+
+func TestMissionProfilesDeterministic(t *testing.T) {
+	a := MarsSol(rand.New(rand.NewSource(7)), 4)
+	b := MarsSol(rand.New(rand.NewSource(7)), 4)
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatal("MarsSol not deterministic")
+	}
+}

@@ -1,0 +1,246 @@
+// Package trace generates spacecraft compute-activity timelines: the
+// bursty run-then-idle patterns real flight software exhibits (paper
+// §3.1, "spacecraft compute load patterns"), plus the specific synthetic
+// workloads the paper's figures use (the navigation workload of Figure 2,
+// the frequency-stepped matrix-multiply sweep of Figure 5).
+//
+// A Trace is consumed by the machine simulation, which steps the CPU,
+// power, and sensor models through it.
+package trace
+
+import (
+	"math/rand"
+	"time"
+
+	"radshield/internal/cpu"
+)
+
+// Kind labels what a segment represents, so experiments know ground truth
+// (e.g. whether the system is quiescent) independently of what detectors
+// infer.
+type Kind int
+
+const (
+	// Idle: no application and no housekeeping activity.
+	Idle Kind = iota
+	// Housekeeping: short OS maintenance tasks during quiescence (log
+	// rotation, interrupts, telemetry heartbeats).
+	Housekeeping
+	// Workload: the payload application is running.
+	Workload
+)
+
+// String returns the segment kind name.
+func (k Kind) String() string {
+	switch k {
+	case Idle:
+		return "idle"
+	case Housekeeping:
+		return "housekeeping"
+	case Workload:
+		return "workload"
+	default:
+		return "unknown"
+	}
+}
+
+// Segment is a span of constant activity.
+type Segment struct {
+	Duration time.Duration
+	Kind     Kind
+	// Loads holds the per-core activity; cores beyond len(Loads) idle.
+	Loads []cpu.Load
+	// FreqHz optionally overrides the per-core DVFS frequency for the
+	// segment (0 = leave unchanged / let the governor decide).
+	FreqHz float64
+	// Disk IO rates in sectors/second.
+	DiskReadPerSec  float64
+	DiskWritePerSec float64
+}
+
+// Trace is a sequence of segments.
+type Trace struct {
+	Segments []Segment
+}
+
+// Total returns the summed duration of all segments.
+func (t *Trace) Total() time.Duration {
+	var d time.Duration
+	for _, s := range t.Segments {
+		d += s.Duration
+	}
+	return d
+}
+
+// Append adds segments to the trace and returns it for chaining.
+func (t *Trace) Append(segs ...Segment) *Trace {
+	t.Segments = append(t.Segments, segs...)
+	return t
+}
+
+// QuiescentFraction returns the fraction of trace time whose segments are
+// not Workload — the paper observes spacecraft are quiescent for the vast
+// majority of each day.
+func (t *Trace) QuiescentFraction() float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	var q time.Duration
+	for _, s := range t.Segments {
+		if s.Kind != Workload {
+			q += s.Duration
+		}
+	}
+	return float64(q) / float64(total)
+}
+
+// spread clones a load to n cores.
+func spread(l cpu.Load, n int) []cpu.Load {
+	loads := make([]cpu.Load, n)
+	for i := range loads {
+		loads[i] = l
+	}
+	return loads
+}
+
+// Quiescent generates an idle stretch of the given total duration,
+// punctuated by short housekeeping blips: mean one blip per blipEvery,
+// each 20–200 ms of light single-core activity with a little disk IO.
+// These blips are what defeat black-box current-only detectors — they
+// raise current without an SEL — and what ILD's counter features explain
+// away.
+func Quiescent(rng *rand.Rand, total, blipEvery time.Duration) *Trace {
+	t := &Trace{}
+	remaining := total
+	for remaining > 0 {
+		gap := time.Duration(rng.ExpFloat64() * float64(blipEvery))
+		if gap > remaining {
+			gap = remaining
+		}
+		if gap > 0 {
+			t.Append(Segment{Duration: gap, Kind: Idle})
+			remaining -= gap
+		}
+		if remaining <= 0 {
+			break
+		}
+		blip := 20*time.Millisecond + time.Duration(rng.Int63n(int64(180*time.Millisecond)))
+		if blip > remaining {
+			blip = remaining
+		}
+		t.Append(Segment{
+			Duration:        blip,
+			Kind:            Housekeeping,
+			Loads:           []cpu.Load{cpu.HousekeepingLoad},
+			DiskReadPerSec:  200 + rng.Float64()*800,
+			DiskWritePerSec: 100 + rng.Float64()*400,
+		})
+		remaining -= blip
+	}
+	return t
+}
+
+// Burst generates one payload-workload burst of the given duration on
+// `cores` cores, alternating compute- and memory-bound phases so the
+// current trace shows the paper's high-variance profile (σ ≈ 1 A).
+func Burst(rng *rand.Rand, dur time.Duration, cores int) *Trace {
+	t := &Trace{}
+	remaining := dur
+	for remaining > 0 {
+		phase := 200*time.Millisecond + time.Duration(rng.Int63n(int64(3*time.Second)))
+		if phase > remaining {
+			phase = remaining
+		}
+		var load cpu.Load
+		if rng.Float64() < 0.6 {
+			load = cpu.ComputeLoad
+		} else {
+			load = cpu.MemoryLoad
+		}
+		// Vary intensity phase to phase.
+		load.Util *= 0.7 + rng.Float64()*0.3
+		n := 1 + rng.Intn(cores)
+		t.Append(Segment{
+			Duration:        phase,
+			Kind:            Workload,
+			Loads:           spread(load, n),
+			DiskReadPerSec:  rng.Float64() * 2000,
+			DiskWritePerSec: rng.Float64() * 500,
+		})
+		remaining -= phase
+	}
+	return t
+}
+
+// FlightSoftware generates the paper's operational pattern: workload
+// bursts triggered by (unpredictable) communication windows, separated by
+// long quiescent periods. Roughly 20 % of time is spent in bursts.
+func FlightSoftware(rng *rand.Rand, total time.Duration, cores int) *Trace {
+	t := &Trace{}
+	for t.Total() < total {
+		quiet := 2*time.Minute + time.Duration(rng.Int63n(int64(8*time.Minute)))
+		t.Append(Quiescent(rng, quiet, 15*time.Second).Segments...)
+		if t.Total() >= total {
+			break
+		}
+		burst := 30*time.Second + time.Duration(rng.Int63n(int64(2*time.Minute)))
+		t.Append(Burst(rng, burst, cores).Segments...)
+	}
+	return clip(t, total)
+}
+
+// Navigation generates the paper's Figure 2 workload: a spacecraft
+// navigation task with sustained multi-core activity whose natural
+// variance dwarfs a micro-SEL's +0.07 A.
+func Navigation(rng *rand.Rand, total time.Duration, cores int) *Trace {
+	t := &Trace{}
+	for t.Total() < total {
+		t.Append(Burst(rng, 10*time.Second, cores).Segments...)
+		// Short think-time between navigation solutions.
+		t.Append(Quiescent(rng, time.Duration(rng.Int63n(int64(2*time.Second))), time.Second).Segments...)
+	}
+	return clip(t, total)
+}
+
+// MatMulSteps generates the paper's Figure 5 sweep: cycling between 0 and
+// `cores` active cores while stepping the DVFS frequency from minHz to
+// maxHz in stepHz increments, each combination held for `hold`.
+func MatMulSteps(cores int, minHz, maxHz, stepHz float64, hold time.Duration) *Trace {
+	t := &Trace{}
+	for f := minHz; f <= maxHz+1; f += stepHz {
+		for n := 0; n <= cores; n++ {
+			seg := Segment{
+				Duration: hold,
+				FreqHz:   f,
+				Loads:    spread(cpu.ComputeLoad, n),
+			}
+			if n == 0 {
+				seg.Kind = Idle
+			} else {
+				seg.Kind = Workload
+			}
+			t.Append(seg)
+		}
+	}
+	return t
+}
+
+// clip truncates the trace to exactly total duration.
+func clip(t *Trace, total time.Duration) *Trace {
+	out := &Trace{}
+	var acc time.Duration
+	for _, s := range t.Segments {
+		if acc+s.Duration > total {
+			s.Duration = total - acc
+		}
+		if s.Duration > 0 {
+			out.Append(s)
+		}
+		acc += s.Duration
+		if acc >= total {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"radshield/internal/emr"
+)
+
+// MLP geometry for the neural-network workload: a small classifier of
+// the kind run on orbital imagery tiles. Weights and biases are a single
+// shared blob replicated per executor (the paper's "Replicate model
+// weights & biases" row).
+const (
+	dnnIn     = 64
+	dnnHidden = 32
+	dnnOut    = 10
+)
+
+// dnnWeightsLen is the serialized float32 parameter count.
+const dnnWeightsLen = (dnnIn*dnnHidden + dnnHidden + dnnHidden*dnnOut + dnnOut) * 4
+
+// dnnSampleLen is one input vector in bytes.
+const dnnSampleLen = dnnIn * 4
+
+// dnnStride is the sliding-window step over the feature stream, in
+// bytes. Stride < window: consecutive inference windows share half their
+// input, the convolution-style access pattern that makes the DNN the
+// conflict-heaviest workload in the paper ("DNNs require more cache
+// clears to avoid jobset conflicts", §4.2.5).
+const dnnStride = dnnSampleLen / 2
+
+// NeuralNetwork builds the MLP inference workload: each dataset is one
+// sliding window over a feature stream plus the shared weight blob.
+func NeuralNetwork() Builder {
+	return Builder{
+		Name:          "dnn",
+		CyclesPerByte: 30, // AVX2-class dense GEMV per byte of parameters
+		Build: func(rt *emr.Runtime, size int, seed int64) (emr.Spec, error) {
+			n := size / dnnSampleLen
+			if n < 1 {
+				n = 1
+			}
+			rng := rand.New(rand.NewSource(seed))
+			weights := make([]byte, dnnWeightsLen)
+			for off := 0; off < dnnWeightsLen; off += 4 {
+				binary.BigEndian.PutUint32(weights[off:], math.Float32bits(float32(rng.NormFloat64()*0.3)))
+			}
+			streamLen := (n-1)*dnnStride + dnnSampleLen
+			stream := make([]byte, streamLen)
+			for off := 0; off < len(stream); off += 4 {
+				binary.BigEndian.PutUint32(stream[off:], math.Float32bits(float32(rng.Float64())))
+			}
+			wRef, err := rt.LoadInput("weights", weights)
+			if err != nil {
+				return emr.Spec{}, err
+			}
+			sRef, err := rt.LoadInput("feature-stream", stream)
+			if err != nil {
+				return emr.Spec{}, err
+			}
+			datasets := make([]emr.Dataset, n)
+			for i := 0; i < n; i++ {
+				datasets[i] = emr.Dataset{Inputs: []emr.InputRef{
+					sRef.Slice(uint64(i*dnnStride), dnnSampleLen),
+					wRef,
+				}}
+			}
+			return emr.Spec{
+				Name:          "dnn",
+				Datasets:      datasets,
+				Job:           dnnJob,
+				CyclesPerByte: 30,
+			}, nil
+		},
+	}
+}
+
+// dnnJob runs the forward pass: input → dense(ReLU) → dense → argmax.
+// Output is (argmax class, logits bits) so any single-weight corruption
+// shows up in the vote.
+func dnnJob(inputs [][]byte) ([]byte, error) {
+	if len(inputs) != 2 {
+		return nil, fmt.Errorf("dnn: want [sample, weights], got %d inputs", len(inputs))
+	}
+	sample, weights := inputs[0], inputs[1]
+	if len(sample) != dnnSampleLen {
+		return nil, fmt.Errorf("dnn: sample length %d", len(sample))
+	}
+	if len(weights) != dnnWeightsLen {
+		return nil, fmt.Errorf("dnn: weights length %d", len(weights))
+	}
+	f32 := func(buf []byte, idx int) float32 {
+		return math.Float32frombits(binary.BigEndian.Uint32(buf[idx*4:]))
+	}
+	// Layer 1: hidden = relu(W1·x + b1).
+	w1 := 0
+	b1 := dnnIn * dnnHidden
+	w2 := b1 + dnnHidden
+	b2 := w2 + dnnHidden*dnnOut
+	var hidden [dnnHidden]float32
+	for h := 0; h < dnnHidden; h++ {
+		sum := f32(weights, b1+h)
+		for i := 0; i < dnnIn; i++ {
+			sum += f32(weights, w1+h*dnnIn+i) * f32(sample, i)
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		hidden[h] = sum
+	}
+	// Layer 2: logits = W2·hidden + b2.
+	var logits [dnnOut]float32
+	for o := 0; o < dnnOut; o++ {
+		sum := f32(weights, b2+o)
+		for h := 0; h < dnnHidden; h++ {
+			sum += f32(weights, w2+o*dnnHidden+h) * hidden[h]
+		}
+		logits[o] = sum
+	}
+	best := 0
+	for o := 1; o < dnnOut; o++ {
+		if logits[o] > logits[best] {
+			best = o
+		}
+	}
+	out := make([]byte, 4+4*dnnOut)
+	binary.BigEndian.PutUint32(out, uint32(best))
+	for o := 0; o < dnnOut; o++ {
+		binary.BigEndian.PutUint32(out[4+o*4:], math.Float32bits(logits[o]))
+	}
+	return out, nil
+}
+
+// DecodeClass returns the argmax class from a DNN job output.
+func DecodeClass(out []byte) (int, error) {
+	if len(out) < 4 {
+		return 0, fmt.Errorf("dnn: output too short")
+	}
+	return int(binary.BigEndian.Uint32(out)), nil
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"radshield/internal/emr"
+)
+
+// Geometry of the global-localization workload (the paper's guiding
+// example from the Perseverance rover: match a local map against every
+// N×N window of a global map). Datasets are horizontal strips of the
+// global map; each job scans all x positions within its strip. Strips
+// overlap (stride < template height), which is exactly the red-block
+// conflict of the paper's Figure 6; the match template is shared by every
+// dataset and gets replicated (Figure 9's optimal scheme).
+const (
+	imgTemplate = 32 // template is imgTemplate × imgTemplate pixels
+	imgStride   = 16 // strip start spacing; < imgTemplate → overlaps
+)
+
+// imgParams is the tiny per-dataset parameter block (map width and strip
+// origin) stored on the frontier alongside the pixels.
+const imgParamsLen = 16
+
+// ImageProcessing builds the map-matching workload. size is interpreted
+// as the approximate global map byte count; the map is made square-ish
+// with a fixed width.
+func ImageProcessing() Builder {
+	return Builder{
+		Name:          "image-processing",
+		CyclesPerByte: 26, // SSE2-class SAD over a 32×32 template per window column
+		Build: func(rt *emr.Runtime, size int, seed int64) (emr.Spec, error) {
+			const width = 256
+			height := size / width
+			if height < imgTemplate {
+				height = imgTemplate
+			}
+			global := synthetic(width*height, seed)
+			// Plant the template at a known position so there is a true
+			// best match.
+			template := make([]byte, imgTemplate*imgTemplate)
+			for y := 0; y < imgTemplate; y++ {
+				for x := 0; x < imgTemplate; x++ {
+					template[y*imgTemplate+x] = byte(x*7 ^ y*13)
+				}
+			}
+			plantY := (height / 2 / imgStride) * imgStride
+			plantX := 96
+			for y := 0; y < imgTemplate; y++ {
+				copy(global[(plantY+y)*width+plantX:], template[y*imgTemplate:(y+1)*imgTemplate])
+			}
+
+			mapRef, err := rt.LoadInput("global-map", global)
+			if err != nil {
+				return emr.Spec{}, err
+			}
+			tmplRef, err := rt.LoadInput("match-image", template)
+			if err != nil {
+				return emr.Spec{}, err
+			}
+
+			var datasets []emr.Dataset
+			var params []byte
+			nStrips := 0
+			for y := 0; y+imgTemplate <= height; y += imgStride {
+				nStrips++
+				var p [imgParamsLen]byte
+				binary.BigEndian.PutUint64(p[0:], uint64(width))
+				binary.BigEndian.PutUint64(p[8:], uint64(y))
+				params = append(params, p[:]...)
+			}
+			paramsRef, err := rt.LoadInput("params", params)
+			if err != nil {
+				return emr.Spec{}, err
+			}
+			i := 0
+			for y := 0; y+imgTemplate <= height; y += imgStride {
+				datasets = append(datasets, emr.Dataset{Inputs: []emr.InputRef{
+					mapRef.Slice(uint64(y*width), uint64(imgTemplate*width)),
+					paramsRef.Slice(uint64(i*imgParamsLen), imgParamsLen),
+					tmplRef,
+				}})
+				i++
+			}
+			return emr.Spec{
+				Name:          "image-processing",
+				Datasets:      datasets,
+				Job:           imageJob,
+				CyclesPerByte: 26,
+			}, nil
+		},
+	}
+}
+
+// imageJob scans every x offset of the strip for the best (lowest) sum of
+// absolute differences against the template, returning
+// (bestSAD, globalY, bestX) as three big-endian uint64s.
+func imageJob(inputs [][]byte) ([]byte, error) {
+	if len(inputs) != 3 {
+		return nil, fmt.Errorf("imageproc: want [strip, params, template], got %d inputs", len(inputs))
+	}
+	strip, params, tmpl := inputs[0], inputs[1], inputs[2]
+	if len(params) != imgParamsLen {
+		return nil, fmt.Errorf("imageproc: params length %d", len(params))
+	}
+	width := int(binary.BigEndian.Uint64(params[0:]))
+	originY := binary.BigEndian.Uint64(params[8:])
+	if width <= 0 || len(strip)%width != 0 {
+		return nil, fmt.Errorf("imageproc: strip %d not a multiple of width %d", len(strip), width)
+	}
+	if len(tmpl) != imgTemplate*imgTemplate {
+		return nil, fmt.Errorf("imageproc: template length %d", len(tmpl))
+	}
+	rows := len(strip) / width
+	if rows < imgTemplate {
+		return nil, fmt.Errorf("imageproc: strip of %d rows shorter than template", rows)
+	}
+	bestSAD := ^uint64(0)
+	bestX := 0
+	for x := 0; x+imgTemplate <= width; x++ {
+		var sad uint64
+		for ty := 0; ty < imgTemplate && sad < bestSAD; ty++ {
+			rowOff := ty*width + x
+			trow := tmpl[ty*imgTemplate : (ty+1)*imgTemplate]
+			srow := strip[rowOff : rowOff+imgTemplate]
+			for tx := 0; tx < imgTemplate; tx++ {
+				d := int(srow[tx]) - int(trow[tx])
+				if d < 0 {
+					d = -d
+				}
+				sad += uint64(d)
+			}
+		}
+		if sad < bestSAD {
+			bestSAD, bestX = sad, x
+		}
+	}
+	return putU64(bestSAD, originY, uint64(bestX)), nil
+}
+
+// DecodeMatch unpacks an image-processing job output.
+func DecodeMatch(out []byte) (sad, y, x uint64, err error) {
+	if len(out) != 24 {
+		return 0, 0, 0, fmt.Errorf("imageproc: output length %d, want 24", len(out))
+	}
+	return binary.BigEndian.Uint64(out[0:]),
+		binary.BigEndian.Uint64(out[8:]),
+		binary.BigEndian.Uint64(out[16:]), nil
+}
+
+// BestMatch folds all dataset outputs into the global best (the final
+// localization answer the spacecraft uses).
+func BestMatch(outputs [][]byte) (sad, y, x uint64, err error) {
+	sad = ^uint64(0)
+	for _, out := range outputs {
+		if out == nil {
+			continue
+		}
+		s, oy, ox, derr := DecodeMatch(out)
+		if derr != nil {
+			return 0, 0, 0, derr
+		}
+		if s < sad {
+			sad, y, x = s, oy, ox
+		}
+	}
+	if sad == ^uint64(0) {
+		return 0, 0, 0, fmt.Errorf("imageproc: no valid outputs")
+	}
+	return sad, y, x, nil
+}

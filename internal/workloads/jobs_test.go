@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// Error-path tests for the job functions: corrupted metadata must fail
+// loudly (a detected error for the EMR vote), never panic or mis-answer.
+
+func TestImageJobValidation(t *testing.T) {
+	goodParams := make([]byte, imgParamsLen)
+	binary.BigEndian.PutUint64(goodParams, 256)
+	binary.BigEndian.PutUint64(goodParams[8:], 0)
+	strip := make([]byte, 256*imgTemplate)
+	tmpl := make([]byte, imgTemplate*imgTemplate)
+
+	cases := []struct {
+		name   string
+		inputs [][]byte
+	}{
+		{"wrong arity", [][]byte{strip, goodParams}},
+		{"bad params length", [][]byte{strip, make([]byte, 3), tmpl}},
+		{"zero width", [][]byte{strip, make([]byte, imgParamsLen), tmpl}},
+		{"ragged strip", [][]byte{strip[:100], goodParams, tmpl}},
+		{"bad template", [][]byte{strip, goodParams, tmpl[:10]}},
+		{"short strip", [][]byte{strip[:256*4], goodParams, tmpl}},
+	}
+	for _, c := range cases {
+		if _, err := imageJob(c.inputs); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if _, err := imageJob([][]byte{strip, goodParams, tmpl}); err != nil {
+		t.Fatalf("valid inputs rejected: %v", err)
+	}
+}
+
+func TestDNNJobValidation(t *testing.T) {
+	sample := make([]byte, dnnSampleLen)
+	weights := make([]byte, dnnWeightsLen)
+	if _, err := dnnJob([][]byte{sample}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := dnnJob([][]byte{sample[:8], weights}); err == nil {
+		t.Error("short sample accepted")
+	}
+	if _, err := dnnJob([][]byte{sample, weights[:8]}); err == nil {
+		t.Error("short weights accepted")
+	}
+	out, err := dnnJob([][]byte{sample, weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4+4*dnnOut {
+		t.Fatalf("output length %d", len(out))
+	}
+}
+
+func TestIDSJobValidation(t *testing.T) {
+	if _, err := idsJob([][]byte{{1}}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// A corrupted pattern that no longer compiles is a *detected* error —
+	// the property that makes the replicated pattern vote-safe.
+	if _, err := idsJob([][]byte{[]byte("payload"), []byte("(unclosed")}); err == nil {
+		t.Error("corrupt pattern accepted")
+	} else if !strings.Contains(err.Error(), "corrupt pattern") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	out, err := idsJob([][]byte{[]byte("CMD=REBOOT now"), []byte(idsPattern)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint32(out) != 1 {
+		t.Fatalf("match count = %d, want 1", binary.BigEndian.Uint32(out))
+	}
+}
+
+func TestDeflateJobValidation(t *testing.T) {
+	if _, err := deflateJob([][]byte{{1}, {2}, {3}}); err == nil {
+		t.Error("3-input deflate accepted")
+	}
+	out, err := deflateJob([][]byte{[]byte(strings.Repeat("radshield ", 100))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := InflateBlock(out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != strings.Repeat("radshield ", 100) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestDeflateDictionaryActuallyHelps(t *testing.T) {
+	// Compressing with the preceding window as dictionary must beat
+	// compressing cold when the data repeats across the boundary.
+	block := []byte(strings.Repeat("telemetry-frame-alpha-bravo ", 80))
+	dict := block[:deflateDict]
+	withDict, err := deflateJob([][]byte{dict, block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := deflateJob([][]byte{block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withDict) >= len(cold) {
+		t.Fatalf("dictionary did not help: %d vs %d bytes", len(withDict), len(cold))
+	}
+	// And the dictionary round-trips correctly.
+	back, err := InflateBlock(withDict, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(block) {
+		t.Fatal("dictionary round trip failed")
+	}
+}
+
+func TestAESJobDeterministicPerKey(t *testing.T) {
+	chunk := make([]byte, 64)
+	k1 := make([]byte, 32)
+	k2 := make([]byte, 32)
+	k2[0] = 1
+	a, err := aesJob([][]byte{chunk, k1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := aesJob([][]byte{chunk, k1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := aesJob([][]byte{chunk, k2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("AES not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different keys produced equal ciphertext")
+	}
+}

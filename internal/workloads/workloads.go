@@ -1,0 +1,81 @@
+// Package workloads implements the five spacecraft compute tasks of the
+// paper's EMR evaluation (Table 5), each expressed as an EMR Spec over
+// frontier memory:
+//
+//	Encryption          AES-256-ECB    replicate the key
+//	Compression         DEFLATE        no replication (chained blocks)
+//	Intrusion detection regexp (RE2)   replicate the search pattern
+//	Image processing    map matching   replicate the match image
+//	Neural networks     MLP inference  replicate weights & biases
+//
+// The paper uses OpenSSL/Zlib/RE2/OpenCV; this reproduction uses Go's
+// stdlib crypto/aes and compress/flate, Go's RE2-syntax regexp, and
+// from-scratch implementations of template matching and MLP inference —
+// the same compute and data-access patterns that drive EMR's conflict
+// graph and replication decisions.
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"radshield/internal/emr"
+)
+
+// Builder constructs one workload's Spec on a runtime.
+type Builder struct {
+	// Name matches the paper's Table 5 row.
+	Name string
+	// CyclesPerByte is the virtual compute intensity used by the cost
+	// model (not the Go execution time).
+	CyclesPerByte float64
+	// Build stages inputs into the runtime's frontier and returns the
+	// spec. size scales the total input volume in bytes (approximately);
+	// seed makes the synthetic data deterministic.
+	Build func(rt *emr.Runtime, size int, seed int64) (emr.Spec, error)
+}
+
+// All returns the five paper workloads in Table 5 order.
+func All() []Builder {
+	return []Builder{
+		Encryption(),
+		Compression(),
+		IntrusionDetection(),
+		ImageProcessing(),
+		NeuralNetwork(),
+	}
+}
+
+// ByName returns the builder with the given name, covering both the
+// Table 5 set and the NCC extension variant.
+func ByName(name string) (Builder, error) {
+	for _, b := range append(All(), ImageProcessingNCC()) {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Builder{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// synthetic fills a deterministic pseudo-random buffer.
+func synthetic(n int, seed int64) []byte {
+	buf := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	return buf
+}
+
+// putU32/readU32 are the output serialization helpers shared by jobs.
+func putU32(v uint32) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, v)
+	return out
+}
+
+func putU64(vs ...uint64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint64(out[i*8:], v)
+	}
+	return out
+}
