@@ -15,6 +15,7 @@ import (
 
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
+	"radshield/internal/telemetry"
 )
 
 // benchSEL is the SEL campaign sizing used by benchmarks: longer than
@@ -101,6 +102,33 @@ func BenchmarkFig11RelativeRuntime(b *testing.B) {
 	}
 	b.ReportMetric(worstEMR, "maxEMRrel")
 	b.ReportMetric(worstSerial, "max3MRrel")
+}
+
+// BenchmarkFig11Telemetry is BenchmarkFig11RelativeRuntime with a live
+// metrics registry attached, so comparing the two ns/op numbers bounds
+// the instrumentation overhead on the EMR hot path (budget: <2%).
+func BenchmarkFig11Telemetry(b *testing.B) {
+	cfg := benchSEU()
+	cfg.Telemetry = telemetry.NewRegistry(telemetry.DefaultEventCap)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Telemetry.Snapshot().Counter("emr_runs_total")), "emr-runs")
+}
+
+// BenchmarkTable2Telemetry is the instrumented twin of
+// BenchmarkTable2DetectorAccuracy (ILD + machine metrics enabled).
+func BenchmarkTable2Telemetry(b *testing.B) {
+	cfg := benchSEL()
+	cfg.Telemetry = telemetry.NewRegistry(telemetry.DefaultEventCap)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Telemetry.Snapshot().Counter("ild_samples_total")), "ild-samples")
 }
 
 func BenchmarkFig12InputSize(b *testing.B) {

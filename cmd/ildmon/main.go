@@ -19,6 +19,7 @@ import (
 	"radshield/internal/experiments"
 	"radshield/internal/ild"
 	"radshield/internal/machine"
+	"radshield/internal/telemetry"
 	"radshield/internal/trace"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		report  = flag.Duration("report", 5*time.Minute, "telemetry print interval")
 		dump    = flag.String("dump", "", "write the fine-grained telemetry ring (CSV) to this file")
+		telOut  = flag.String("telemetry", "", "write a JSON metrics snapshot to this file at exit ('-' for stdout)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -45,14 +47,22 @@ func main() {
 	model := det.Model()
 	fmt.Printf("model fitted: %d features, intercept %.4f A\n\n", len(model.Weights), model.Intercept)
 
+	var reg *telemetry.Registry
+	if *telOut != "" {
+		reg = telemetry.NewRegistry(telemetry.DefaultEventCap)
+	}
+	ins := ild.NewInstruments(reg)
+	det.SetInstruments(ins)
+
 	mc := machine.DefaultConfig()
 	mc.SampleEvery = cfg.SampleEvery
 	mc.SensorSeed = *seed + 1
+	mc.Telemetry = reg
 	m := machine.New(mc)
 
 	rng := rand.New(rand.NewSource(*seed + 2))
 	mission := trace.FlightSoftware(rng, time.Duration(*hours*float64(time.Hour)), mc.Cores)
-	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
+	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute, Instruments: ins})
 
 	fmt.Printf("mission start: %v of flight software, SEL strike at %v (+%.3f A)\n",
 		mission.Total().Round(time.Second), *selAt, *selAmps)
@@ -75,6 +85,11 @@ func main() {
 		}
 		if rec.Observe(tel) && detectedAt < 0 {
 			detectedAt = tel.T
+			if struck {
+				ins.ObserveLatency(tel.T - *selAt)
+			} else {
+				ins.CountFalseTrip()
+			}
 			fmt.Printf("[%8s] !!! ILD flags an SEL (residual %.4f A) — commanding power cycle\n",
 				tel.T.Round(time.Second), det.Residual())
 			m.PowerCycle()
@@ -103,6 +118,24 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("telemetry ring (%d records) written to %s\n", rec.Len(), *dump)
+	}
+
+	if *telOut != "" {
+		out := os.Stdout
+		if *telOut != "-" {
+			f, err := os.Create(*telOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.Snapshot().WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		if *telOut != "-" {
+			fmt.Printf("metrics snapshot written to %s\n", *telOut)
+		}
 	}
 
 	fmt.Println()

@@ -8,18 +8,23 @@
 //	radbench -exp all
 //	radbench -exp tab2 -hours 24
 //	radbench -exp fig11,fig14 -size 1048576
+//	radbench -exp tab2,fig11 -telemetry out.json
 //	radbench -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"radshield/internal/emr"
 	"radshield/internal/experiments"
+	"radshield/internal/ild"
+	"radshield/internal/telemetry"
 )
 
 type runner func(sel experiments.SELConfig, seu experiments.SEUConfig) error
@@ -108,6 +113,7 @@ var registry = map[string]struct {
 	"tab7": {"fault-injection outcomes per scheme", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		cfg := experiments.DefaultTable7Config()
 		cfg.Size = seu.Size / 2
+		cfg.Telemetry = seu.Telemetry
 		_, tbl, err := experiments.Table7(cfg)
 		if err != nil {
 			return err
@@ -216,11 +222,13 @@ func summarize(f *experiments.Figure, n int) string {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		hours = flag.Float64("hours", 4, "SEL campaign length in simulated hours")
-		size  = flag.Int("size", 256<<10, "workload input size in bytes")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		hours   = flag.Float64("hours", 4, "SEL campaign length in simulated hours")
+		size    = flag.Int("size", 256<<10, "workload input size in bytes")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		telOut  = flag.String("telemetry", "", "write a JSON telemetry snapshot to this file at exit ('-' for stdout)")
+		telHTTP = flag.String("telemetry-http", "", "serve the telemetry snapshot (and expvar) on this address while running")
 	)
 	flag.Parse()
 
@@ -237,10 +245,34 @@ func main() {
 		return
 	}
 
+	var reg *telemetry.Registry
+	if *telOut != "" || *telHTTP != "" {
+		reg = telemetry.NewRegistry(telemetry.DefaultEventCap)
+		// Pre-register the ILD and EMR metric families so every snapshot
+		// carries the full schema, even for experiments that exercise only
+		// one protection component (e.g. -exp tab2 never builds an EMR
+		// runtime, -exp fig11 never builds a detector).
+		ild.NewInstruments(reg)
+		emr.PreRegister(reg)
+	}
+	if *telHTTP != "" {
+		reg.Publish("radshield")
+		mux := http.NewServeMux()
+		mux.Handle("/telemetry", reg.Handler())
+		mux.Handle("/debug/vars", http.DefaultServeMux)
+		go func() {
+			if err := http.ListenAndServe(*telHTTP, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "radbench: telemetry-http: %v\n", err)
+			}
+		}()
+		fmt.Printf("telemetry: http://%s/telemetry\n\n", *telHTTP)
+	}
+
 	sel := experiments.DefaultSELConfig()
 	sel.Duration = time.Duration(*hours * float64(time.Hour))
 	sel.Seed = *seed
-	seu := experiments.SEUConfig{Size: *size, Seed: *seed + 41}
+	sel.Telemetry = reg
+	seu := experiments.SEUConfig{Size: *size, Seed: *seed + 41, Telemetry: reg}
 
 	var targets []string
 	if *exp == "all" {
@@ -262,5 +294,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *telOut != "" {
+		out := os.Stdout
+		if *telOut != "-" {
+			f, err := os.Create(*telOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "radbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.Snapshot().WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: writing telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		if *telOut != "-" {
+			fmt.Printf("telemetry snapshot written to %s\n", *telOut)
+		}
 	}
 }

@@ -1,10 +1,3 @@
-// Package bayes implements a Gaussian naive Bayes classifier.
-//
-// The paper reports that ILD "initially tried classification algorithms
-// such as naive bayes and random forest ... but these proved to be
-// computationally expensive and imprecise" before settling on a linear
-// model. This package exists to reproduce that rejected-alternative
-// comparison in the ablation benchmarks.
 package bayes
 
 import (

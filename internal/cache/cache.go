@@ -1,13 +1,3 @@
-// Package cache models the shared, unprotected CPU cache of a commodity
-// SoC. Commodity compute pipelines and caches lack ECC (paper §2.2), so a
-// single-event upset that lands in a cached line silently corrupts every
-// subsequent read of that line — by any core — until the line is flushed.
-//
-// This is exactly the hazard EMR's conflict-aware scheduling removes: if
-// two redundant executors read the same input bytes while they sit in the
-// shared cache, one upset defeats both copies and the corruption outvotes
-// the remaining correct executor... or at best ties it. The cache is
-// therefore the centrepiece of the SEU experiments (paper Table 7).
 package cache
 
 import (

@@ -1,11 +1,3 @@
-// Package cpu models the cores of a commodity SoC (the Raspberry Pi Zero
-// 2 W class device of the paper's SEL testbed): per-core DVFS frequency,
-// an activity level describing the running workload, and the hardware
-// performance counters Linux exposes to userspace.
-//
-// ILD never sees the workload directly — only these counters and the
-// current sensor — which is precisely the white-box-via-OS-metrics setting
-// the paper exploits.
 package cpu
 
 import (

@@ -1,12 +1,3 @@
-// Package ecc implements the Hamming SECDED(72,64) error-correcting code
-// used by commodity ECC DRAM and flash controllers: every 64-bit data word
-// carries 8 check bits that allow single-error correction and double-error
-// detection.
-//
-// The simulated memory hierarchy (package mem) uses this codec to decide
-// which injected upsets are absorbed by hardware and which escape to
-// software — the paper's "reliability frontier" is drawn exactly at the
-// boundary where SECDED protection ends.
 package ecc
 
 import "math/bits"

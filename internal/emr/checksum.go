@@ -103,6 +103,7 @@ func (r *Runtime) visitChecksummed(spec *Spec, store *checksumStore, dsIdx int) 
 		hp := &HookPoint{Phase: PhaseBeforeRead, Jobset: -1, Dataset: dsIdx, Executor: 0, Regions: regionsOf(ds)}
 		spec.Hook(hp)
 		if hp.Fail != nil {
+			r.ins.hookAbort()
 			return nil, io, hp.Fail
 		}
 	}
@@ -117,10 +118,12 @@ func (r *Runtime) visitChecksummed(spec *Spec, store *checksumStore, dsIdx int) 
 		io.total += in.Region.Len
 	}
 	io.fetched = (r.cache.Stats().Misses - missesBefore) * cacheLineSize
+	r.ins.visit(io.fetched)
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseAfterRead, Jobset: -1, Dataset: dsIdx, Executor: 0, Regions: regionsOf(ds)}
 		spec.Hook(hp)
 		if hp.Fail != nil {
+			r.ins.hookAbort()
 			return nil, io, hp.Fail
 		}
 		// Re-read so injected cache upsets reach the consumed bytes (the
@@ -140,6 +143,7 @@ func (r *Runtime) visitChecksummed(spec *Spec, store *checksumStore, dsIdx int) 
 			return nil, io, fmt.Errorf("emr: no checksum for %q", in.Name)
 		}
 		if got := crc32.ChecksumIEEE(inputs[i]); got != want {
+			r.ins.checksumMiss(dsIdx, in.Name)
 			return nil, io, fmt.Errorf("%w: %q", ErrChecksumMismatch, in.Name)
 		}
 	}
@@ -151,6 +155,7 @@ func (r *Runtime) visitChecksummed(spec *Spec, store *checksumStore, dsIdx int) 
 		hp := &HookPoint{Phase: PhaseAfterJob, Jobset: -1, Dataset: dsIdx, Executor: 0, Regions: regionsOf(ds), Output: out}
 		spec.Hook(hp)
 		if hp.Fail != nil {
+			r.ins.hookAbort()
 			return nil, io, hp.Fail
 		}
 		out = hp.Output

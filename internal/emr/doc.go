@@ -1,0 +1,44 @@
+// Package emr implements Efficient Modular Redundancy, Radshield's SEU
+// mitigation (paper §3.2): a runtime that executes every job three times
+// across executors while guaranteeing that no single upset — in the CPU
+// pipeline, the shared cache, or unprotected DRAM — can corrupt a
+// majority of the redundant copies.
+//
+// The key ideas, all reproduced here:
+//
+//   - Reliability frontier. Inputs and outputs live on the last
+//     ECC-protected level (storage always; DRAM when ECC DRAM is
+//     fitted). Only data in flight beyond the frontier needs triple
+//     execution.
+//   - Conflicts and jobsets. Two jobs whose datasets overlap in memory
+//     may be served the same (unprotected) cache line; EMR groups
+//     non-conflicting jobs into jobsets and staggers redundant copies so
+//     no two executors ever consume the same cached bytes, flushing each
+//     job's lines when it completes.
+//   - Common-data replication. Regions referenced by ≥ threshold of all
+//     datasets (encryption keys, model weights, match images) are copied
+//     into per-executor replicas, removing those conflicts without cache
+//     clears.
+//
+// The runtime also implements the paper's baselines — sequential 3-MR and
+// unprotected parallel 3-MR — as alternative schemes over the same
+// machinery, so the Figure 11–14 comparisons are apples to apples.
+//
+// Key types: Runtime owns the simulated devices (frontier Storage or
+// ECC DRAM, plain DRAM, the shared Cache) and executes Specs; a Spec
+// names Datasets (each a list of InputRefs into frontier memory) and a
+// JobFunc; Run returns a Result whose Report carries the Table 6-style
+// virtual-time breakdown, vote tallies, and energy. Hook/HookPoint is
+// the fault-injection seam the Table 7 campaign uses to strike cache
+// lines, executor outputs, job descriptors, and frontier words at
+// precise phases. Config.Telemetry optionally attaches a
+// telemetry.Registry; every Run then feeds the emr_* metrics documented
+// in TELEMETRY.md.
+//
+// Invariants: datasets in one jobset never share a cache line (the
+// conflict graph is computed over replica-resolved regions); each
+// executor's visit flushes the dataset's lines before the next redundant
+// copy may touch them; votes are majority-of-three byte comparisons, so
+// a single corrupted copy is always outvoted; all time is virtual
+// (CostModel), so reports are deterministic for a given seed and config.
+package emr

@@ -1,28 +1,3 @@
-// Package emr implements Efficient Modular Redundancy, Radshield's SEU
-// mitigation (paper §3.2): a runtime that executes every job three times
-// across executors while guaranteeing that no single upset — in the CPU
-// pipeline, the shared cache, or unprotected DRAM — can corrupt a
-// majority of the redundant copies.
-//
-// The key ideas, all reproduced here:
-//
-//   - Reliability frontier. Inputs and outputs live on the last
-//     ECC-protected level (storage always; DRAM when ECC DRAM is
-//     fitted). Only data in flight beyond the frontier needs triple
-//     execution.
-//   - Conflicts and jobsets. Two jobs whose datasets overlap in memory
-//     may be served the same (unprotected) cache line; EMR groups
-//     non-conflicting jobs into jobsets and staggers redundant copies so
-//     no two executors ever consume the same cached bytes, flushing each
-//     job's lines when it completes.
-//   - Common-data replication. Regions referenced by ≥ threshold of all
-//     datasets (encryption keys, model weights, match images) are copied
-//     into per-executor replicas, removing those conflicts without cache
-//     clears.
-//
-// The runtime also implements the paper's baselines — sequential 3-MR and
-// unprotected parallel 3-MR — as alternative schemes over the same
-// machinery, so the Figure 11–14 comparisons are apples to apples.
 package emr
 
 import (
@@ -32,6 +7,7 @@ import (
 	"radshield/internal/cache"
 	"radshield/internal/fault"
 	"radshield/internal/mem"
+	"radshield/internal/telemetry"
 )
 
 // Frontier selects where the reliability frontier sits (paper Figure 3).
@@ -117,6 +93,12 @@ type Config struct {
 	// region shared by at least two datasets.
 	ReplicationThreshold float64
 	Cost                 CostModel
+	// Telemetry, when non-nil, receives the runtime's vote/flush/fetch
+	// counters, the per-run makespan histogram, and vote-mismatch /
+	// checksum-miss events (see TELEMETRY.md). Nil disables
+	// instrumentation; the hot path then costs one nil check per
+	// accounting step.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns a 3-executor EMR configuration with an ECC-DRAM
@@ -149,6 +131,8 @@ type Runtime struct {
 
 	inputBytes uint64 // bytes staged through LoadInput
 	diskLoaded uint64 // bytes pulled from disk during staging
+
+	ins *instruments
 }
 
 // New validates the config and builds a runtime.
@@ -181,6 +165,7 @@ func New(cfg Config) (*Runtime, error) {
 		bus:     mem.NewBus(),
 		storage: mem.NewStorage(cfg.StorageSize),
 		dram:    mem.NewDRAM(cfg.DRAMSize, cfg.DRAMECC),
+		ins:     newEMRInstruments(cfg.Telemetry),
 	}
 	rt.storageBase = rt.bus.Map(rt.storage)
 	rt.dramBase = rt.bus.Map(rt.dram)

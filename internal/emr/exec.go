@@ -164,6 +164,7 @@ func (r *Runtime) visit(spec *Spec, a *analysis, jobset, dsIdx, executor int) (o
 		hp := &HookPoint{Phase: PhaseBeforeRead, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions}
 		spec.Hook(hp)
 		if hp.Fail != nil {
+			r.ins.hookAbort()
 			return nil, io, hp.Fail
 		}
 	}
@@ -184,10 +185,12 @@ func (r *Runtime) visit(spec *Spec, a *analysis, jobset, dsIdx, executor int) (o
 		io.total += reg.Len
 	}
 	io.fetched = (r.cache.Stats().Misses - missesBefore) * cacheLineSize
+	r.ins.visit(io.fetched)
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseAfterRead, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions}
 		spec.Hook(hp)
 		if hp.Fail != nil {
+			r.ins.hookAbort()
 			return nil, io, hp.Fail
 		}
 		// Second pass: re-read through the cache so injected line upsets
@@ -207,6 +210,7 @@ func (r *Runtime) visit(spec *Spec, a *analysis, jobset, dsIdx, executor int) (o
 		hp := &HookPoint{Phase: PhaseAfterJob, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions, Output: out}
 		spec.Hook(hp)
 		if hp.Fail != nil {
+			r.ins.hookAbort()
 			return nil, io, hp.Fail
 		}
 		out = hp.Output
@@ -221,6 +225,7 @@ func (r *Runtime) flushShared(a *analysis, dsIdx int) int {
 	for _, reg := range a.conflictRegions[dsIdx] {
 		lines += r.cache.FlushRange(reg.Addr, reg.Len)
 	}
+	r.ins.flush(lines)
 	return lines
 }
 
@@ -423,6 +428,7 @@ func (r *Runtime) vote(spec *Spec, outputs [][][]byte, errs []error, acct *accou
 				dr.Err = errVoteFailed
 				dr.Disagreement = true
 				acct.votes.Failed++
+				r.ins.voteMismatch(d, false)
 			case unanimous && !hadError && len(valid) == ex:
 				dr.Output = winner
 				acct.votes.Unanimous++
@@ -430,6 +436,9 @@ func (r *Runtime) vote(spec *Spec, outputs [][][]byte, errs []error, acct *accou
 				dr.Output = winner
 				dr.Disagreement = !unanimous
 				acct.votes.Corrected++
+				if !unanimous {
+					r.ins.voteMismatch(d, true)
+				}
 			}
 		}
 		if dr.Output != nil {

@@ -209,5 +209,6 @@ func (a *accounting) finish(r *Runtime, base Report) Report {
 	rep.EnergyJ = c.IdleWatts*rep.Makespan.Seconds() + c.CoreWatts*a.busy.Seconds()
 	rep.CacheStats = r.cache.Stats()
 	rep.Datasets = base.Datasets
+	r.ins.finishRun(r, rep)
 	return rep
 }

@@ -1,0 +1,143 @@
+package emr
+
+import (
+	"radshield/internal/cache"
+	"radshield/internal/mem"
+	"radshield/internal/telemetry"
+)
+
+// instruments holds the EMR runtime's metric handles. A nil
+// *instruments (telemetry disabled) makes every method a no-op, so the
+// executor hot path pays a single nil check per accounting step.
+type instruments struct {
+	reg *telemetry.Registry
+
+	runs           *telemetry.Counter   // emr_runs_total
+	votesUnanimous *telemetry.Counter   // emr_votes_unanimous_total
+	votesCorrected *telemetry.Counter   // emr_votes_corrected_total
+	votesFailed    *telemetry.Counter   // emr_votes_failed_total
+	execErrors     *telemetry.Counter   // emr_exec_errors_total
+	hookAborts     *telemetry.Counter   // emr_hook_aborts_total
+	flushLines     *telemetry.Counter   // emr_flush_lines_total
+	fetchBytes     *telemetry.Counter   // emr_fetch_bytes_total
+	checksumMisses *telemetry.Counter   // emr_checksum_misses_total
+	makespan       *telemetry.Histogram // emr_run_makespan_seconds
+
+	// Mirrors of the shared cache and DRAM counters, accumulated as
+	// per-run deltas so one registry aggregates any number of runtimes.
+	cacheHits     *telemetry.Counter // emr_cache_hits_total
+	cacheMisses   *telemetry.Counter // emr_cache_misses_total
+	cacheFlipsIn  *telemetry.Counter // emr_cache_flips_injected_total
+	cacheFlipsAbs *telemetry.Counter // emr_cache_flips_absorbed_total
+	dramCorrected *telemetry.Counter // emr_dram_ecc_corrected_total
+	dramUncorr    *telemetry.Counter // emr_dram_ecc_uncorrectable_total
+
+	lastCache cache.Stats
+	lastDRAM  mem.Stats
+}
+
+// PreRegister creates EMR's metric families on reg without attaching
+// them to a runtime, so snapshots from runs that never build an EMR
+// runtime still carry the full schema (dashboards and snapshot diff
+// tools need a stable shape). Registry lookups are idempotent, so
+// runtimes constructed later share these counters. No-op on nil.
+func PreRegister(reg *telemetry.Registry) {
+	newEMRInstruments(reg)
+}
+
+func newEMRInstruments(reg *telemetry.Registry) *instruments {
+	if reg == nil {
+		return nil
+	}
+	return &instruments{
+		reg:            reg,
+		runs:           reg.Counter("emr_runs_total", "runs"),
+		votesUnanimous: reg.Counter("emr_votes_unanimous_total", "votes"),
+		votesCorrected: reg.Counter("emr_votes_corrected_total", "votes"),
+		votesFailed:    reg.Counter("emr_votes_failed_total", "votes"),
+		execErrors:     reg.Counter("emr_exec_errors_total", "errors"),
+		hookAborts:     reg.Counter("emr_hook_aborts_total", "aborts"),
+		flushLines:     reg.Counter("emr_flush_lines_total", "lines"),
+		fetchBytes:     reg.Counter("emr_fetch_bytes_total", "bytes"),
+		checksumMisses: reg.Counter("emr_checksum_misses_total", "misses"),
+		makespan:       reg.Histogram("emr_run_makespan_seconds", "seconds", telemetry.LatencyBuckets()),
+		cacheHits:      reg.Counter("emr_cache_hits_total", "hits"),
+		cacheMisses:    reg.Counter("emr_cache_misses_total", "misses"),
+		cacheFlipsIn:   reg.Counter("emr_cache_flips_injected_total", "flips"),
+		cacheFlipsAbs:  reg.Counter("emr_cache_flips_absorbed_total", "flips"),
+		dramCorrected:  reg.Counter("emr_dram_ecc_corrected_total", "words"),
+		dramUncorr:     reg.Counter("emr_dram_ecc_uncorrectable_total", "words"),
+	}
+}
+
+// visitIO folds one executor visit's data movement into the counters.
+func (ins *instruments) visit(fetchedBytes uint64) {
+	if ins == nil {
+		return
+	}
+	ins.fetchBytes.Add(fetchedBytes)
+}
+
+func (ins *instruments) flush(lines int) {
+	if ins == nil || lines <= 0 {
+		return
+	}
+	ins.flushLines.Add(uint64(lines))
+}
+
+func (ins *instruments) hookAbort() {
+	if ins == nil {
+		return
+	}
+	ins.hookAborts.Inc()
+}
+
+// voteMismatch records one dataset whose executors disagreed; corrected
+// reports whether a majority still produced an output.
+func (ins *instruments) voteMismatch(dataset int, corrected bool) {
+	if ins == nil {
+		return
+	}
+	ins.reg.Emit(telemetry.Event{
+		Kind:   telemetry.KindVoteMismatch,
+		Fields: map[string]any{"dataset": dataset, "corrected": corrected},
+	})
+}
+
+func (ins *instruments) checksumMiss(dataset int, region string) {
+	if ins == nil {
+		return
+	}
+	ins.checksumMisses.Inc()
+	ins.reg.Emit(telemetry.Event{
+		Kind:   telemetry.KindChecksumMiss,
+		Fields: map[string]any{"dataset": dataset, "region": region},
+	})
+}
+
+// finishRun folds one completed Run's outcome into the counters: the
+// vote tallies, the virtual makespan, and the deltas of the device
+// counters since the previous run on this runtime.
+func (ins *instruments) finishRun(r *Runtime, rep Report) {
+	if ins == nil {
+		return
+	}
+	ins.runs.Inc()
+	ins.votesUnanimous.Add(uint64(rep.Votes.Unanimous))
+	ins.votesCorrected.Add(uint64(rep.Votes.Corrected))
+	ins.votesFailed.Add(uint64(rep.Votes.Failed))
+	ins.execErrors.Add(uint64(rep.ExecErrors))
+	ins.makespan.Observe(rep.Makespan.Seconds())
+
+	cs := rep.CacheStats
+	ins.cacheHits.Add(cs.Hits - ins.lastCache.Hits)
+	ins.cacheMisses.Add(cs.Misses - ins.lastCache.Misses)
+	ins.cacheFlipsIn.Add(cs.FlipsInjected - ins.lastCache.FlipsInjected)
+	ins.cacheFlipsAbs.Add(cs.FlipsAbsorbed - ins.lastCache.FlipsAbsorbed)
+	ins.lastCache = cs
+
+	ds := r.dram.Stats()
+	ins.dramCorrected.Add(ds.Corrected - ins.lastDRAM.Corrected)
+	ins.dramUncorr.Add(ds.Uncorrectable - ins.lastDRAM.Uncorrectable)
+	ins.lastDRAM = ds
+}

@@ -1,8 +1,3 @@
-// Package experiments contains one harness per table and figure of the
-// paper's evaluation (§4), plus the ablation studies of the design
-// choices called out in DESIGN.md. Each harness returns a plain result
-// struct and can render itself as the text table / data series the paper
-// reports; cmd/radbench and the repository-level benchmarks drive them.
 package experiments
 
 import (

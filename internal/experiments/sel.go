@@ -9,6 +9,7 @@ import (
 	"radshield/internal/ild"
 	"radshield/internal/machine"
 	"radshield/internal/stats"
+	"radshield/internal/telemetry"
 	"radshield/internal/trace"
 )
 
@@ -24,6 +25,10 @@ type SELConfig struct {
 	SELAmps     float64       // latchup magnitude (paper: +0.07 A)
 	Window      time.Duration // detection window (paper: 3 min)
 	Seed        int64
+
+	// Telemetry, when non-nil, receives machine, detector, and campaign
+	// metrics (see TELEMETRY.md). Nil means no instrumentation cost.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultSELConfig returns a campaign that runs in a few seconds.
@@ -44,6 +49,7 @@ func (c SELConfig) machineConfig(seed int64) machine.Config {
 	mc := machine.DefaultConfig()
 	mc.SampleEvery = c.SampleEvery
 	mc.SensorSeed = seed
+	mc.Telemetry = c.Telemetry
 	return mc
 }
 
@@ -58,6 +64,7 @@ func (c SELConfig) ildConfig() ild.Config {
 // TrainILD performs the pre-launch procedure: run the ground twin over a
 // quiescent trace and fit the linear current model.
 func TrainILD(c SELConfig) (*ild.Detector, error) {
+	c.Telemetry = nil // ground-twin training stays out of flight metrics
 	m := machine.New(c.machineConfig(c.Seed + 100))
 	trainer := ild.NewTrainer(c.ildConfig())
 	rng := rand.New(rand.NewSource(c.Seed + 101))
@@ -75,6 +82,7 @@ func TrainILD(c SELConfig) (*ild.Detector, error) {
 // orbital thermal drift of the baseline is not a feature it can see —
 // both failure modes the paper attributes to black-box detectors.
 func trainForestBaseline(c SELConfig) *ild.ForestDetector {
+	c.Telemetry = nil // training injections are not flight SELs
 	var currents []float64
 	var labels []int
 	for pass, sel := range []float64{0, c.SELAmps} {
@@ -132,6 +140,17 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 		{"Static 1.85A", ild.NewStaticThreshold(1.85)},
 	}
 
+	// Attach instruments to the ILD detector (not the baselines: Table 2
+	// compares detectors, but the telemetry story follows the paper's
+	// deployed design).
+	ins := ild.NewInstruments(c.Telemetry)
+	det.SetInstruments(ins)
+	var episodesCtr, missedCtr *telemetry.Counter
+	if c.Telemetry != nil {
+		episodesCtr = c.Telemetry.Counter("ild_episodes_total", "episodes")
+		missedCtr = c.Telemetry.Counter("ild_episodes_missed_total", "episodes")
+	}
+
 	m := machine.New(c.machineConfig(c.Seed))
 	rng := rand.New(rand.NewSource(c.Seed + 1))
 	flight := trace.FlightSoftware(rng, c.Duration, 4)
@@ -139,7 +158,7 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 	// straddling the workload→bubble boundary reads as busy and resets
 	// the averaging window, so a bare 3 s bubble never quite fills a 3 s
 	// window.
-	policy := ild.BubblePolicy{BubbleLen: c.ildConfig().SustainFor + time.Second, Pause: 3 * time.Minute}
+	policy := ild.BubblePolicy{BubbleLen: c.ildConfig().SustainFor + time.Second, Pause: 3 * time.Minute, Instruments: ins}
 	flight = ild.InjectBubbles(flight, policy)
 
 	type state struct {
@@ -171,11 +190,17 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 				if fired && !states[i].episodeHit[len(states[i].episodeHit)-1] {
 					states[i].episodeHit[len(states[i].episodeHit)-1] = true
 					states[i].latencies = append(states[i].latencies, tel.T-episodeStart)
+					if i == 0 { // ILD is monitors[0]
+						ins.ObserveLatency(tel.T - episodeStart)
+					}
 				}
 			} else {
 				states[i].negSamples++
 				if fired {
 					states[i].fpSamples++
+					if i == 0 {
+						ins.CountFalseTrip()
+					}
 				}
 			}
 		}
@@ -183,6 +208,10 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 			m.ClearSEL()
 			episodeEnd = -1
 			nextSEL = tel.T + c.SELEvery
+			episodesCtr.Inc()
+			if !states[0].episodeHit[len(states[0].episodeHit)-1] {
+				missedCtr.Inc()
+			}
 		}
 	})
 

@@ -9,6 +9,7 @@ import (
 	"radshield/internal/emr"
 	"radshield/internal/fault"
 	"radshield/internal/ild"
+	"radshield/internal/telemetry"
 	"radshield/internal/workloads"
 )
 
@@ -16,6 +17,10 @@ import (
 type SEUConfig struct {
 	Size int   // input volume per workload in bytes
 	Seed int64 // synthetic-data seed
+
+	// Telemetry, when non-nil, receives per-run EMR metrics from every
+	// runtime the experiment constructs (see TELEMETRY.md).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultSEUConfig returns the default workload sizing.
@@ -27,6 +32,7 @@ func runScheme(b workloads.Builder, scheme fault.Scheme, frontier emr.Frontier, 
 	cfg := emr.DefaultConfig()
 	cfg.Scheme = scheme
 	cfg.Frontier = frontier
+	cfg.Telemetry = c.Telemetry
 	if frontier == emr.FrontierStorage {
 		cfg.DRAMECC = false
 	}
@@ -272,6 +278,10 @@ type Table7Config struct {
 	Runs int // injections per scheme (paper: 20)
 	Size int
 	Seed int64
+
+	// Telemetry, when non-nil, counts injected faults per target kind and
+	// emits a fault_injected event for each strike.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultTable7Config matches the paper's 20-run campaign.
@@ -336,6 +346,7 @@ func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Conf
 
 	cfg := emr.DefaultConfig()
 	cfg.Scheme = scheme
+	cfg.Telemetry = c.Telemetry
 	cfg.DRAMSize = 256 << 20
 	cfg.StorageSize = 256 << 20
 	rt, err := emr.New(cfg)
@@ -363,6 +374,20 @@ func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Conf
 	flipped := false
 	disagreed := false
 
+	record := func(target string) {
+		if c.Telemetry == nil {
+			return
+		}
+		c.Telemetry.Counter("fault_injected_"+target+"_total", "faults").Inc()
+		c.Telemetry.Emit(telemetry.Event{
+			Kind: telemetry.KindFaultInjected,
+			Fields: map[string]any{
+				"target": target, "scheme": scheme.String(), "mbu": mbu,
+				"dataset": targetDataset, "executor": targetExec,
+			},
+		})
+	}
+
 	spec.Hook = func(hp *emr.HookPoint) {
 		if flipped || hp.Dataset != targetDataset || hp.Executor != targetExec {
 			return
@@ -379,6 +404,7 @@ func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Conf
 				if mbu {
 					rt.Cache().FlipBit(reg.Addr+f.Offset, (f.Bit+1)%8)
 				}
+				record("cache")
 			}
 		case targetKind < 0.85: // pipeline: corrupt this executor's output
 			if hp.Phase != emr.PhaseAfterJob || len(hp.Output) == 0 {
@@ -390,12 +416,14 @@ func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Conf
 				hp.Output[f.Offset] ^= 1 << ((f.Bit + 1) % 8)
 			}
 			flipped = true
+			record("pipeline")
 		case targetKind < 0.93: // job descriptor: crash this executor
 			if hp.Phase != emr.PhaseBeforeRead {
 				return
 			}
 			hp.Fail = fmt.Errorf("SIGSEGV: job descriptor corrupted by SEU")
 			flipped = true
+			record("descriptor")
 		default: // frontier memory (ECC absorbs singles, detects doubles)
 			if hp.Phase != emr.PhaseBeforeRead {
 				return
@@ -407,6 +435,7 @@ func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Conf
 				if mbu {
 					_ = rt.FlipFrontierBit(reg.Addr+f.Offset, (f.Bit+1)%8)
 				}
+				record("frontier")
 			}
 		}
 	}

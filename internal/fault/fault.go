@@ -1,15 +1,3 @@
-// Package fault models the space radiation environment and provides the
-// fault injectors the ground evaluation uses (the software analogue of
-// the paper's potentiometer for SELs and GDB/QEMU tool for SEUs).
-//
-// Two error classes matter to operators (paper §2):
-//
-//   - SEU: a transient single-bit flip in memory, cache, or pipeline
-//     state. MBUs (multi-bit upsets) flip two bits at once.
-//   - SEL: a latchup — a persistent, localized short-circuit that adds a
-//     small current draw and thermally destroys the chip in ~5 minutes
-//     unless power cycled. Modern process nodes produce micro-SELs as
-//     small as +0.07 A.
 package fault
 
 import (

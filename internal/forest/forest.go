@@ -1,16 +1,3 @@
-// Package forest implements CART decision trees and random-forest
-// classification from scratch.
-//
-// It plays two roles in the reproduction:
-//
-//  1. The black-box baseline of Table 2: a random forest trained on
-//     current draw alone (the state of the art ILD is compared against,
-//     after Dorise et al.), which cannot distinguish compute-induced
-//     current from latchup current.
-//  2. The feature-selection step of §3.1: the paper chose ILD's Table 1
-//     counters by training a random forest on all candidate metrics and
-//     keeping the most important features; Forest.Importance reproduces
-//     that (mean Gini-decrease importance).
 package forest
 
 import (

@@ -13,6 +13,9 @@ type BubblePolicy struct {
 	BubbleLen time.Duration
 	// Pause is the bubble-free period after a clean bubble (paper: 3 min).
 	Pause time.Duration
+	// Instruments, when set, counts injected bubbles and emits a
+	// bubble_injected event (at the bubble's trace offset) per splice.
+	Instruments *Instruments
 }
 
 // DefaultBubblePolicy returns the paper's 3 s / 180 s cadence.
@@ -50,6 +53,7 @@ func InjectBubbles(tr *trace.Trace, p BubblePolicy) *trace.Trace {
 	}
 	out := &trace.Trace{}
 	sinceBubble := time.Duration(0)
+	elapsed := time.Duration(0) // output-trace offset, for event timestamps
 	for _, seg := range tr.Segments {
 		if seg.Kind != trace.Workload {
 			// Natural quiescence long enough to measure in counts as a
@@ -58,6 +62,7 @@ func InjectBubbles(tr *trace.Trace, p BubblePolicy) *trace.Trace {
 				sinceBubble = 0
 			}
 			out.Append(seg)
+			elapsed += seg.Duration
 			continue
 		}
 		remaining := seg.Duration
@@ -65,6 +70,8 @@ func InjectBubbles(tr *trace.Trace, p BubblePolicy) *trace.Trace {
 			untilBubble := p.Pause - sinceBubble
 			if untilBubble <= 0 {
 				out.Append(trace.Segment{Duration: p.BubbleLen, Kind: trace.Idle})
+				p.Instruments.bubble(elapsed, p.BubbleLen)
+				elapsed += p.BubbleLen
 				sinceBubble = 0
 				continue
 			}
@@ -75,6 +82,7 @@ func InjectBubbles(tr *trace.Trace, p BubblePolicy) *trace.Trace {
 			part := seg
 			part.Duration = span
 			out.Append(part)
+			elapsed += span
 			remaining -= span
 			sinceBubble += span
 		}

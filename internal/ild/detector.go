@@ -60,7 +60,14 @@ type Detector struct {
 	// the application.
 	appSignal    bool
 	appQuiescent bool
+	// ins receives per-decision metrics when attached; firing tracks the
+	// declared state so only rising edges count as new detections.
+	ins    *Instruments
+	firing bool
 }
+
+// SetInstruments attaches telemetry instruments (nil detaches them).
+func (d *Detector) SetInstruments(ins *Instruments) { d.ins = ins }
 
 // SignalQuiescent lets the running application declare whether it is
 // processing data. While a signal is asserted it overrides the CPU-load
@@ -115,6 +122,8 @@ func (d *Detector) Quiescent(tel machine.Telemetry) bool {
 func (d *Detector) Observe(tel machine.Telemetry) bool {
 	if !d.Quiescent(tel) {
 		d.window.Reset()
+		d.firing = false
+		d.ins.observe(tel.T, false, 0, false)
 		return false
 	}
 	diff := tel.CurrentA - d.model.Predict(Features(tel))
@@ -123,8 +132,14 @@ func (d *Detector) Observe(tel machine.Telemetry) bool {
 	// latchup's step change is never learned away.
 	if d.cfg.AdaptRate > 0 && diff < d.cfg.ThresholdA/2 && diff > -d.cfg.ThresholdA/2 {
 		d.model.Intercept += d.cfg.AdaptRate * diff
+		if d.ins != nil {
+			d.ins.AdaptNudges.Inc()
+		}
 	}
-	return d.window.Full() && d.window.Mean() > d.cfg.ThresholdA
+	declared := d.window.Full() && d.window.Mean() > d.cfg.ThresholdA
+	d.ins.observe(tel.T, true, d.window.Mean(), declared && !d.firing)
+	d.firing = declared
+	return declared
 }
 
 // Residual returns the current running-average difference (measured −
@@ -132,7 +147,10 @@ func (d *Detector) Observe(tel machine.Telemetry) bool {
 func (d *Detector) Residual() float64 { return d.window.Mean() }
 
 // Reset clears the averaging window (used after a power cycle).
-func (d *Detector) Reset() { d.window.Reset() }
+func (d *Detector) Reset() {
+	d.window.Reset()
+	d.firing = false
+}
 
 // Trainer accumulates quiescent training samples and fits the linear
 // model. Satellite operators run this on the ground twin before launch

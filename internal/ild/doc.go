@@ -1,0 +1,35 @@
+// Package ild implements the Idle Latchup Detector, Radshield's white-box
+// SEL mitigation (paper §3.1), together with the black-box baselines it
+// is evaluated against (static current thresholds and a current-only
+// random forest, paper §4.1.2).
+//
+// ILD's pipeline:
+//
+//	telemetry (counters + current) → quiescence gate → linear model
+//	predicts expected current → running-average of (measured − predicted)
+//	over 3 s → flag SEL when the average exceeds 0.055 A → power cycle.
+//
+// During long workloads, quiescent "bubbles" are injected so detection
+// opportunities exist at least once per pause period (worst case 2 %
+// runtime overhead).
+//
+// Key types: Trainer fits the linear current model on ground-twin
+// telemetry and Fit returns a Detector; Detector.Observe consumes one
+// machine.Telemetry sample and reports whether an SEL is declared;
+// BubblePolicy injects measurement bubbles into a trace
+// (InjectBubbles) and bounds the overhead (WorstCaseOverheadPerHour);
+// ForestDetector, BayesDetector, and StaticThreshold are the baselines
+// behind the shared Monitor interface; Recorder keeps the fine-grained
+// flight ring cmd/ildmon dumps; EncodeModel/DecodeModel round-trip the
+// fitted model as an uplink-friendly blob.
+//
+// Invariants: the detector only accumulates residuals while the
+// quiescence gate holds — busy samples reset the averaging window, so a
+// declaration always reflects DetectionWindow seconds of sustained
+// quiescent excess; baseline adaptation nudges the intercept only while
+// quiescent and not firing (thermal drift tracking cannot learn away a
+// real latchup); Observe is deterministic for a given telemetry stream.
+// Instruments (NewInstruments, Detector.SetInstruments,
+// BubblePolicy.Instruments) attach the ild_* metrics of TELEMETRY.md;
+// a nil *Instruments disables all of it at one branch of cost.
+package ild

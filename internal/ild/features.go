@@ -1,17 +1,3 @@
-// Package ild implements the Idle Latchup Detector, Radshield's white-box
-// SEL mitigation (paper §3.1), together with the black-box baselines it
-// is evaluated against (static current thresholds and a current-only
-// random forest, paper §4.1.2).
-//
-// ILD's pipeline:
-//
-//	telemetry (counters + current) → quiescence gate → linear model
-//	predicts expected current → running-average of (measured − predicted)
-//	over 3 s → flag SEL when the average exceeds 0.055 A → power cycle.
-//
-// During long workloads, quiescent "bubbles" are injected so detection
-// opportunities exist at least once per pause period (worst case 2 %
-// runtime overhead).
 package ild
 
 import (

@@ -1,10 +1,3 @@
-// Package linmodel implements ordinary/ridge least-squares linear
-// regression, solved by normal equations with Gaussian elimination.
-//
-// This is the model ILD settled on after rejecting heavier classifiers
-// (paper §3.1: "we adopted a simple linear model which was both efficient
-// and accurate"): current_draw ≈ w · features + b, trained on quiescent
-// ground data before launch, evaluated every millisecond on orbit.
 package linmodel
 
 import (

@@ -5,6 +5,9 @@ package machine
 // SEL episode at the exact detection-window boundary while the workload
 // trace continues undisturbed; flight code uses PowerCycle.
 func (m *Machine) ClearSEL() {
+	if m.selAmps > 0 {
+		m.ins.selClear(m.clock.Now(), "clear_sel")
+	}
 	m.selAmps = 0
 	m.sensor.SetSELOffset(0)
 }

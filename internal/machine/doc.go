@@ -1,0 +1,28 @@
+// Package machine assembles the simulated spacecraft computer that the
+// SEL experiments run on: CPU cores (package cpu), the current model and
+// sensor (package power), disk IO rates, a DVFS governor, and a
+// latchup/thermal state machine — the software analogue of the paper's
+// Raspberry Pi Zero 2 W testbed with its INA3221 current monitor and the
+// potentiometer used to emulate latchups.
+//
+// The machine plays activity traces (package trace) and emits Telemetry
+// samples — exactly the (performance counters, measured current) pairs
+// ILD consumes. Time is simulated (package simclock), so the paper's
+// 960-hour campaign runs in seconds.
+//
+// Key types: Config sizes the board (cores, sampling cadence, sensor
+// seed, SEL damage horizon, optional telemetry registry); Machine is
+// the assembled board — InjectSEL/ClearSEL emulate the potentiometer,
+// PowerCycle is the recovery action, RunTrace steps a trace and invokes
+// a callback per Telemetry sample; Telemetry carries per-core
+// CoreTelemetry counters plus raw and filtered current.
+//
+// Invariants: a latched machine whose SEL is not cleared within
+// Config.SELDamageAfter of simulated time is permanently damaged (the
+// paper's ~5-minute thermal horizon); PowerCycle always clears the
+// latchup and costs the configured outage; sensor noise and transients
+// are deterministic given Config.SensorSeed; samples arrive strictly
+// every Config.SampleEvery of simulated time. When Config.Telemetry is
+// set, the machine records the machine_* metrics and SEL lifecycle
+// events of TELEMETRY.md.
+package machine

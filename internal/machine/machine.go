@@ -1,14 +1,3 @@
-// Package machine assembles the simulated spacecraft computer that the
-// SEL experiments run on: CPU cores (package cpu), the current model and
-// sensor (package power), disk IO rates, a DVFS governor, and a
-// latchup/thermal state machine — the software analogue of the paper's
-// Raspberry Pi Zero 2 W testbed with its INA3221 current monitor and the
-// potentiometer used to emulate latchups.
-//
-// The machine plays activity traces (package trace) and emits Telemetry
-// samples — exactly the (performance counters, measured current) pairs
-// ILD consumes. Time is simulated (package simclock), so the paper's
-// 960-hour campaign runs in seconds.
 package machine
 
 import (
@@ -19,6 +8,7 @@ import (
 	"radshield/internal/cpu"
 	"radshield/internal/power"
 	"radshield/internal/simclock"
+	"radshield/internal/telemetry"
 	"radshield/internal/trace"
 )
 
@@ -55,6 +45,10 @@ type Config struct {
 	// paper's Figure 2, which full compute load crosses legitimately) or
 	// the supply reboots the board on every heavy burst.
 	SupplyTripA float64
+	// Telemetry, when non-nil, receives the machine's counters, gauges
+	// and SEL lifecycle events (see TELEMETRY.md). Nil disables
+	// instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the Pi-Zero-2W-class board of the paper's SEL
@@ -135,6 +129,8 @@ type Machine struct {
 	supplyTrips     int
 
 	energyJ float64
+
+	ins *instruments
 }
 
 // New returns a machine for the config. Invalid configs panic: the
@@ -157,6 +153,7 @@ func New(cfg Config) *Machine {
 		clock:        simclock.New(),
 		sensor:       power.NewSensor(power.NewModel(cfg.Power), cfg.SensorSeed),
 		lastCounters: make([]cpu.Counters, cfg.Cores),
+		ins:          newInstruments(cfg.Telemetry),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, cpu.NewCore(i, cfg.MinFreqHz))
@@ -182,6 +179,7 @@ func (m *Machine) InjectSEL(amps float64) {
 	}
 	m.selAmps += amps
 	m.sensor.SetSELOffset(m.selAmps)
+	m.ins.selOnset(m.clock.Now(), amps)
 }
 
 // SELActive reports whether an uncleard latchup is present.
@@ -205,6 +203,10 @@ func (m *Machine) EnergyJoules() float64 { return m.energyJ }
 // damage is permanent.
 func (m *Machine) PowerCycle() {
 	m.powerCycles++
+	m.ins.powerCycle()
+	if m.selAmps > 0 {
+		m.ins.selClear(m.clock.Now(), "power_cycle")
+	}
 	m.selAmps = 0
 	m.sensor.SetSELOffset(0)
 	for i, c := range m.cores {
@@ -272,8 +274,9 @@ func (m *Machine) Step(dt time.Duration) {
 		m.sensor.SetBaselineOffset(p.ThermalDriftA * math.Sin(phase))
 	}
 	if m.selAmps > 0 && m.cfg.SELDamageAfter > 0 &&
-		m.clock.Now()-m.selSince >= m.cfg.SELDamageAfter {
+		m.clock.Now()-m.selSince >= m.cfg.SELDamageAfter && !m.damaged {
 		m.damaged = true
+		m.ins.damage(m.clock.Now())
 	}
 }
 
@@ -328,9 +331,11 @@ func (m *Machine) Sample() Telemetry {
 		if m.tripConsecutive >= need {
 			m.tripConsecutive = 0
 			m.supplyTrips++
+			m.ins.supplyTrip(now)
 			m.PowerCycle()
 		}
 	}
+	m.ins.sample(tel.CurrentA, m.energyJ)
 	return tel
 }
 

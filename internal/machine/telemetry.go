@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"time"
+
+	"radshield/internal/telemetry"
+)
+
+// instruments holds the machine's metric handles. A nil *instruments
+// (telemetry disabled) makes every method a no-op.
+type instruments struct {
+	reg *telemetry.Registry
+
+	selInjected *telemetry.Counter // machine_sel_injected_total
+	powerCycles *telemetry.Counter // machine_power_cycles_total
+	supplyTrips *telemetry.Counter // machine_supply_trips_total
+	damaged     *telemetry.Counter // machine_damage_total
+	currentA    *telemetry.Gauge   // machine_current_amps
+	energyJ     *telemetry.Gauge   // machine_energy_joules
+}
+
+func newInstruments(reg *telemetry.Registry) *instruments {
+	if reg == nil {
+		return nil
+	}
+	return &instruments{
+		reg:         reg,
+		selInjected: reg.Counter("machine_sel_injected_total", "latchups"),
+		powerCycles: reg.Counter("machine_power_cycles_total", "cycles"),
+		supplyTrips: reg.Counter("machine_supply_trips_total", "trips"),
+		damaged:     reg.Counter("machine_damage_total", "chips"),
+		currentA:    reg.Gauge("machine_current_amps", "amps"),
+		energyJ:     reg.Gauge("machine_energy_joules", "joules"),
+	}
+}
+
+func (ins *instruments) selOnset(t time.Duration, amps float64) {
+	if ins == nil {
+		return
+	}
+	ins.selInjected.Inc()
+	ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindSELOnset,
+		Fields: map[string]any{"amps": amps}})
+}
+
+// selClear emits the clear event; via names the mechanism ("clear_sel",
+// "power_cycle", or "supply_trip").
+func (ins *instruments) selClear(t time.Duration, via string) {
+	if ins == nil {
+		return
+	}
+	ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindSELClear,
+		Fields: map[string]any{"via": via}})
+}
+
+func (ins *instruments) powerCycle() {
+	if ins == nil {
+		return
+	}
+	ins.powerCycles.Inc()
+}
+
+func (ins *instruments) supplyTrip(t time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.supplyTrips.Inc()
+	ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindSupplyTrip})
+}
+
+func (ins *instruments) damage(t time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.damaged.Inc()
+	ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindDamage})
+}
+
+func (ins *instruments) sample(currentA, energyJ float64) {
+	if ins == nil {
+		return
+	}
+	ins.currentA.Set(currentA)
+	ins.energyJ.Set(energyJ)
+}

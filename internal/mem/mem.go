@@ -1,12 +1,3 @@
-// Package mem models the memory devices of a commodity spacecraft
-// computer: DRAM (with or without SECDED ECC) and flash storage (always
-// SECDED-protected, per the paper's observation about commodity flash).
-//
-// These devices define the system's reliability frontier: data at rest on
-// an ECC-protected device survives single-event upsets (the codec corrects
-// them), while data on an unprotected device — or in flight through the
-// cache and pipeline — does not. Package emr draws its replication and
-// scheduling decisions from exactly this boundary.
 package mem
 
 import (

@@ -1,5 +1,7 @@
 package mem
 
+import "radshield/internal/telemetry"
+
 // Scrubber implements background ECC patrol scrubbing, the standard
 // defence against error accumulation in ECC memories: single-bit upsets
 // are harmless individually, but two upsets landing in the same 64-bit
@@ -17,6 +19,27 @@ type Scrubber struct {
 	passes     uint64
 	visited    uint64
 	lastErrors []error
+
+	reg            *telemetry.Registry
+	passesCtr      *telemetry.Counter // mem_scrub_passes_total
+	visitedCtr     *telemetry.Counter // mem_scrub_words_visited_total
+	correctedCtr   *telemetry.Counter // mem_scrub_corrected_total
+	uncorrectedCtr *telemetry.Counter // mem_scrub_uncorrectable_total
+}
+
+// SetTelemetry attaches a metrics registry: scrub passes, word visits,
+// in-place corrections, and uncorrectable hits are counted, and each
+// uncorrectable word emits a scrub_error event. Nil detaches.
+func (s *Scrubber) SetTelemetry(reg *telemetry.Registry) {
+	s.reg = reg
+	if reg == nil {
+		s.passesCtr, s.visitedCtr, s.correctedCtr, s.uncorrectedCtr = nil, nil, nil, nil
+		return
+	}
+	s.passesCtr = reg.Counter("mem_scrub_passes_total", "passes")
+	s.visitedCtr = reg.Counter("mem_scrub_words_visited_total", "words")
+	s.correctedCtr = reg.Counter("mem_scrub_corrected_total", "words")
+	s.uncorrectedCtr = reg.Counter("mem_scrub_uncorrectable_total", "words")
 }
 
 // NewScrubber returns a scrubber over an ECC DRAM. It panics when the
@@ -37,6 +60,7 @@ func (s *Scrubber) Step(n int) int {
 	if words == 0 {
 		return 0
 	}
+	correctedBefore := s.dram.Stats().Corrected
 	uncorrectable := 0
 	for i := 0; i < n; i++ {
 		if err := s.dram.verifyWord(s.next); err != nil {
@@ -45,14 +69,24 @@ func (s *Scrubber) Step(n int) int {
 			if len(s.lastErrors) > 16 {
 				s.lastErrors = s.lastErrors[1:]
 			}
+			if s.reg != nil {
+				s.uncorrectedCtr.Inc()
+				s.reg.Emit(telemetry.Event{
+					Kind:   telemetry.KindScrubError,
+					Fields: map[string]any{"word": s.next, "error": err.Error()},
+				})
+			}
 		}
 		s.visited++
 		s.next++
 		if s.next == words {
 			s.next = 0
 			s.passes++
+			s.passesCtr.Inc()
 		}
 	}
+	s.visitedCtr.Add(uint64(n))
+	s.correctedCtr.Add(s.dram.Stats().Corrected - correctedBefore)
 	return uncorrectable
 }
 

@@ -1,0 +1,26 @@
+// Package power models the electrical side of the simulated spacecraft
+// computer: the board's true current draw as a function of compute
+// activity, the INA3221-class sensor the flight power supply exposes
+// (complete with measurement noise and microsecond transient spikes), and
+// the supply's coarse over-current trip circuit.
+//
+// Calibration follows the paper's measurements on a commodity ARM SoC:
+// quiescent draw ≈ 1.55 A with σ ≈ 0.14 A raw (σ ≈ 0.02 A after the
+// rolling-minimum filter), full-load draw up to ≈ 4.5 A, SELs adding as
+// little as +0.07 A — two orders of magnitude below workload variation,
+// which is why static thresholds fail (paper Figure 2).
+//
+// Key types: Params calibrates the board (idle draw, per-core dynamic
+// draw, DVFS exponent, sensor noise, trip threshold); Model maps a
+// BoardState (per-core CoreState activity plus any latchup current) to
+// true amps; Sensor wraps the model with seeded measurement noise,
+// transient spikes, and the rolling-minimum filter the paper uses to
+// tame both.
+//
+// Invariants: true current is a deterministic function of BoardState;
+// sensor noise is deterministic given the seed; the rolling-minimum
+// filter never reports below the true floor — it suppresses upward
+// noise and transients, which is why a persistent +0.07 A latchup
+// survives filtering while spikes do not; the trip circuit fires only
+// above Params.TripThresholdA (≈4 A), far beyond any micro-SEL.
+package power

@@ -1,14 +1,3 @@
-// Package power models the electrical side of the simulated spacecraft
-// computer: the board's true current draw as a function of compute
-// activity, the INA3221-class sensor the flight power supply exposes
-// (complete with measurement noise and microsecond transient spikes), and
-// the supply's coarse over-current trip circuit.
-//
-// Calibration follows the paper's measurements on a commodity ARM SoC:
-// quiescent draw ≈ 1.55 A with σ ≈ 0.14 A raw (σ ≈ 0.02 A after the
-// rolling-minimum filter), full-load draw up to ≈ 4.5 A, SELs adding as
-// little as +0.07 A — two orders of magnitude below workload variation,
-// which is why static thresholds fail (paper Figure 2).
 package power
 
 import (

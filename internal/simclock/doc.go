@@ -1,0 +1,19 @@
+// Package simclock provides a deterministic simulated time source.
+//
+// Every component of the simulated spacecraft computer (CPU, power model,
+// fault injectors, detectors) observes time exclusively through a *Clock,
+// which only advances when the simulation steps it. This keeps multi-hour
+// experiments (the paper's 960-hour detector campaign) reproducible and
+// fast: simulated hours take milliseconds of wall time.
+//
+// Clock is the time source (Now returns the simulated offset since run
+// start as a time.Duration; Advance moves it forward); Ticker delivers
+// fixed-cadence deadlines off a Clock — the machine's sampling loop is
+// one.
+//
+// Invariants: time never moves backwards and never advances on its own;
+// two runs that perform the same Advance sequence observe identical
+// timestamps, which is what makes telemetry snapshots and experiment
+// results byte-reproducible; no component of this repository reads the
+// wall clock inside a simulation.
+package simclock

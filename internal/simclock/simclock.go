@@ -1,10 +1,3 @@
-// Package simclock provides a deterministic simulated time source.
-//
-// Every component of the simulated spacecraft computer (CPU, power model,
-// fault injectors, detectors) observes time exclusively through a *Clock,
-// which only advances when the simulation steps it. This keeps multi-hour
-// experiments (the paper's 960-hour detector campaign) reproducible and
-// fast: simulated hours take milliseconds of wall time.
 package simclock
 
 import (

@@ -1,6 +1,3 @@
-// Package stats provides the small set of statistics primitives the
-// Radshield experiments need: summary statistics, Pearson correlation,
-// rolling-window aggregates, and binary-classification confusion counts.
 package stats
 
 import (

@@ -1,0 +1,52 @@
+package telemetry
+
+import "testing"
+
+// The instruments sit on the EMR and ILD hot paths; these benchmarks
+// bound the per-operation cost that the repository-level <2% overhead
+// budget is built on.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry(0).Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry(0).Histogram("bench_seconds", "seconds", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%300) / 10)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry(0).Histogram("bench_par_seconds", "seconds", LatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i % 100))
+			i++
+		}
+	})
+}
+
+func BenchmarkRingAppend(b *testing.B) {
+	r := NewRing(1024)
+	ev := Event{Kind: KindVoteMismatch}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Append(ev)
+	}
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind classifies a structured event. The constants below are the
+// vocabulary the instrumented packages emit; TELEMETRY.md documents each
+// one's fields and the paper section it traces to.
+type Kind string
+
+const (
+	// KindSELOnset: a latchup current was injected into the board
+	// (machine.InjectSEL). Fields: amps.
+	KindSELOnset Kind = "sel_onset"
+	// KindSELDetect: a detector declared an SEL. Fields: detector,
+	// residual_a (ILD only).
+	KindSELDetect Kind = "sel_detect"
+	// KindSELClear: the latchup current was removed, by an experiment
+	// boundary (machine.ClearSEL) or a commanded power cycle. Fields:
+	// via ("clear_sel" or "power_cycle").
+	KindSELClear Kind = "sel_clear"
+	// KindSupplyTrip: the power supply's own over-current circuit power
+	// cycled the board (paper §3.1's ampere-scale thresholding).
+	KindSupplyTrip Kind = "supply_trip"
+	// KindDamage: an uncleared SEL crossed the thermal damage horizon —
+	// the chip is lost.
+	KindDamage Kind = "damage"
+	// KindVoteMismatch: EMR executors disagreed on a dataset's output
+	// (whether or not a majority still existed). Fields: dataset,
+	// corrected.
+	KindVoteMismatch Kind = "vote_mismatch"
+	// KindChecksumMiss: the checksum-guard baseline caught a corrupted
+	// input region at read time. Fields: dataset, region.
+	KindChecksumMiss Kind = "checksum_miss"
+	// KindScrubError: the DRAM patrol scrubber hit an uncorrectable
+	// word. Fields: error.
+	KindScrubError Kind = "scrub_error"
+	// KindBubbleInjected: ILD split a workload segment to create a
+	// quiescent measurement bubble (paper §3.1). Fields: len_s.
+	KindBubbleInjected Kind = "bubble_injected"
+	// KindFaultInjected: a fault-injection campaign placed an upset.
+	// Fields: target, scheme.
+	KindFaultInjected Kind = "fault_injected"
+)
+
+// Event is one structured observation. T is simulated time (offset from
+// simulation start) when the emitter runs under simclock, so event logs
+// are reproducible run to run; emitters outside a simulation may leave
+// it zero. Fields carry small scalar context; keep values to strings,
+// integers, and floats so JSON snapshots stay stable.
+type Event struct {
+	Seq    uint64         `json:"seq"`
+	T      time.Duration  `json:"t_ns"`
+	Kind   Kind           `json:"kind"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Ring is a bounded event buffer: appends are O(1), and once full the
+// oldest event is overwritten (flight telemetry keeps the most recent
+// history — the interesting window is always the one before the
+// anomaly). Safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // index of the slot the next append writes
+	full    bool
+	seq     uint64
+	dropped uint64
+}
+
+// NewRing returns a ring holding up to cap events. cap must be positive.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("telemetry: NewRing capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records ev, assigning it the next sequence number. When the
+// ring is full the oldest event is dropped (and counted).
+func (r *Ring) Append(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = r.seq
+	r.seq++
+	if !r.full {
+		r.buf = append(r.buf, ev)
+		if len(r.buf) == cap(r.buf) {
+			r.full = true
+			r.next = 0
+		}
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Events returns the buffered events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// Len returns how many events are currently buffered.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Publish exposes the registry under name in the process-wide expvar
+// namespace, so `GET /debug/vars` includes a live snapshot. Publishing
+// the same name twice panics (expvar semantics); commands publish once
+// at startup. No-op on a nil registry.
+func (r *Registry) Publish(name string) {
+	if r == nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Handler returns an http.Handler that serves the registry's JSON
+// snapshot — the optional live endpoint behind radbench's
+// -telemetry-http flag. A nil registry serves empty snapshots.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,20 @@
+// Package trace generates spacecraft compute-activity timelines: the
+// bursty run-then-idle patterns real flight software exhibits (paper
+// §3.1, "spacecraft compute load patterns"), plus the specific synthetic
+// workloads the paper's figures use (the navigation workload of Figure 2,
+// the frequency-stepped matrix-multiply sweep of Figure 5).
+//
+// A Trace is consumed by the machine simulation, which steps the CPU,
+// power, and sensor models through it.
+//
+// A Trace is an ordered list of Segments; each Segment holds a duration,
+// a Kind (workload class or quiescence), and the per-core load it
+// applies. Generators (Quiescent, FlightSoftware, Navigation,
+// MatMulSteps, mission profiles) build seeded random timelines;
+// ild.InjectBubbles rewrites a trace to splice in measurement bubbles.
+//
+// Invariants: generation is deterministic given the rand source; a
+// trace's Total equals the sum of its segment durations; segments are
+// strictly sequential with no gaps or overlap, so the machine can play
+// them back against simulated time without interpretation.
+package trace

@@ -1,11 +1,3 @@
-// Package trace generates spacecraft compute-activity timelines: the
-// bursty run-then-idle patterns real flight software exhibits (paper
-// §3.1, "spacecraft compute load patterns"), plus the specific synthetic
-// workloads the paper's figures use (the navigation workload of Figure 2,
-// the frequency-stepped matrix-multiply sweep of Figure 5).
-//
-// A Trace is consumed by the machine simulation, which steps the CPU,
-// power, and sensor models through it.
 package trace
 
 import (

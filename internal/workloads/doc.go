@@ -1,0 +1,30 @@
+// Package workloads implements the five spacecraft compute tasks of the
+// paper's EMR evaluation (Table 5), each expressed as an EMR Spec over
+// frontier memory:
+//
+//	Encryption          AES-256-ECB    replicate the key
+//	Compression         DEFLATE        no replication (chained blocks)
+//	Intrusion detection regexp (RE2)   replicate the search pattern
+//	Image processing    map matching   replicate the match image
+//	Neural networks     MLP inference  replicate weights & biases
+//
+// The paper uses OpenSSL/Zlib/RE2/OpenCV; this reproduction uses Go's
+// stdlib crypto/aes and compress/flate, Go's RE2-syntax regexp, and
+// from-scratch implementations of template matching and MLP inference —
+// the same compute and data-access patterns that drive EMR's conflict
+// graph and replication decisions.
+//
+// Builder is the unit of registration: Name plus a Build function that
+// stages synthetic inputs into an emr.Runtime's frontier and returns the
+// Spec (datasets, job function, compute intensity). All and ByName
+// enumerate the registry; the Decode*/Best* helpers interpret job
+// outputs for verification and for the Table 7 golden-run comparison.
+//
+// Invariants: Build is deterministic given (size, seed) — the same
+// synthetic inputs, dataset layout, and expected outputs every run,
+// which the fault-injection campaign's golden-output classification
+// depends on; job functions are pure functions of their inputs; shared
+// regions (key, pattern, template, weights) are declared via InputRefs
+// into one canonical region so EMR's replication analysis sees the
+// sharing.
+package workloads

@@ -1,18 +1,3 @@
-// Package workloads implements the five spacecraft compute tasks of the
-// paper's EMR evaluation (Table 5), each expressed as an EMR Spec over
-// frontier memory:
-//
-//	Encryption          AES-256-ECB    replicate the key
-//	Compression         DEFLATE        no replication (chained blocks)
-//	Intrusion detection regexp (RE2)   replicate the search pattern
-//	Image processing    map matching   replicate the match image
-//	Neural networks     MLP inference  replicate weights & biases
-//
-// The paper uses OpenSSL/Zlib/RE2/OpenCV; this reproduction uses Go's
-// stdlib crypto/aes and compress/flate, Go's RE2-syntax regexp, and
-// from-scratch implementations of template matching and MLP inference —
-// the same compute and data-access patterns that drive EMR's conflict
-// graph and replication decisions.
 package workloads
 
 import (
