@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet lint build test race bench staticcheck vulncheck
 
-# check is the CI gate: formatting, static analysis, build, and the full
-# test suite under the race detector.
-check: fmt vet build race
+# check is the CI gate: formatting, static analysis (vet + the project's
+# own radlint suite), build, and the full test suite under the race
+# detector.
+check: fmt vet lint build race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -12,6 +13,21 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's custom analyzers (see LINTING.md): determinism,
+# redundancy-purity, and telemetry-naming invariants the paper
+# reproduction depends on.
+lint:
+	$(GO) run ./cmd/radlint ./...
+
+# staticcheck/vulncheck are optional extras: they need the tools on PATH
+# (CI installs them; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`
+# and `go install golang.org/x/vuln/cmd/govulncheck@latest`).
+staticcheck:
+	staticcheck ./...
+
+vulncheck:
+	govulncheck ./...
 
 build:
 	$(GO) build ./...

@@ -69,7 +69,10 @@ func main() {
 
 	// Fine-grained telemetry ring for post-incident analysis (§5 of the
 	// paper: definitive SEL attribution from the ground).
-	rec := ild.NewRecorder(det, 60000)
+	rec, err := ild.NewRecorder(det, 60000)
+	if err != nil {
+		log.Fatalf("recorder: %v", err)
+	}
 
 	var (
 		struck     bool

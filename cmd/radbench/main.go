@@ -24,29 +24,44 @@ import (
 	"radshield/internal/emr"
 	"radshield/internal/experiments"
 	"radshield/internal/ild"
+	"radshield/internal/simclock"
 	"radshield/internal/telemetry"
 )
 
 type runner func(sel experiments.SELConfig, seu experiments.SEUConfig) error
 
+// spanFn reports how much simulated mission time an experiment covers, so
+// the default (simulated) timing mode can advance the campaign clock by
+// it. Entries without a span (static tables, SEU campaigns whose length is
+// measured in datasets, not hours) leave it nil and print no duration.
+type spanFn func(sel experiments.SELConfig) time.Duration
+
+// selSpan covers experiments that play n full SEL campaign traces.
+func selSpan(n int) spanFn {
+	return func(sel experiments.SELConfig) time.Duration {
+		return time.Duration(n) * sel.Duration
+	}
+}
+
 var registry = map[string]struct {
 	desc string
 	run  runner
+	span spanFn
 }{
-	"fig2": {"current trace of a navigation workload before/after SEL", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"fig2": {desc: "current trace of a navigation workload before/after SEL", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		res := experiments.Fig2(sel)
 		fmt.Printf("max nominal current: %.3f A (crosses %.1f A trip: %v)\n", res.MaxNominalA, res.ThresholdA, res.CrossesNominal)
 		fmt.Printf("max latched quiescent current: %.3f A (crosses trip: %v)\n", res.MaxLatchedA, res.CrossesLatched)
 		fmt.Println(summarize(res.Fig, 12))
 		return nil
 	}},
-	"fig5": {"current vs CPU-activity correlation under stepped matmul", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"fig5": {desc: "current vs CPU-activity correlation under stepped matmul", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		res := experiments.Fig5(sel)
 		fmt.Printf("correlation(current, instruction rate) = %.4f (paper: 0.997)\n", res.Correlation)
 		fmt.Println(summarize(res.Fig, 12))
 		return nil
 	}},
-	"tab2": {"SEL detector accuracy: ILD vs random forest vs static thresholds", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"tab2": {desc: "SEL detector accuracy: ILD vs random forest vs static thresholds", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		_, tbl, err := experiments.Table2(sel)
 		if err != nil {
 			return err
@@ -54,7 +69,7 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"fig10": {"ILD misdetection rate vs latchup current", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"fig10": {desc: "ILD misdetection rate vs latchup current", span: selSpan(10), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		fig, err := experiments.Fig10(sel, 10)
 		if err != nil {
 			return err
@@ -62,15 +77,15 @@ var registry = map[string]struct {
 		fmt.Println(fig)
 		return nil
 	}},
-	"tab3": {"worst-case ILD overhead", func(experiments.SELConfig, experiments.SEUConfig) error {
+	"tab3": {desc: "worst-case ILD overhead", run: func(experiments.SELConfig, experiments.SEUConfig) error {
 		fmt.Println(experiments.Table3(19 * time.Second))
 		return nil
 	}},
-	"tab4": {"relative protected die area per scheme", func(experiments.SELConfig, experiments.SEUConfig) error {
+	"tab4": {desc: "relative protected die area per scheme", run: func(experiments.SELConfig, experiments.SEUConfig) error {
 		fmt.Println(experiments.Table4())
 		return nil
 	}},
-	"fig11": {"relative runtime of 3-MR and EMR per workload", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"fig11": {desc: "relative runtime of 3-MR and EMR per workload", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		_, tbl, err := experiments.Fig11(seu)
 		if err != nil {
 			return err
@@ -78,7 +93,7 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"fig12": {"AES-256 runtime vs input size across frontiers", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"fig12": {desc: "AES-256 runtime vs input size across frontiers", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		fig, err := experiments.Fig12(seu.Seed, nil)
 		if err != nil {
 			return err
@@ -86,7 +101,7 @@ var registry = map[string]struct {
 		fmt.Println(fig)
 		return nil
 	}},
-	"fig13": {"replication-threshold sweep: runtime and memory", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"fig13": {desc: "replication-threshold sweep: runtime and memory", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		_, tbl, err := experiments.Fig13(seu)
 		if err != nil {
 			return err
@@ -94,7 +109,7 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"tab6": {"image-processing runtime breakdown", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"tab6": {desc: "image-processing runtime breakdown", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		res, err := experiments.Table6(seu)
 		if err != nil {
 			return err
@@ -102,7 +117,7 @@ var registry = map[string]struct {
 		fmt.Println(res.Tbl)
 		return nil
 	}},
-	"fig14": {"relative energy per workload and scheme", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"fig14": {desc: "relative energy per workload and scheme", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		_, tbl, err := experiments.Fig14(seu)
 		if err != nil {
 			return err
@@ -110,7 +125,7 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"tab7": {"fault-injection outcomes per scheme", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"tab7": {desc: "fault-injection outcomes per scheme", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		cfg := experiments.DefaultTable7Config()
 		cfg.Size = seu.Size / 2
 		cfg.Telemetry = seu.Telemetry
@@ -121,11 +136,11 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"tab8": {"developer overhead to adopt EMR", func(experiments.SELConfig, experiments.SEUConfig) error {
+	"tab8": {desc: "developer overhead to adopt EMR", run: func(experiments.SELConfig, experiments.SEUConfig) error {
 		fmt.Println(experiments.Table8())
 		return nil
 	}},
-	"wov": {"window-of-vulnerability estimate (§4.2.6)", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"wov": {desc: "window-of-vulnerability estimate (§4.2.6)", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		wov, err := experiments.WindowOfVulnerability(seu)
 		if err != nil {
 			return err
@@ -133,11 +148,11 @@ var registry = map[string]struct {
 		fmt.Printf("EMR relative strike probability vs serial 3-MR: %.2f (paper: 0.80)\n", wov)
 		return nil
 	}},
-	"ablate-rollingmin": {"rolling-minimum filter ablation", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"ablate-rollingmin": {desc: "rolling-minimum filter ablation", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		fmt.Println(experiments.AblationRollingMin(sel))
 		return nil
 	}},
-	"ablate-gate": {"quiescence-gate ablation", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"ablate-gate": {desc: "quiescence-gate ablation", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		tbl, err := experiments.AblationQuiescenceGate(sel)
 		if err != nil {
 			return err
@@ -145,11 +160,11 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"ablate-bubbles": {"bubble-cadence ablation", func(experiments.SELConfig, experiments.SEUConfig) error {
+	"ablate-bubbles": {desc: "bubble-cadence ablation", run: func(experiments.SELConfig, experiments.SEUConfig) error {
 		fmt.Println(experiments.AblationBubbleCadence())
 		return nil
 	}},
-	"ablate-classifier": {"ILD model-choice ablation (linear vs forest vs bayes)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"ablate-classifier": {desc: "ILD model-choice ablation (linear vs forest vs bayes)", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		tbl, err := experiments.AblationClassifier(sel)
 		if err != nil {
 			return err
@@ -157,7 +172,7 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"ablate-scheduling": {"jobset-scheduling ablation", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"ablate-scheduling": {desc: "jobset-scheduling ablation", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		tbl, err := experiments.AblationScheduling(seu)
 		if err != nil {
 			return err
@@ -165,7 +180,7 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"ablate-cacheecc": {"flush discipline vs hardware cache ECC (§3.2)", func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
+	"ablate-cacheecc": {desc: "flush discipline vs hardware cache ECC (§3.2)", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		tbl, err := experiments.AblationCacheECC(seu)
 		if err != nil {
 			return err
@@ -173,12 +188,12 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"profiles": {"mission-profile quiescence & detection opportunities (§3.1)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"profiles": {desc: "mission-profile quiescence & detection opportunities (§3.1)", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		_, tbl := experiments.MissionProfiles(sel.Seed)
 		fmt.Println(tbl)
 		return nil
 	}},
-	"threshold": {"decision-threshold sweep 0.04–0.08 A (§3.1: 0.055 chosen)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"threshold": {desc: "decision-threshold sweep 0.04–0.08 A (§3.1: 0.055 chosen)", span: selSpan(10), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		_, tbl, err := experiments.ThresholdSweep(sel, 10)
 		if err != nil {
 			return err
@@ -186,7 +201,7 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"missions": {"Monte-Carlo mission survival with vs without Radshield", func(experiments.SELConfig, experiments.SEUConfig) error {
+	"missions": {desc: "Monte-Carlo mission survival with vs without Radshield", run: func(experiments.SELConfig, experiments.SEUConfig) error {
 		_, _, tbl, err := experiments.MissionSurvival(experiments.DefaultMissionConfig())
 		if err != nil {
 			return err
@@ -194,13 +209,20 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"featsel": {"random-forest feature selection for ILD's metric set (§3.1)", func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+	"featsel": {desc: "random-forest feature selection for ILD's metric set (§3.1)", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		res := experiments.FeatureSelection(sel)
 		fmt.Println(res.Tbl)
 		fmt.Printf("importance mass: genuine counters %.3f, distractors %.3f\n", res.TopCounters, res.DistractorMass)
 		return nil
 	}},
 }
+
+// wallNow is the one sanctioned host-clock read in radbench: -wallclock
+// mode exists to profile real-hardware runs, where simulated mission time
+// is meaningless.
+//
+//radlint:allow simclocktime -wallclock mode deliberately reads the host clock
+func wallNow() time.Time { return time.Now() }
 
 // summarize renders a figure with at most n points per series so console
 // output stays readable.
@@ -229,6 +251,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		telOut  = flag.String("telemetry", "", "write a JSON telemetry snapshot to this file at exit ('-' for stdout)")
 		telHTTP = flag.String("telemetry-http", "", "serve the telemetry snapshot (and expvar) on this address while running")
+		wall    = flag.Bool("wallclock", false, "time experiments with the host clock (real-hardware mode) instead of reporting simulated mission time")
 	)
 	flag.Parse()
 
@@ -280,6 +303,11 @@ func main() {
 	} else {
 		targets = strings.Split(*exp, ",")
 	}
+	// Experiments run against simulated hardware, so by default radbench
+	// reports simulated mission time from its own campaign clock — a rerun
+	// prints identical durations, keeping logs diffable. -wallclock
+	// switches to host time for profiling real-hardware runs.
+	campaign := simclock.New()
 	for _, name := range targets {
 		name = strings.TrimSpace(name)
 		entry, ok := registry[name]
@@ -288,12 +316,24 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("### %s — %s\n", name, entry.desc)
-		start := time.Now()
+		var start time.Time
+		if *wall {
+			start = wallNow()
+		}
 		if err := entry.run(sel, seu); err != nil {
 			fmt.Fprintf(os.Stderr, "radbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		switch {
+		case *wall:
+			fmt.Printf("(%s in %v wall time)\n\n", name, wallNow().Sub(start).Round(time.Millisecond))
+		case entry.span != nil:
+			d := entry.span(sel)
+			campaign.Advance(d)
+			fmt.Printf("(%s covered %v of simulated mission time, campaign total %v)\n\n", name, d, campaign.Now())
+		default:
+			fmt.Printf("\n")
+		}
 	}
 
 	if *telOut != "" {

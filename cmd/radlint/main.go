@@ -1,0 +1,166 @@
+// Command radlint is Radshield's domain-specific static analysis
+// suite: a multichecker running the five analyzers that keep the
+// paper's reproducibility and robustness invariants honest (see
+// LINTING.md for the catalog and rationale).
+//
+// Usage:
+//
+//	radlint [packages]              # default ./...
+//	radlint -list                   # describe the analyzers
+//	radlint -doc nopanic            # full doc for one analyzer
+//	radlint -analyzers nopanic ./...
+//	radlint -json ./...             # machine-readable findings
+//
+// Exit status: 0 when clean, 1 when findings remain after
+// //radlint:allow suppression, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"radshield/internal/analysis/emrpurity"
+	"radshield/internal/analysis/nopanic"
+	"radshield/internal/analysis/radlint"
+	"radshield/internal/analysis/seededrand"
+	"radshield/internal/analysis/simclocktime"
+	"radshield/internal/analysis/telemetryname"
+)
+
+// suite is the registered analyzer set, in catalog order.
+var suite = []*radlint.Analyzer{
+	simclocktime.Analyzer,
+	seededrand.Analyzer,
+	telemetryname.Analyzer,
+	emrpurity.Analyzer,
+	nopanic.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	flags := flag.NewFlagSet("radlint", flag.ContinueOnError)
+	var (
+		list    = flags.Bool("list", false, "describe the analyzers and exit")
+		only    = flags.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+		jsonOut = flags.Bool("json", false, "emit findings as JSON instead of text")
+		docFor  = flags.String("doc", "", "print the full doc for the named analyzer and exit")
+	)
+	flags.Usage = func() {
+		fmt.Fprintf(flags.Output(), "usage: radlint [flags] [packages]\n\nFlags:\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if *docFor != "" {
+		for _, a := range suite {
+			if a.Name == *docFor {
+				fmt.Printf("%s\n\t%s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n\t"))
+				return 0
+			}
+		}
+		fmt.Fprintf(os.Stderr, "radlint: unknown analyzer %q (try -list)\n", *docFor)
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+		return 2
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := &radlint.Loader{}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+		return 2
+	}
+
+	diags, err := radlint.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findingsJSON(diags)); err != nil {
+			fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "radlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the suite.
+func selectAnalyzers(only string) ([]*radlint.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := map[string]*radlint.Analyzer{}
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*radlint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func findingsJSON(diags []radlint.Diagnostic) []finding {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
+}

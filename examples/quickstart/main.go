@@ -38,8 +38,12 @@ func main() {
 	// 3. Declare datasets: one job per 512-byte slice.
 	var datasets []emr.Dataset
 	for off := uint64(0); off < 4096; off += 512 {
+		frame, err := ref.Slice(off, 512)
+		if err != nil {
+			log.Fatal(err)
+		}
 		datasets = append(datasets, emr.Dataset{
-			Inputs: []emr.InputRef{ref.Slice(off, 512)},
+			Inputs: []emr.InputRef{frame},
 		})
 	}
 

@@ -1,0 +1,14 @@
+package emrpurity_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/emrpurity"
+	"radshield/internal/analysis/radlint/radlinttest"
+)
+
+func TestEMRPurity(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), emrpurity.Analyzer,
+		"radshield/internal/puredemo",
+	)
+}

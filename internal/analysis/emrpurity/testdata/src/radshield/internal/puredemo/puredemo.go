@@ -1,0 +1,127 @@
+// Package puredemo is an emrpurity fixture: job functions handed to
+// the EMR replica runner, pure and impure.
+package puredemo
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"time"
+
+	"radshield/internal/emr"
+)
+
+// hits is mutable package-level state no replica may touch.
+var hits int
+
+// errCorrupt is an error sentinel — package-level, but conventionally
+// immutable, so jobs may compare against it.
+var errCorrupt = errors.New("puredemo: corrupt input")
+
+// PureSpec builds a spec whose job touches nothing but its inputs.
+func PureSpec() emr.Spec {
+	return emr.Spec{
+		Name: "pure",
+		Job: func(inputs [][]byte) ([]byte, error) {
+			if len(inputs) == 0 {
+				return nil, errCorrupt
+			}
+			sum := byte(0)
+			for _, b := range inputs[0] {
+				sum ^= b
+			}
+			return []byte{sum}, nil
+		},
+	}
+}
+
+// CountingSpec captures package state — healthy replicas disagree.
+func CountingSpec() emr.Spec {
+	return emr.Spec{
+		Job: func(inputs [][]byte) ([]byte, error) {
+			hits++ // want `emr job job literal references package-level variable hits`
+			return nil, nil
+		},
+	}
+}
+
+// ClockSpec stamps outputs with the wall clock.
+func ClockSpec() emr.Spec {
+	return emr.Spec{
+		Job: func(inputs [][]byte) ([]byte, error) {
+			t := time.Now() // want `emr job job literal calls time\.Now`
+			return []byte(t.String()), nil
+		},
+	}
+}
+
+// randomJob draws from the global generator.
+func randomJob(inputs [][]byte) ([]byte, error) {
+	return []byte{byte(rand.Intn(256))}, nil // want `emr job randomJob calls global rand\.Intn`
+}
+
+// NamedSpec hands a named package function to the runner; its body is
+// inspected wherever it is declared.
+func NamedSpec() emr.Spec {
+	return emr.Spec{Job: randomJob}
+}
+
+// bumpHits is a helper reached transitively from a job.
+func bumpHits() {
+	hits++ // want `emr job bumpHits references package-level variable hits`
+}
+
+// TransitiveSpec shows same-package callees are followed.
+func TransitiveSpec() emr.Spec {
+	return emr.Spec{
+		Job: func(inputs [][]byte) ([]byte, error) {
+			bumpHits()
+			return nil, nil
+		},
+	}
+}
+
+// CaptureSpec mutates a variable captured from the enclosing function.
+func CaptureSpec() emr.Spec {
+	count := 0
+	return emr.Spec{
+		Job: func(inputs [][]byte) ([]byte, error) {
+			count++ // want `emr job job literal writes to captured variable count`
+			return []byte{byte(count)}, nil
+		},
+	}
+}
+
+// AssignedSpec exercises the spec.Job = f assignment form.
+func AssignedSpec() emr.Spec {
+	var spec emr.Spec
+	spec.Name = "assigned"
+	spec.Job = randomJob // body already reported at its declaration
+	return spec
+}
+
+// EndianSpec uses binary.BigEndian — a package-level variable, but a
+// zero-field struct namespace with no state, so it is exempt.
+func EndianSpec() emr.Spec {
+	return emr.Spec{
+		Job: func(inputs [][]byte) ([]byte, error) {
+			out := make([]byte, 4)
+			binary.BigEndian.PutUint32(out, uint32(len(inputs[0])))
+			return out, nil
+		},
+	}
+}
+
+// LocalAccumulatorSpec shows the sanctioned pattern for state: keep it
+// local to the job invocation.
+func LocalAccumulatorSpec() emr.Spec {
+	return emr.Spec{
+		Job: func(inputs [][]byte) ([]byte, error) {
+			acc := 0
+			for _, b := range inputs[0] {
+				acc += int(b)
+			}
+			return []byte{byte(acc)}, nil
+		},
+	}
+}

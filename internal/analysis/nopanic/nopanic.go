@@ -1,0 +1,80 @@
+// Package nopanic implements the radlint analyzer that forbids panic
+// in internal/... library code.
+//
+// A panic in flight software is an unplanned power cycle: the paper's
+// availability argument (§4.3) counts recovery time against the
+// protection scheme, so library code must surface failures as errors
+// the caller can vote on, journal, or retry. Two escape hatches exist,
+// both deliberate and visible in the diff:
+//
+//   - invariant-violation helpers: a function whose name starts with
+//     "must" (or "Must") and whose doc comment documents that it
+//     panics is exempt — that is the repo's mustf idiom;
+//   - //radlint:allow nopanic <reason> on the offending line, used for
+//     constructor argument validation where the caller is trusted
+//     code and an error return would only move the crash.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"radshield/internal/analysis/radlint"
+)
+
+// Analyzer flags panic calls in internal library code.
+var Analyzer = &radlint.Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic in internal/... library code: return errors so callers " +
+		"can vote/journal/retry; documented must* helpers are exempt",
+	Run: run,
+}
+
+func run(pass *radlint.Pass) error {
+	if !radlint.PathIsInternal(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var exempt []*ast.FuncDecl
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && isDocumentedMust(fd) {
+				exempt = append(exempt, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || !isBuiltinPanic(pass.TypesInfo, id) {
+				return true
+			}
+			for _, fd := range exempt {
+				if fd.Pos() <= call.Pos() && call.Pos() < fd.End() {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"panic in internal library code: return an error, or wrap the invariant in a documented must* helper")
+			return true
+		})
+	}
+	return nil
+}
+
+// isBuiltinPanic reports whether id resolves to the predeclared panic.
+func isBuiltinPanic(info *types.Info, id *ast.Ident) bool {
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// isDocumentedMust reports whether fd is an invariant-violation helper:
+// named must*/Must* with a doc comment that says it panics.
+func isDocumentedMust(fd *ast.FuncDecl) bool {
+	if !strings.HasPrefix(strings.ToLower(fd.Name.Name), "must") {
+		return false
+	}
+	return fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+}

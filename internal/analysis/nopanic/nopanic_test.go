@@ -1,0 +1,15 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/nopanic"
+	"radshield/internal/analysis/radlint/radlinttest"
+)
+
+func TestNoPanic(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), nopanic.Analyzer,
+		"radshield/internal/panicdemo",
+		"radshield/cmd/panictool",
+	)
+}

@@ -1,0 +1,9 @@
+// Command panictool shows that nopanic scopes to internal/ library
+// code only: a command crashing on startup misconfiguration is the
+// process exiting, not flight software losing availability. No want
+// annotations.
+package main
+
+func main() {
+	panic("commands may crash")
+}

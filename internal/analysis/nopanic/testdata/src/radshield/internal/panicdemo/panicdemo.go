@@ -1,0 +1,44 @@
+// Package panicdemo is a nopanic fixture: internal library code where
+// panic must become an error, a documented must* helper, or a
+// justified allowlisting.
+package panicdemo
+
+import "fmt"
+
+// Validate panics on bad input — flagged: library code returns errors.
+func Validate(n int) {
+	if n < 0 {
+		panic("negative") // want `panic in internal library code`
+	}
+}
+
+// mustPositive panics when n is not positive. It is a documented
+// invariant-violation helper, so its panic is exempt.
+func mustPositive(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("panicdemo: %d must be positive", n))
+	}
+	return n
+}
+
+// mustNoDoc is named like a helper but its doc comment never states
+// the crash contract, so it is not exempt.
+func mustNoDoc(n int) int {
+	if n <= 0 {
+		panic("undocumented") // want `panic in internal library code`
+	}
+	return n
+}
+
+// Uses keeps the helpers referenced.
+func Uses(n int) int {
+	return mustPositive(n) + mustNoDoc(n)
+}
+
+// Allowed shows the constructor-validation escape hatch.
+func Allowed(capacity int) {
+	if capacity <= 0 {
+		//radlint:allow nopanic fixture: trusted-caller constructor validation
+		panic("capacity must be positive")
+	}
+}

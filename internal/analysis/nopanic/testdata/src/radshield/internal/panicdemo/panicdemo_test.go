@@ -1,0 +1,14 @@
+// Test files are exempt: t.Fatal-adjacent panics in tests are not
+// library crashes. No want annotations.
+package panicdemo
+
+import "testing"
+
+func TestPanicIsFineInTests(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	panic("test-only panic")
+}

@@ -1,0 +1,282 @@
+package radlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path string
+	Fset *token.FileSet
+
+	// Files are the type-checked, analyzable (non-test) syntax trees.
+	Files []*ast.File
+
+	// AllFiles additionally holds in-package *_test.go trees. Test
+	// files are parsed (so allow comments and exemption policy can see
+	// them) but never type-checked: they are exempt from analysis, and
+	// skipping them avoids needing test-variant export data.
+	AllFiles []*ast.File
+
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader turns package patterns or fixture directories into
+// type-checked Packages. Imports are satisfied from compiled export
+// data located via `go list -export`, so each target is type-checked
+// from source in isolation — the standard-library equivalent of
+// golang.org/x/tools/go/packages in LoadAllSyntax mode for the targets
+// and LoadTypes mode for their dependencies.
+type Loader struct {
+	// Dir is the working directory for go list; it must be inside the
+	// module. Empty means the current directory.
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path → export data file
+	imp     types.Importer
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+	DepsErrors   []*struct{ Err string }
+	ForTest      string
+	IgnoredFiles []string
+}
+
+func (l *Loader) init() {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+		l.exports = map[string]string{}
+		l.imp = &exportImporter{gc: importer.ForCompiler(l.fset, "gc", l.lookup)}
+	}
+}
+
+// Load lists, parses, and type-checks every package matching the
+// patterns (e.g. "./..."). Test-only and empty packages are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	listed, err := l.goList(append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Export != "" {
+			l.exports[lp.ImportPath] = lp.Export
+		}
+		if lp.DepOnly || lp.Standard || lp.ForTest != "" || len(lp.GoFiles)+len(lp.CgoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.typecheck(lp.ImportPath, lp.Dir, append(lp.GoFiles, lp.CgoFiles...), lp.TestGoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir loads a single package from the .go files directly inside
+// dir, assigning it the given import path. This is the fixture-loading
+// mode used by radlinttest: the directory need not be a real package in
+// the module, but its imports must resolve (standard library or
+// packages of this module).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	l.init()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var sources, testSources []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testSources = append(testSources, e.Name())
+		} else {
+			sources = append(sources, e.Name())
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("radlint: no .go files in %s", dir)
+	}
+	return l.typecheck(path, dir, sources, testSources)
+}
+
+// typecheck parses sources (plus parse-only testSources) from dir and
+// type-checks them as one package named by path.
+func (l *Loader) typecheck(path, dir string, sources, testSources []string) (*Package, error) {
+	parse := func(names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	files, err := parse(sources)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parse(testSources)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.resolveImports(files); err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	cfg := &types.Config{
+		Importer: l.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type errors: %v", typeErrs[0])
+	}
+	return &Package{
+		Path:      path,
+		Fset:      l.fset,
+		Files:     files,
+		AllFiles:  append(append([]*ast.File(nil), files...), testFiles...),
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// resolveImports ensures export data is known for every import of the
+// given files, fetching any missing paths with one go list call. Load
+// pre-populates the map via -deps, so this only does work in fixture
+// mode.
+func (l *Loader) resolveImports(files []*ast.File) error {
+	var missing []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || ipath == "unsafe" || ipath == "C" {
+				continue
+			}
+			if _, ok := l.exports[ipath]; !ok {
+				missing = append(missing, ipath)
+			}
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	missing = uniq(missing)
+	listed, err := l.goList(append([]string{"-deps", "-export"}, missing...))
+	if err != nil {
+		return err
+	}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			l.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return nil
+}
+
+// goList runs `go list -json` with the given extra args and decodes the
+// object stream.
+func (l *Loader) goList(args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// lookup feeds compiled export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("radlint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// exportImporter adapts the gc export-data importer, special-casing
+// "unsafe" (which has no export file).
+type exportImporter struct {
+	gc types.Importer
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.Import(path)
+}
+
+func uniq(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i > 0 && s == sorted[i-1] {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

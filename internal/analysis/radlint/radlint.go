@@ -1,0 +1,195 @@
+package radlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one named analysis and how to run it. The shape
+// deliberately mirrors golang.org/x/tools/go/analysis so the analyzers
+// could migrate to the upstream framework if the repository ever takes
+// the dependency.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //radlint:allow comments. Lowercase, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description shown by `radlint -list`.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Reportf and returns an error only for analysis failures
+	// (not for findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset *token.FileSet
+
+	// Files holds the package's analyzable syntax trees. Test files
+	// (*_test.go) are excluded here — they type-check as part of the
+	// package but are exempt from every analyzer by policy.
+	Files []*ast.File
+
+	// AllFiles additionally includes test files, for analyzers (and
+	// the suppression scanner) that need whole-package syntax.
+	AllFiles []*ast.File
+
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diagnostics = append(*p.diagnostics, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings: deduplicated, allow-comment suppressions applied, sorted by
+// position. The error aggregates analyzer failures, not findings.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var errs []string
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				AllFiles:    pkg.AllFiles,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.TypesInfo,
+				diagnostics: &diags,
+			}
+			before := len(diags)
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %s: %v", a.Name, pkg.Path, err))
+			}
+			diags = allow.filter(diags, before)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	diags = dedup(diags)
+	if len(errs) > 0 {
+		return diags, fmt.Errorf("radlint: %s", strings.Join(errs, "; "))
+	}
+	return diags, nil
+}
+
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// allowIndex maps filename → line → analyzer names suppressed there.
+type allowIndex map[string]map[int][]string
+
+// AllowPrefix introduces a suppression comment. The full grammar is
+//
+//	//radlint:allow name[,name...] <reason>
+//
+// and the reason is mandatory: a bare //radlint:allow nopanic does not
+// suppress anything.
+const AllowPrefix = "radlint:allow"
+
+// buildAllowIndex scans every comment in the package (test files too —
+// a fixture may place wants there) for allow comments. A comment on
+// line L suppresses findings on lines L and L+1, covering both the
+// trailing-comment and the own-line-above styles.
+func buildAllowIndex(pkg *Package) allowIndex {
+	idx := allowIndex{}
+	for _, f := range pkg.AllFiles {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					continue // no analyzer or no justification: not an allowlisting
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				file := idx[pos.Filename]
+				if file == nil {
+					file = map[int][]string{}
+					idx[pos.Filename] = file
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					file[pos.Line] = append(file[pos.Line], name)
+					file[pos.Line+1] = append(file[pos.Line+1], name)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// filter drops diags[from:] entries suppressed by the index.
+func (idx allowIndex) filter(diags []Diagnostic, from int) []Diagnostic {
+	out := diags[:from]
+	for _, d := range diags[from:] {
+		if !idx.allows(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (idx allowIndex) allows(d Diagnostic) bool {
+	for _, name := range idx[d.Pos.Filename][d.Pos.Line] {
+		if name == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package radlint_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"radshield/internal/analysis/radlint"
+)
+
+// TestLoadModulePackage exercises the go list -export loading path on a
+// real package of this module, including intra-module imports resolved
+// from export data.
+func TestLoadModulePackage(t *testing.T) {
+	loader := &radlint.Loader{Dir: "../../.."} // module root
+	pkgs, err := loader.Load("radshield/internal/emr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "radshield/internal/emr" {
+		t.Fatalf("path = %q", pkg.Path)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil {
+		t.Fatal("package loaded without syntax or types")
+	}
+	// Test files are parsed into AllFiles but excluded from Files.
+	if len(pkg.AllFiles) <= len(pkg.Files) {
+		t.Fatalf("expected test files in AllFiles: %d vs %d", len(pkg.AllFiles), len(pkg.Files))
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Fatalf("test file %s leaked into analyzable Files", name)
+		}
+	}
+	// Spec must resolve with full type info (emrpurity depends on it).
+	if obj := pkg.Types.Scope().Lookup("Spec"); obj == nil {
+		t.Fatal("emr.Spec not in package scope")
+	}
+}
+
+func writeFixture(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSuppression checks the //radlint:allow grammar end to end: a
+// justified comment suppresses its own line and the next, an
+// unjustified one suppresses nothing, and unrelated analyzers are
+// unaffected.
+func TestRunSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package allowdemo
+
+// F has four findings; two are suppressed.
+func F() {
+	bad() //radlint:allow flagall justified trailing suppression
+	//radlint:allow flagall justified preceding suppression
+	bad()
+	//radlint:allow flagall
+	bad()
+	bad() //radlint:allow otherlint wrong analyzer name
+}
+
+func bad() {}
+`
+	writeFixture(t, dir, "allow.go", src)
+	loader := &radlint.Loader{}
+	pkg, err := loader.LoadDir(dir, "radshield/internal/allowdemo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flagall reports every call to bad().
+	flagall := &radlint.Analyzer{
+		Name: "flagall",
+		Doc:  "test analyzer flagging calls to bad",
+		Run: func(pass *radlint.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+							pass.Reportf(call.Pos(), "call to bad")
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := radlint.Run([]*radlint.Analyzer{flagall}, []*radlint.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// Lines 5 and 7 are suppressed; 9 (no reason) and 10 (other
+	// analyzer) survive.
+	if len(lines) != 2 || lines[0] != 9 || lines[1] != 10 {
+		t.Fatalf("surviving finding lines = %v, want [9 10]", lines)
+	}
+}
+
+// TestDiagnosticOrdering checks findings sort by position regardless of
+// report order.
+func TestDiagnosticOrdering(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "a.go", "package orderdemo\n\nfunc A() {}\n\nfunc B() {}\n")
+	loader := &radlint.Loader{}
+	pkg, err := loader.LoadDir(dir, "radshield/internal/orderdemo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backwards := &radlint.Analyzer{
+		Name: "backwards",
+		Doc:  "reports declarations in reverse",
+		Run: func(pass *radlint.Pass) error {
+			decls := pass.Files[0].Decls
+			for i := len(decls) - 1; i >= 0; i-- {
+				pass.Reportf(decls[i].Pos(), "decl %d", i)
+			}
+			return nil
+		},
+	}
+	diags, err := radlint.Run([]*radlint.Analyzer{backwards}, []*radlint.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("diagnostics not position-sorted: %v", diags)
+	}
+}

@@ -1,0 +1,46 @@
+// Package seededrand implements the radlint analyzer that forbids the
+// process-global math/rand generator.
+//
+// Radshield's fault campaigns (SEL schedules, SEU placement, synthetic
+// workload data) replay bit-identically only when every random draw
+// comes from a *rand.Rand seeded from the experiment config. The
+// global generator breaks that two ways: rand.Seed is process-wide
+// state that one experiment can clobber for another, and unseeded
+// global draws differ across runs. The rule therefore bans every
+// package-level math/rand (and math/rand/v2) function — rand.Intn,
+// rand.Float64, rand.Seed, rand.Perm, ... — while leaving the
+// constructors (rand.New, rand.NewSource, rand.NewZipf) and all
+// *rand.Rand methods free.
+package seededrand
+
+import (
+	"go/ast"
+
+	"radshield/internal/analysis/radlint"
+)
+
+// Analyzer flags uses of the global math/rand generator.
+var Analyzer = &radlint.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand top-level calls (rand.Intn, rand.Seed, ...): " +
+		"fault campaigns must draw from an injected seeded *rand.Rand",
+	Run: run,
+}
+
+func run(pass *radlint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; radlint.IsGlobalRandFunc(obj) {
+				pass.Reportf(id.Pos(),
+					"rand.%s draws from the process-global generator; inject a seeded *rand.Rand so campaigns replay bit-identically",
+					id.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/radlint/radlinttest"
+	"radshield/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), seededrand.Analyzer,
+		"radshield/internal/randdemo",
+	)
+}

@@ -1,0 +1,38 @@
+// Package randdemo is a seededrand fixture mixing global-generator
+// draws (flagged) with injected seeded generators (fine).
+package randdemo
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// GlobalDraws all hit the process-global generator.
+func GlobalDraws() int {
+	rand.Seed(42)       // want `rand\.Seed draws from the process-global generator`
+	x := rand.Intn(10)  // want `rand\.Intn draws from the process-global generator`
+	_ = rand.Float64()  // want `rand\.Float64 draws from the process-global generator`
+	_ = rand.Perm(4)    // want `rand\.Perm draws from the process-global generator`
+	_ = randv2.IntN(10) // want `rand\.IntN draws from the process-global generator`
+	return x
+}
+
+// AsValue passes the global function around without calling it.
+func AsValue() func() float64 {
+	return rand.Float64 // want `rand\.Float64 draws from the process-global generator`
+}
+
+// Injected is the sanctioned pattern: construct a seeded generator and
+// draw from it. Constructors and methods are never flagged.
+func Injected(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Float64()
+	_ = rng.Perm(4)
+	return rng.Intn(10)
+}
+
+// Allowed shows the escape hatch.
+func Allowed() int {
+	//radlint:allow seededrand fixture: demo of a justified suppression
+	return rand.Intn(10)
+}

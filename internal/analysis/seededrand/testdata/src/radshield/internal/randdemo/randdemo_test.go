@@ -1,0 +1,14 @@
+// Test files are exempt: quick ad-hoc randomness in tests is fine. No
+// want annotations.
+package randdemo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGlobalRandIsFineInTests(t *testing.T) {
+	if rand.Intn(10) > 9 {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,53 @@
+// Package simclocktime implements the radlint analyzer that forbids
+// host-clock reads (time.Now, time.Sleep, time.Since, time.Tick, and
+// friends) in Radshield's library and command code.
+//
+// The paper's SEL/SEU campaigns — and the telemetry snapshots PR 1
+// layered on top of them — are only reproducible because every
+// component measures time against the manually-advanced
+// internal/simclock. A single stray time.Now makes two runs of the
+// same seed diverge, which silently invalidates any A/B comparison
+// between schemes. Code that genuinely needs the host clock (e.g.
+// radbench's -wallclock profiling mode) carries a //radlint:allow
+// simclocktime comment with its justification.
+package simclocktime
+
+import (
+	"go/ast"
+	"strings"
+
+	"radshield/internal/analysis/radlint"
+)
+
+// Analyzer flags uses of wall-clock time functions.
+var Analyzer = &radlint.Analyzer{
+	Name: "simclocktime",
+	Doc: "forbid time.Now/Sleep/Since/Tick etc. in internal/... and cmd/...: " +
+		"deterministic simulation must route time through simclock.Clock",
+	Run: run,
+}
+
+func run(pass *radlint.Pass) error {
+	path := pass.Pkg.Path()
+	if !radlint.PathIsInternal(path) && !radlint.PathIsCommand(path) {
+		return nil
+	}
+	if strings.HasSuffix(path, "internal/simclock") {
+		return nil // the sanctioned abstraction itself
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; radlint.IsWallClockFunc(obj) {
+				pass.Reportf(id.Pos(),
+					"time.%s reads the host clock; use simclock.Clock so runs replay deterministically",
+					id.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package simclocktime_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/radlint/radlinttest"
+	"radshield/internal/analysis/simclocktime"
+)
+
+func TestSimclockTime(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), simclocktime.Analyzer,
+		"radshield/internal/demo",
+		"radshield/internal/simclock",
+		"radshield/pkg/free",
+	)
+}

@@ -1,0 +1,48 @@
+// Package demo is a simclocktime fixture: library code under
+// internal/ that reaches for the host clock.
+package demo
+
+import (
+	"time"
+)
+
+// Elapsed measures with the wall clock — every call site here must be
+// flagged.
+func Elapsed() time.Duration {
+	start := time.Now()            // want `time\.Now reads the host clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the host clock`
+	<-time.Tick(time.Millisecond)  // want `time\.Tick reads the host clock`
+	<-time.After(time.Millisecond) // want `time\.After reads the host clock`
+	return time.Since(start)       // want `time\.Since reads the host clock`
+}
+
+// AsValue passes the function around without calling it — still a use.
+func AsValue() func() time.Time {
+	return time.Now // want `time\.Now reads the host clock`
+}
+
+// DurationsAreFine exercises the allowed surface of package time:
+// durations, constants, and formatting never touch the host clock.
+func DurationsAreFine(d time.Duration) string {
+	d = d.Round(time.Second)
+	return d.String()
+}
+
+// Allowed demonstrates the escape hatch: a justified allow comment on
+// the preceding line suppresses the finding.
+func Allowed() time.Time {
+	//radlint:allow simclocktime fixture: documented wall-clock site
+	return time.Now()
+}
+
+// AllowedTrailing demonstrates the same-line comment style.
+func AllowedTrailing() time.Time {
+	return time.Now() //radlint:allow simclocktime fixture: documented wall-clock site
+}
+
+// NotAllowed shows that an allow comment without a justification does
+// not suppress anything.
+func NotAllowed() time.Time {
+	//radlint:allow simclocktime
+	return time.Now() // want `time\.Now reads the host clock`
+}

@@ -1,0 +1,17 @@
+// Test files are exempt from every analyzer: benches and tests may
+// legitimately read the host clock. No want annotations here — the
+// harness fails if any of these lines is flagged.
+package demo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallClockIsFineInTests(t *testing.T) {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	if time.Since(start) < 0 {
+		t.Fatal("time went backwards")
+	}
+}

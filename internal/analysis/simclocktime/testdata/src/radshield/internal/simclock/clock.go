@@ -1,0 +1,12 @@
+// Package simclock mirrors the real internal/simclock import path: the
+// one internal package exempt from the simclocktime analyzer, since it
+// is the abstraction the rule points everyone at. No want annotations —
+// the harness fails if anything below is flagged.
+package simclock
+
+import "time"
+
+// HostNow would be a violation anywhere else under internal/.
+func HostNow() time.Time {
+	return time.Now()
+}

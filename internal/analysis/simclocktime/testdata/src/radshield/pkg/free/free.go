@@ -1,0 +1,11 @@
+// Package free sits outside internal/ and cmd/, where simclocktime
+// does not apply (examples and exported library shims profile against
+// the host clock legitimately). No want annotations.
+package free
+
+import "time"
+
+// Stamp is fine here.
+func Stamp() time.Time {
+	return time.Now()
+}

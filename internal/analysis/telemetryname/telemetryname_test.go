@@ -1,0 +1,14 @@
+package telemetryname_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/radlint/radlinttest"
+	"radshield/internal/analysis/telemetryname"
+)
+
+func TestTelemetryName(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), telemetryname.Analyzer,
+		"radshield/internal/teldemo",
+	)
+}

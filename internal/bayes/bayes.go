@@ -22,15 +22,18 @@ const varFloor = 1e-9
 func Train(X [][]float64, y []int) *Classifier {
 	n := len(X)
 	if n == 0 || n != len(y) {
+		//radlint:allow nopanic malformed training data is a programming error; the doc contract says panic
 		panic(fmt.Sprintf("bayes: %d samples vs %d labels", n, len(y)))
 	}
 	d := len(X[0])
 	classes := 0
 	for i, label := range y {
 		if len(X[i]) != d {
+			//radlint:allow nopanic malformed training data is a programming error; the doc contract says panic
 			panic(fmt.Sprintf("bayes: row %d has %d features, want %d", i, len(X[i]), d))
 		}
 		if label < 0 {
+			//radlint:allow nopanic malformed training data is a programming error; the doc contract says panic
 			panic(fmt.Sprintf("bayes: negative label %d", label))
 		}
 		if label+1 > classes {
@@ -96,6 +99,7 @@ func (c *Classifier) Predict(x []float64) int {
 // logPosterior computes log P(class) + Σ log N(x_j; μ, σ²).
 func (c *Classifier) logPosterior(k int, x []float64) float64 {
 	if len(x) != c.features {
+		//radlint:allow nopanic feature-count mismatch is a plumbing bug; documented panic contract
 		panic(fmt.Sprintf("bayes: Predict with %d features, model has %d", len(x), c.features))
 	}
 	s := c.prior[k]

@@ -67,9 +67,11 @@ func (c *Cache) SetECCProtected(on bool) {
 // simple mask.
 func New(backing mem.Memory, sets, ways int) *Cache {
 	if sets <= 0 || ways <= 0 {
+		//radlint:allow nopanic cache geometry is fixed at machine construction; a bad shape is a build bug
 		panic(fmt.Sprintf("cache: invalid geometry %d sets × %d ways", sets, ways))
 	}
 	if sets&(sets-1) != 0 {
+		//radlint:allow nopanic cache geometry is fixed at machine construction; a bad shape is a build bug
 		panic(fmt.Sprintf("cache: sets (%d) must be a power of two", sets))
 	}
 	return &Cache{

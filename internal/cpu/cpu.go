@@ -84,6 +84,7 @@ type Core struct {
 // NewCore returns a core running at the given frequency, idle.
 func NewCore(id int, freqHz float64) *Core {
 	if freqHz <= 0 {
+		//radlint:allow nopanic core frequency comes from trusted simulator config; zero Hz is a build bug
 		panic(fmt.Sprintf("cpu: NewCore(%d): frequency must be positive, got %v", id, freqHz))
 	}
 	return &Core{id: id, freqHz: freqHz}
@@ -98,6 +99,7 @@ func (c *Core) FreqHz() float64 { return c.freqHz }
 // SetFreqHz changes the DVFS operating point.
 func (c *Core) SetFreqHz(hz float64) {
 	if hz <= 0 {
+		//radlint:allow nopanic core frequency comes from trusted simulator config; zero Hz is a build bug
 		panic(fmt.Sprintf("cpu: SetFreqHz(%v): frequency must be positive", hz))
 	}
 	c.freqHz = hz

@@ -37,6 +37,17 @@ func newRuntime(t *testing.T, scheme fault.Scheme) *Runtime {
 
 // chunkedSpec loads n×chunk bytes and declares one dataset per chunk,
 // optionally sharing a common key region across all datasets.
+// mustSlice wraps InputRef.Slice for fixtures whose offsets are known
+// in-range; a failure aborts the test. It is a plain function (not
+// t-based) so quick.Check closures, benchmarks, and Examples can share it.
+func mustSlice(ref InputRef, off, n uint64) InputRef {
+	s, err := ref.Slice(off, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func chunkedSpec(t *testing.T, rt *Runtime, n, chunk int, withKey bool) Spec {
 	t.Helper()
 	data := make([]byte, n*chunk)
@@ -60,7 +71,7 @@ func chunkedSpec(t *testing.T, rt *Runtime, n, chunk int, withKey bool) Spec {
 	}
 	datasets := make([]Dataset, n)
 	for i := 0; i < n; i++ {
-		inputs := []InputRef{ref.Slice(uint64(i*chunk), uint64(chunk))}
+		inputs := []InputRef{mustSlice(ref, uint64(i*chunk), uint64(chunk))}
 		if withKey {
 			inputs = append(inputs, keyRef)
 		}
@@ -175,7 +186,7 @@ func TestOverlappingDatasetsConflict(t *testing.T) {
 	// packer.
 	var datasets []Dataset
 	for off := uint64(0); off+256 <= 1024; off += 128 {
-		datasets = append(datasets, Dataset{Inputs: []InputRef{ref.Slice(off, 256)}})
+		datasets = append(datasets, Dataset{Inputs: []InputRef{mustSlice(ref, off, 256)}})
 	}
 	res, err := rt.Run(Spec{Name: "overlap", Datasets: datasets, Job: sumJob, CyclesPerByte: 5})
 	if err != nil {
@@ -350,16 +361,22 @@ func TestLoadInputValidation(t *testing.T) {
 
 func TestSliceValidation(t *testing.T) {
 	ref := InputRef{Name: "x", Region: mem.Region{Addr: 0, Len: 100}}
-	got := ref.Slice(10, 20)
+	got, err := ref.Slice(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Region.Addr != 10 || got.Region.Len != 20 {
 		t.Fatalf("Slice = %+v", got.Region)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range Slice did not panic")
-		}
-	}()
-	ref.Slice(90, 20)
+	// Out-of-range and overflowing windows are rejected with errors, not
+	// panics: flight software computes offsets from (possibly upset) data
+	// and must be able to refuse them gracefully.
+	if _, err := ref.Slice(90, 20); err == nil {
+		t.Error("Slice(90, 20) past the region end was accepted")
+	}
+	if _, err := ref.Slice(^uint64(0)-5, 10); err == nil {
+		t.Error("overflowing Slice window was accepted")
+	}
 }
 
 func TestJobErrorDetected(t *testing.T) {
@@ -456,8 +473,8 @@ func ExampleRuntime_Run() {
 	spec := Spec{
 		Name: "checksum",
 		Datasets: []Dataset{
-			{Inputs: []InputRef{ref.Slice(0, 10)}},
-			{Inputs: []InputRef{ref.Slice(10, 10)}},
+			{Inputs: []InputRef{mustSlice(ref, 0, 10)}},
+			{Inputs: []InputRef{mustSlice(ref, 10, 10)}},
 		},
 		Job: func(inputs [][]byte) ([]byte, error) {
 			var sum byte

@@ -123,7 +123,7 @@ func chunkedSpec2(rt *Runtime, n, chunk int, withKey bool) Spec {
 		panic(err)
 	}
 	inputsFor := func(i int) []InputRef {
-		return []InputRef{ref.Slice(uint64(i*chunk), uint64(chunk))}
+		return []InputRef{mustSlice(ref, uint64(i*chunk), uint64(chunk))}
 	}
 	var keyRef InputRef
 	if withKey {

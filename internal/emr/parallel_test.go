@@ -114,7 +114,7 @@ func benchmarkEMRRun(b *testing.B, parallel bool) {
 		}
 		datasets := make([]Dataset, 64)
 		for j := range datasets {
-			datasets[j] = Dataset{Inputs: []InputRef{ref.Slice(uint64(j*4096), 4096)}}
+			datasets[j] = Dataset{Inputs: []InputRef{mustSlice(ref, uint64(j*4096), 4096)}}
 		}
 		if _, err := rt.Run(Spec{Name: "bench", Datasets: datasets, Job: sumJob, CyclesPerByte: 5}); err != nil {
 			b.Fatal(err)

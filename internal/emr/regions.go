@@ -14,16 +14,19 @@ type InputRef struct {
 	Region mem.Region
 }
 
-// Slice narrows the ref to [off, off+n) within it. It panics when the
-// slice escapes the ref — dataset construction bugs must fail fast.
-func (r InputRef) Slice(off, n uint64) InputRef {
-	if off+n > r.Region.Len {
-		panic(fmt.Sprintf("emr: Slice(%d, %d) outside %q of %d bytes", off, n, r.Name, r.Region.Len))
+// Slice narrows the ref to [off, off+n) within it. A slice escaping
+// the ref is a dataset-construction bug reported as an error: workload
+// builders run in flight software, where an out-of-range offset (e.g.
+// from a corrupted job descriptor) must surface as a failed run the
+// caller can retry, not a process crash.
+func (r InputRef) Slice(off, n uint64) (InputRef, error) {
+	if off+n > r.Region.Len || off+n < off {
+		return InputRef{}, fmt.Errorf("emr: Slice(%d, %d) outside %q of %d bytes", off, n, r.Name, r.Region.Len)
 	}
 	return InputRef{
 		Name:   r.Name,
 		Region: mem.Region{Addr: r.Region.Addr + off, Len: n},
-	}
+	}, nil
 }
 
 // Dataset is the set of input regions one job consumes (paper Figure 8:

@@ -128,7 +128,7 @@ func TestPropertyThresholdInvariantOutputs(t *testing.T) {
 		}
 		datasets := make([]Dataset, n)
 		for i := range datasets {
-			datasets[i] = Dataset{Inputs: []InputRef{ref.Slice(uint64(i*128), 128), key}}
+			datasets[i] = Dataset{Inputs: []InputRef{mustSlice(ref, uint64(i*128), 128), key}}
 		}
 		res, err := rt.Run(Spec{Name: "p", Datasets: datasets, Job: sumJob, CyclesPerByte: 3})
 		if err != nil {
@@ -198,7 +198,7 @@ func TestPropertySingleExecutorCorruptionAlwaysMasked(t *testing.T) {
 		}
 		datasets := make([]Dataset, 6)
 		for i := range datasets {
-			datasets[i] = Dataset{Inputs: []InputRef{ref.Slice(uint64(i*128), 128)}}
+			datasets[i] = Dataset{Inputs: []InputRef{mustSlice(ref, uint64(i*128), 128)}}
 		}
 		victim := rng.Intn(3) // one executor corrupted on every dataset
 		spec := Spec{

@@ -57,7 +57,10 @@ func AblationQuiescenceGate(c SELConfig) (*Table, error) {
 	// never saw in (quiescent-only) training.
 	ungatedCfg := c.ildConfig()
 	ungatedCfg.QuiescentInstrPerSec = math.MaxFloat64
-	ungated := ild.NewDetector(gated.Model(), ungatedCfg)
+	ungated, err := ild.NewDetector(gated.Model(), ungatedCfg)
+	if err != nil {
+		return nil, err
+	}
 
 	tbl := &Table{
 		Title:  "Ablation: quiescence gating",

@@ -135,9 +135,16 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 	}{
 		{"ILD", det},
 		{"RandomForest", trainForestBaseline(c)},
-		{"Static 1.75A", ild.NewStaticThreshold(1.75)},
-		{"Static 1.80A", ild.NewStaticThreshold(1.80)},
-		{"Static 1.85A", ild.NewStaticThreshold(1.85)},
+	}
+	for _, level := range []float64{1.75, 1.80, 1.85} {
+		st, err := ild.NewStaticThreshold(level)
+		if err != nil {
+			return nil, nil, err
+		}
+		monitors = append(monitors, struct {
+			name string
+			m    ild.Monitor
+		}{fmt.Sprintf("Static %.2fA", level), st})
 	}
 
 	// Attach instruments to the ILD detector (not the baselines: Table 2

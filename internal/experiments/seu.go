@@ -378,7 +378,23 @@ func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Conf
 		if c.Telemetry == nil {
 			return
 		}
-		c.Telemetry.Counter("fault_injected_"+target+"_total", "faults").Inc()
+		// One literal name per injection target keeps the whole counter
+		// family greppable and listed in TELEMETRY.md (the telemetryname
+		// check rejects computed names).
+		var ctr *telemetry.Counter
+		switch target {
+		case "cache":
+			ctr = c.Telemetry.Counter("fault_injected_cache_total", "faults")
+		case "pipeline":
+			ctr = c.Telemetry.Counter("fault_injected_pipeline_total", "faults")
+		case "descriptor":
+			ctr = c.Telemetry.Counter("fault_injected_descriptor_total", "faults")
+		case "frontier":
+			ctr = c.Telemetry.Counter("fault_injected_frontier_total", "faults")
+		default:
+			return
+		}
+		ctr.Inc()
 		c.Telemetry.Emit(telemetry.Event{
 			Kind: telemetry.KindFaultInjected,
 			Fields: map[string]any{

@@ -41,7 +41,10 @@ func ThresholdSweep(c SELConfig, episodes int) ([]ThresholdPoint, *Table, error)
 	for _, th := range thresholds {
 		cfg := c.ildConfig()
 		cfg.ThresholdA = th
-		det := ild.NewDetector(model, cfg)
+		det, err := ild.NewDetector(model, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 
 		// Clean phase: long quiescence, no SEL — count FP samples.
 		m := machine.New(c.machineConfig(c.Seed + 700))

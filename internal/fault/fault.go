@@ -116,6 +116,7 @@ type BitFlip struct {
 // It panics on size 0 — there is nothing to strike.
 func RandomFlip(rng *rand.Rand, size uint64) BitFlip {
 	if size == 0 {
+		//radlint:allow nopanic an empty strike target is an experiment-setup bug, not a runtime condition
 		panic("fault: RandomFlip over empty target")
 	}
 	return BitFlip{
@@ -186,6 +187,7 @@ type Tally struct {
 // Add records one outcome.
 func (t *Tally) Add(o Outcome) {
 	if o < 0 || int(o) >= len(t.Counts) {
+		//radlint:allow nopanic an out-of-range outcome enum is a programming error
 		panic(fmt.Sprintf("fault: invalid outcome %d", o))
 	}
 	t.Counts[o]++

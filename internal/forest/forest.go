@@ -54,15 +54,18 @@ type Forest struct {
 func Train(X [][]float64, y []int, cfg Config) *Forest {
 	n := len(X)
 	if n == 0 || n != len(y) {
+		//radlint:allow nopanic malformed training data is a programming error; the doc contract says panic
 		panic(fmt.Sprintf("forest: %d samples vs %d labels", n, len(y)))
 	}
 	d := len(X[0])
 	classes := 0
 	for i, label := range y {
 		if len(X[i]) != d {
+			//radlint:allow nopanic malformed training data is a programming error; the doc contract says panic
 			panic(fmt.Sprintf("forest: row %d has %d features, want %d", i, len(X[i]), d))
 		}
 		if label < 0 {
+			//radlint:allow nopanic malformed training data is a programming error; the doc contract says panic
 			panic(fmt.Sprintf("forest: negative label %d", label))
 		}
 		if label+1 > classes {
@@ -211,6 +214,7 @@ func gini(counts []int, n int) float64 {
 // Predict returns the majority vote of the trees for x.
 func (f *Forest) Predict(x []float64) int {
 	if len(x) != f.features {
+		//radlint:allow nopanic feature-count mismatch is a plumbing bug; documented panic contract
 		panic(fmt.Sprintf("forest: Predict with %d features, model has %d", len(x), f.features))
 	}
 	votes := make([]int, f.classes)

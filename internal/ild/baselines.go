@@ -39,12 +39,13 @@ type StaticThreshold struct {
 }
 
 // NewStaticThreshold returns a detector tripping after 5 consecutive
-// readings above level amps.
-func NewStaticThreshold(level float64) *StaticThreshold {
+// readings above level amps. A non-positive level is a configuration
+// error.
+func NewStaticThreshold(level float64) (*StaticThreshold, error) {
 	if level <= 0 {
-		panic(fmt.Sprintf("ild: static threshold %v, want > 0", level))
+		return nil, fmt.Errorf("ild: static threshold %v, want > 0", level)
 	}
-	return &StaticThreshold{LevelA: level, SustainSamples: 5}
+	return &StaticThreshold{LevelA: level, SustainSamples: 5}, nil
 }
 
 // Observe implements Monitor on the raw (unfiltered) current reading —

@@ -12,8 +12,19 @@ func telAt(raw, filtered float64) machine.Telemetry {
 	return machine.Telemetry{RawA: raw, CurrentA: filtered}
 }
 
+// newStatic fails the test on constructor errors; validation behavior
+// has its own test below.
+func newStatic(t *testing.T, level float64) *StaticThreshold {
+	t.Helper()
+	s, err := NewStaticThreshold(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestStaticThresholdSustain(t *testing.T) {
-	s := NewStaticThreshold(1.75)
+	s := newStatic(t, 1.75)
 	if s.SustainSamples != 5 {
 		t.Fatalf("default sustain = %d, want 5", s.SustainSamples)
 	}
@@ -37,7 +48,7 @@ func TestStaticThresholdSustain(t *testing.T) {
 }
 
 func TestStaticThresholdIgnoresSingleSpikes(t *testing.T) {
-	s := NewStaticThreshold(1.75)
+	s := newStatic(t, 1.75)
 	for i := 0; i < 100; i++ {
 		// Alternating spike / quiet: integrating comparators stay calm.
 		if s.Observe(telAt(2.5, 1.5)) {
@@ -57,12 +68,11 @@ func TestStaticThresholdZeroSustainActsImmediate(t *testing.T) {
 }
 
 func TestStaticThresholdValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewStaticThreshold(0) did not panic")
+	for _, level := range []float64{0, -1.5} {
+		if _, err := NewStaticThreshold(level); err == nil {
+			t.Fatalf("NewStaticThreshold(%v) accepted a non-positive level", level)
 		}
-	}()
-	NewStaticThreshold(0)
+	}
 }
 
 func TestForestDetectorSeparatesBands(t *testing.T) {
@@ -110,7 +120,7 @@ func TestDetectorModelAccessor(t *testing.T) {
 
 func TestRecorderDetectorAccessor(t *testing.T) {
 	_, det := trainedDetector(t, 62)
-	rec := NewRecorder(det, 4)
+	rec := newRecorder(t, det, 4)
 	if rec.Detector() != det {
 		t.Fatal("Detector accessor")
 	}

@@ -83,19 +83,22 @@ func (d *Detector) SignalQuiescent(quiescent bool) {
 func (d *Detector) ClearSignal() { d.appSignal = false }
 
 // NewDetector builds a detector from a trained current model. The config
-// must use the same telemetry cadence the model was trained at.
-func NewDetector(model *linmodel.Model, cfg Config) *Detector {
+// must use the same telemetry cadence the model was trained at. Config
+// validation failures are returned as errors: detector construction
+// happens on orbit after retraining, where a bad config (possibly from
+// an upset parameter store) must be rejected, not crash the monitor.
+func NewDetector(model *linmodel.Model, cfg Config) (*Detector, error) {
 	if cfg.ThresholdA <= 0 {
-		panic(fmt.Sprintf("ild: ThresholdA = %v, want > 0", cfg.ThresholdA))
+		return nil, fmt.Errorf("ild: ThresholdA = %v, want > 0", cfg.ThresholdA)
 	}
 	if cfg.SustainFor <= 0 || cfg.SampleEvery <= 0 {
-		panic("ild: SustainFor and SampleEvery must be positive")
+		return nil, fmt.Errorf("ild: SustainFor = %v and SampleEvery = %v must be positive", cfg.SustainFor, cfg.SampleEvery)
 	}
 	n := int(cfg.SustainFor / cfg.SampleEvery)
 	if n < 1 {
 		n = 1
 	}
-	return &Detector{cfg: cfg, model: model, window: stats.NewWindowMean(n)}
+	return &Detector{cfg: cfg, model: model, window: stats.NewWindowMean(n)}, nil
 }
 
 // Config returns the detector's configuration.
@@ -189,5 +192,5 @@ func (t *Trainer) Fit() (*Detector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ild: training failed: %w", err)
 	}
-	return NewDetector(model, t.cfg), nil
+	return NewDetector(model, t.cfg)
 }

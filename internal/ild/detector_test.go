@@ -169,15 +169,15 @@ func TestNewDetectorValidation(t *testing.T) {
 	for _, cfg := range []Config{
 		{ThresholdA: 0, SustainFor: time.Second, SampleEvery: time.Millisecond},
 		{ThresholdA: 0.05, SustainFor: 0, SampleEvery: time.Millisecond},
+		{ThresholdA: 0.05, SustainFor: time.Second, SampleEvery: 0},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("config %+v did not panic", cfg)
-				}
-			}()
-			NewDetector(nil, cfg)
-		}()
+		if _, err := NewDetector(nil, cfg); err == nil {
+			t.Errorf("config %+v was accepted", cfg)
+		}
+	}
+	// A valid config still constructs.
+	if _, err := NewDetector(nil, DefaultConfig()); err != nil {
+		t.Fatalf("DefaultConfig rejected: %v", err)
 	}
 }
 

@@ -87,7 +87,7 @@ func RestoreDetector(blob []byte, cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewDetector(m, cfg), nil
+	return NewDetector(m, cfg)
 }
 
 // SizeForCores returns the blob size for a board with the given core

@@ -33,6 +33,18 @@ func TestModelRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRestoreDetectorRejectsBadConfig(t *testing.T) {
+	// A valid blob with an upset flight config (e.g. a zeroed parameter
+	// store) must be refused with an error, not crash the monitor.
+	_, det := trainedDetector(t, 74)
+	blob := det.Export()
+	bad := det.Config()
+	bad.ThresholdA = 0
+	if _, err := RestoreDetector(blob, bad); err == nil {
+		t.Fatal("RestoreDetector accepted a zero detection threshold")
+	}
+}
+
 func TestRestoredDetectorStillDetects(t *testing.T) {
 	m, det := trainedDetector(t, 72)
 	restored, err := RestoreDetector(det.Export(), det.Config())

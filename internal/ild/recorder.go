@@ -33,12 +33,15 @@ type Recorder struct {
 
 var _ Monitor = (*Recorder)(nil)
 
-// NewRecorder wraps det with a ring of the given capacity (> 0).
-func NewRecorder(det *Detector, capacity int) *Recorder {
+// NewRecorder wraps det with a ring of the given capacity. A
+// non-positive capacity is a configuration error, returned rather than
+// panicking so a monitor restart with a corrupt config degrades to an
+// error path instead of a crash loop.
+func NewRecorder(det *Detector, capacity int) (*Recorder, error) {
 	if capacity <= 0 {
-		panic(fmt.Sprintf("ild: NewRecorder capacity %d, want > 0", capacity))
+		return nil, fmt.Errorf("ild: NewRecorder capacity %d, want > 0", capacity)
 	}
-	return &Recorder{det: det, buf: make([]Record, capacity)}
+	return &Recorder{det: det, buf: make([]Record, capacity)}, nil
 }
 
 // Detector returns the wrapped detector.

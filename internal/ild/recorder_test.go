@@ -11,9 +11,20 @@ import (
 	"radshield/internal/trace"
 )
 
+// newRecorder fails the test on constructor errors; validation behavior
+// has its own test below.
+func newRecorder(t *testing.T, det *Detector, capacity int) *Recorder {
+	t.Helper()
+	rec, err := NewRecorder(det, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
 func TestRecorderCapturesObservations(t *testing.T) {
 	m, det := trainedDetector(t, 31)
-	rec := NewRecorder(det, 100000)
+	rec := newRecorder(t, det, 100000)
 	m.InjectSEL(0.08)
 	rng := rand.New(rand.NewSource(32))
 	flagged := 0
@@ -47,7 +58,7 @@ func TestRecorderCapturesObservations(t *testing.T) {
 
 func TestRecorderRingWraps(t *testing.T) {
 	m, det := trainedDetector(t, 33)
-	rec := NewRecorder(det, 50)
+	rec := newRecorder(t, det, 50)
 	rng := rand.New(rand.NewSource(34))
 	n := m.RunTrace(trace.Quiescent(rng, time.Second, time.Second), func(tel machine.Telemetry) {
 		rec.Observe(tel)
@@ -70,7 +81,7 @@ func TestRecorderRingWraps(t *testing.T) {
 
 func TestRecorderDumpCSV(t *testing.T) {
 	m, det := trainedDetector(t, 35)
-	rec := NewRecorder(det, 10)
+	rec := newRecorder(t, det, 10)
 	rng := rand.New(rand.NewSource(36))
 	m.RunTrace(trace.Quiescent(rng, 100*time.Millisecond, time.Second), func(tel machine.Telemetry) {
 		rec.Observe(tel)
@@ -89,12 +100,11 @@ func TestRecorderDumpCSV(t *testing.T) {
 }
 
 func TestRecorderCapacityValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewRecorder(0) did not panic")
+	for _, capacity := range []int{0, -1} {
+		if _, err := NewRecorder(nil, capacity); err == nil {
+			t.Fatalf("NewRecorder(nil, %d) accepted a non-positive capacity", capacity)
 		}
-	}()
-	NewRecorder(nil, 0)
+	}
 }
 
 func TestAppQuiescenceSignal(t *testing.T) {

@@ -78,6 +78,7 @@ func Fit(X [][]float64, y []float64, ridge float64) (*Model, error) {
 // dimension mismatch: feature plumbing bugs should fail loudly in tests.
 func (m *Model) Predict(x []float64) float64 {
 	if len(x) != len(m.Weights) {
+		//radlint:allow nopanic feature-count mismatch is a plumbing bug; documented panic contract
 		panic(fmt.Sprintf("linmodel: Predict with %d features, model has %d", len(x), len(m.Weights)))
 	}
 	sum := m.Intercept

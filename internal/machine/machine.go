@@ -137,9 +137,11 @@ type Machine struct {
 // machine is constructed once per experiment from trusted code.
 func New(cfg Config) *Machine {
 	if cfg.Cores <= 0 {
+		//radlint:allow nopanic machine config comes from trusted experiment code; documented panic contract
 		panic(fmt.Sprintf("machine: Cores = %d, want > 0", cfg.Cores))
 	}
 	if cfg.SampleEvery <= 0 {
+		//radlint:allow nopanic machine config comes from trusted experiment code; documented panic contract
 		panic("machine: SampleEvery must be positive")
 	}
 	if cfg.FilterK < 1 {

@@ -46,6 +46,7 @@ func (s *Scrubber) SetTelemetry(reg *telemetry.Registry) {
 // device has no ECC — scrubbing a raw array is meaningless.
 func NewScrubber(d *DRAM) *Scrubber {
 	if !d.HasECC() {
+		//radlint:allow nopanic scrubbing a non-ECC device is a wiring bug; documented panic contract
 		panic("mem: NewScrubber on non-ECC DRAM")
 	}
 	return &Scrubber{dram: d}

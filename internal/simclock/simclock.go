@@ -37,6 +37,7 @@ func (c *Clock) Now() time.Duration {
 // negative: the simulation may never move backwards.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
+		//radlint:allow nopanic simulated time may never move backwards; continuing would corrupt every run
 		panic(fmt.Sprintf("simclock: Advance(%v): negative duration", d))
 	}
 	c.mu.Lock()
@@ -56,6 +57,7 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 	cur := c.now
 	c.mu.Unlock()
 	if t < cur {
+		//radlint:allow nopanic simulated time may never move backwards; continuing would corrupt every run
 		panic(fmt.Sprintf("simclock: AdvanceTo(%v): before current time %v", t, cur))
 	}
 	c.Advance(t - cur)
@@ -105,6 +107,7 @@ type Ticker struct {
 // the absolute instant `until` is reached. step must be positive.
 func NewTicker(clock *Clock, step, until time.Duration) *Ticker {
 	if step <= 0 {
+		//radlint:allow nopanic a non-positive tick step would hang the simulation driver
 		panic("simclock: NewTicker: step must be positive")
 	}
 	return &Ticker{clock: clock, step: step, until: until}

@@ -38,6 +38,7 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 // Min returns the smallest element of xs. It panics on an empty slice.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
+		//radlint:allow nopanic empty input is a caller bug; documented panic contract
 		panic("stats: Min of empty slice")
 	}
 	m := xs[0]
@@ -52,6 +53,7 @@ func Min(xs []float64) float64 {
 // Max returns the largest element of xs. It panics on an empty slice.
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
+		//radlint:allow nopanic empty input is a caller bug; documented panic contract
 		panic("stats: Max of empty slice")
 	}
 	m := xs[0]
@@ -67,9 +69,11 @@ func Max(xs []float64) float64 {
 // interpolation between order statistics. It panics on an empty slice.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
+		//radlint:allow nopanic empty input is a caller bug; documented panic contract
 		panic("stats: Quantile of empty slice")
 	}
 	if q < 0 || q > 1 {
+		//radlint:allow nopanic an out-of-range quantile is a caller bug; documented panic contract
 		panic(fmt.Sprintf("stats: Quantile(%v) out of [0,1]", q))
 	}
 	sorted := append([]float64(nil), xs...)
@@ -92,6 +96,7 @@ func Quantile(xs []float64, q float64) float64 {
 // series has zero variance.
 func Correlation(xs, ys []float64) float64 {
 	if len(xs) != len(ys) {
+		//radlint:allow nopanic a length mismatch between series is a caller bug; documented panic contract
 		panic(fmt.Sprintf("stats: Correlation length mismatch %d vs %d", len(xs), len(ys)))
 	}
 	if len(xs) < 2 {
@@ -116,6 +121,7 @@ func Correlation(xs, ys []float64) float64 {
 // filter ILD applies to current samples (±250 µs in the paper).
 func RollingMin(xs []float64, before, after int) []float64 {
 	if before < 0 || after < 0 {
+		//radlint:allow nopanic a negative window is a caller bug; documented panic contract
 		panic("stats: RollingMin: negative window")
 	}
 	out := make([]float64, len(xs))
@@ -239,6 +245,7 @@ type WindowMean struct {
 // NewWindowMean returns a WindowMean over the given capacity (> 0).
 func NewWindowMean(capacity int) *WindowMean {
 	if capacity <= 0 {
+		//radlint:allow nopanic window capacity is computed from validated detector config
 		panic("stats: NewWindowMean: capacity must be positive")
 	}
 	return &WindowMean{buf: make([]float64, capacity)}

@@ -73,6 +73,7 @@ type Ring struct {
 // NewRing returns a ring holding up to cap events. cap must be positive.
 func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
+		//radlint:allow nopanic ring capacity comes from compile-time defaults; zero is a build bug
 		panic("telemetry: NewRing capacity must be positive")
 	}
 	return &Ring{buf: make([]Event, 0, capacity)}

@@ -137,15 +137,19 @@ func (r *Registry) Events() []Event {
 // type. r.mu must be held.
 func (r *Registry) checkFreeLocked(name, kind string) {
 	if _, ok := r.counters[name]; ok {
+		//radlint:allow nopanic a metric name/type collision is a registration-time programming error
 		panic(fmt.Sprintf("telemetry: %q already registered as a counter, requested as %s", name, kind))
 	}
 	if _, ok := r.gauges[name]; ok {
+		//radlint:allow nopanic a metric name/type collision is a registration-time programming error
 		panic(fmt.Sprintf("telemetry: %q already registered as a gauge, requested as %s", name, kind))
 	}
 	if _, ok := r.gaugeFuncs[name]; ok {
+		//radlint:allow nopanic a metric name/type collision is a registration-time programming error
 		panic(fmt.Sprintf("telemetry: %q already registered as a gauge-func, requested as %s", name, kind))
 	}
 	if _, ok := r.hists[name]; ok {
+		//radlint:allow nopanic a metric name/type collision is a registration-time programming error
 		panic(fmt.Sprintf("telemetry: %q already registered as a histogram, requested as %s", name, kind))
 	}
 }

@@ -37,10 +37,11 @@ func Encryption() Builder {
 			}
 			datasets := make([]emr.Dataset, n)
 			for i := 0; i < n; i++ {
-				datasets[i] = emr.Dataset{Inputs: []emr.InputRef{
-					plain.Slice(uint64(i*aesChunk), aesChunk),
-					key,
-				}}
+				chunk, err := plain.Slice(uint64(i*aesChunk), aesChunk)
+				if err != nil {
+					return emr.Spec{}, err
+				}
+				datasets[i] = emr.Dataset{Inputs: []emr.InputRef{chunk, key}}
 			}
 			return emr.Spec{
 				Name:          "encryption",

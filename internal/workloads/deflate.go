@@ -51,9 +51,17 @@ func Compression() Builder {
 				inputs := []emr.InputRef{}
 				if i > 0 {
 					dictOff := uint64(i*deflateBlock - deflateDict)
-					inputs = append(inputs, data.Slice(dictOff, deflateDict))
+					dict, err := data.Slice(dictOff, deflateDict)
+					if err != nil {
+						return emr.Spec{}, err
+					}
+					inputs = append(inputs, dict)
 				}
-				inputs = append(inputs, data.Slice(uint64(i*deflateBlock), deflateBlock))
+				block, err := data.Slice(uint64(i*deflateBlock), deflateBlock)
+				if err != nil {
+					return emr.Spec{}, err
+				}
+				inputs = append(inputs, block)
 				datasets[i] = emr.Dataset{Inputs: inputs}
 			}
 			return emr.Spec{

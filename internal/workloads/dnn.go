@@ -63,10 +63,11 @@ func NeuralNetwork() Builder {
 			}
 			datasets := make([]emr.Dataset, n)
 			for i := 0; i < n; i++ {
-				datasets[i] = emr.Dataset{Inputs: []emr.InputRef{
-					sRef.Slice(uint64(i*dnnStride), dnnSampleLen),
-					wRef,
-				}}
+				sample, err := sRef.Slice(uint64(i*dnnStride), dnnSampleLen)
+				if err != nil {
+					return emr.Spec{}, err
+				}
+				datasets[i] = emr.Dataset{Inputs: []emr.InputRef{sample, wRef}}
 			}
 			return emr.Spec{
 				Name:          "dnn",

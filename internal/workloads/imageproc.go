@@ -76,11 +76,15 @@ func ImageProcessing() Builder {
 			}
 			i := 0
 			for y := 0; y+imgTemplate <= height; y += imgStride {
-				datasets = append(datasets, emr.Dataset{Inputs: []emr.InputRef{
-					mapRef.Slice(uint64(y*width), uint64(imgTemplate*width)),
-					paramsRef.Slice(uint64(i*imgParamsLen), imgParamsLen),
-					tmplRef,
-				}})
+				rows, err := mapRef.Slice(uint64(y*width), uint64(imgTemplate*width))
+				if err != nil {
+					return emr.Spec{}, err
+				}
+				job, err := paramsRef.Slice(uint64(i*imgParamsLen), imgParamsLen)
+				if err != nil {
+					return emr.Spec{}, err
+				}
+				datasets = append(datasets, emr.Dataset{Inputs: []emr.InputRef{rows, job, tmplRef}})
 				i++
 			}
 			return emr.Spec{

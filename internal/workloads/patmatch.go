@@ -43,10 +43,11 @@ func IntrusionDetection() Builder {
 			}
 			datasets := make([]emr.Dataset, n)
 			for i := 0; i < n; i++ {
-				datasets[i] = emr.Dataset{Inputs: []emr.InputRef{
-					packets.Slice(uint64(i*packetSize), packetSize),
-					pattern,
-				}}
+				packet, err := packets.Slice(uint64(i*packetSize), packetSize)
+				if err != nil {
+					return emr.Spec{}, err
+				}
+				datasets[i] = emr.Dataset{Inputs: []emr.InputRef{packet, pattern}}
 			}
 			return emr.Spec{
 				Name:          "intrusion-detection",
