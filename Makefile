@@ -1,4 +1,5 @@
 GO ?= go
+SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
 .PHONY: check fmt vet lint build test race bench staticcheck vulncheck
 
@@ -38,5 +39,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark once and converts the output into the
+# machine-readable BENCH_<sha>.json record (see cmd/benchjson). The
+# timestamp is taken here, in the Makefile — library and CLI code never
+# read the host clock (simclocktime lint).
 bench:
-	$(GO) test -bench . -benchtime 1x
+	$(GO) test -bench . -benchtime 1x | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out \
+		-sha "$(SHA)" -stamp "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		-out BENCH_$(SHA).json
+	@echo "wrote BENCH_$(SHA).json"

@@ -10,6 +10,7 @@
 package radshield
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -133,7 +134,7 @@ func BenchmarkTable2Telemetry(b *testing.B) {
 
 func BenchmarkFig12InputSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig12(42, []int{64 << 10, 256 << 10, 1 << 20}); err != nil {
+		if _, err := experiments.Fig12(42, 0, []int{64 << 10, 256 << 10, 1 << 20}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -273,6 +274,35 @@ func BenchmarkMissionSurvival(b *testing.B) {
 	}
 }
 
+// BenchmarkMissionSurvivalParallel measures the campaign scheduler's
+// scaling: the same mission campaign at widths 1/2/4/8, reporting each
+// width's speedup over the serial run as a custom metric. On a 1-core
+// runner every width degenerates to serial execution and speedup ≈ 1;
+// the CI bench job records the multi-core numbers in BENCH_<sha>.json.
+func BenchmarkMissionSurvivalParallel(b *testing.B) {
+	cfg := experiments.DefaultMissionConfig()
+	cfg.Missions = 8
+	cfg.Duration = 2 * time.Hour
+	var serial time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := experiments.MissionSurvival(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if w == 1 {
+				serial = perOp
+			}
+			if serial > 0 && perOp > 0 {
+				b.ReportMetric(float64(serial)/float64(perOp), "speedup")
+			}
+		})
+	}
+}
+
 func BenchmarkThresholdSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.ThresholdSweep(benchSEL(), 6); err != nil {
@@ -283,6 +313,6 @@ func BenchmarkThresholdSweep(b *testing.B) {
 
 func BenchmarkMissionProfiles(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, _ = experiments.MissionProfiles(1)
+		_, _ = experiments.MissionProfiles(1, 0)
 	}
 }

@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON record, keyed by benchmark name, carrying ns/op
+// plus every custom metric (speedup, survival rates, …).
+//
+// The Makefile's bench target pipes benchmark output through it to
+// produce BENCH_<git-sha>.json, the artifact the CI bench job uploads:
+//
+//	go test -bench . -benchtime 1x | benchjson -sha "$(git rev-parse --short HEAD)" -stamp "$(date -u ...)" -out BENCH_x.json
+//
+// The commit SHA and timestamp come in as flags: benchjson itself never
+// reads the host clock (simulation code and tooling share the
+// simclocktime discipline), so its output is a pure function of its
+// input and flags.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds every other "value unit" pair on the line: custom
+	// b.ReportMetric values (speedup, radshield-survival, …) and
+	// -benchmem columns (B/op, allocs/op) alike, keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the whole file.
+type Record struct {
+	SHA        string            `json:"sha"`
+	Timestamp  string            `json:"timestamp,omitempty"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		sha   = flag.String("sha", "", "git commit SHA recorded in the output")
+		stamp = flag.String("stamp", "", "RFC 3339 timestamp recorded in the output (benchjson never reads the clock itself)")
+		in    = flag.String("in", "", "read benchmark text from this file instead of stdin")
+		out   = flag.String("out", "", "write JSON to this file instead of stdout")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rec, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	rec.SHA = *sha
+	rec.Timestamp = *stamp
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkName/sub=4-8   2   7076317586 ns/op   1.000 speedup
+//
+// i.e. name (with a -GOMAXPROCS suffix), iteration count, then value
+// unit pairs. Header lines (goos:, goarch:, cpu:) are captured too.
+func parse(r io.Reader) (*Record, error) {
+	rec := &Record{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue // e.g. a bare "BenchmarkX" line before its result
+		}
+		name := trimGomaxprocs(strings.TrimPrefix(fields[0], "Benchmark"))
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+		rec.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return rec, nil
+}
+
+// trimGomaxprocs drops the trailing "-N" procs suffix the testing
+// package appends to every benchmark name.
+func trimGomaxprocs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// sortedNames is used by tests to assert deterministic ordering.
+func sortedNames(rec *Record) []string {
+	names := make([]string, 0, len(rec.Benchmarks))
+	for n := range rec.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: radshield
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMissionSurvivalParallel/workers=1         	       1	7076317586 ns/op	         1.000 speedup
+BenchmarkMissionSurvivalParallel/workers=4         	       1	8254763400 ns/op	         0.8572 speedup
+BenchmarkTable2Detectors-8   	       2	1600000000 ns/op	    240000 ild-samples	  123456 B/op	     789 allocs/op
+PASS
+ok  	radshield	30.469s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rec, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" {
+		t.Errorf("platform = %s/%s", rec.Goos, rec.Goarch)
+	}
+	if !strings.Contains(rec.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rec.CPU)
+	}
+	want := []string{
+		"MissionSurvivalParallel/workers=1",
+		"MissionSurvivalParallel/workers=4",
+		"Table2Detectors",
+	}
+	got := sortedNames(rec)
+	if len(got) != len(want) {
+		t.Fatalf("benchmarks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("benchmark[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	w4 := rec.Benchmarks["MissionSurvivalParallel/workers=1"]
+	if w4.NsPerOp != 7076317586 || w4.Iterations != 1 {
+		t.Errorf("workers=1: %+v", w4)
+	}
+	if rec.Benchmarks["MissionSurvivalParallel/workers=4"].Metrics["speedup"] != 0.8572 {
+		t.Error("speedup metric lost")
+	}
+	t2 := rec.Benchmarks["Table2Detectors"]
+	if t2.Iterations != 2 {
+		t.Errorf("GOMAXPROCS suffix handling: %+v", t2)
+	}
+	if t2.Metrics["ild-samples"] != 240000 || t2.Metrics["B/op"] != 123456 || t2.Metrics["allocs/op"] != 789 {
+		t.Errorf("metrics = %v", t2.Metrics)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}

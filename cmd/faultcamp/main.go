@@ -20,15 +20,16 @@ import (
 
 func main() {
 	var (
-		runs = flag.Int("runs", 20, "injections per scheme (paper: 20)")
-		size = flag.Int("size", 64<<10, "workload input size in bytes")
-		seed = flag.Int64("seed", 7, "campaign seed")
+		runs    = flag.Int("runs", 20, "injections per scheme (paper: 20)")
+		size    = flag.Int("size", 64<<10, "workload input size in bytes")
+		seed    = flag.Int64("seed", 7, "campaign seed")
+		workers = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcamp: ")
 
-	cfg := experiments.Table7Config{Runs: *runs, Size: *size, Seed: *seed}
+	cfg := experiments.Table7Config{Runs: *runs, Size: *size, Seed: *seed, Workers: *workers}
 	tallies, tbl, err := experiments.Table7(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -94,7 +94,7 @@ var registry = map[string]struct {
 		return nil
 	}},
 	"fig12": {desc: "AES-256 runtime vs input size across frontiers", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
-		fig, err := experiments.Fig12(seu.Seed, nil)
+		fig, err := experiments.Fig12(seu.Seed, seu.Workers, nil)
 		if err != nil {
 			return err
 		}
@@ -128,6 +128,7 @@ var registry = map[string]struct {
 	"tab7": {desc: "fault-injection outcomes per scheme", run: func(_ experiments.SELConfig, seu experiments.SEUConfig) error {
 		cfg := experiments.DefaultTable7Config()
 		cfg.Size = seu.Size / 2
+		cfg.Workers = seu.Workers
 		cfg.Telemetry = seu.Telemetry
 		_, tbl, err := experiments.Table7(cfg)
 		if err != nil {
@@ -189,7 +190,7 @@ var registry = map[string]struct {
 		return nil
 	}},
 	"profiles": {desc: "mission-profile quiescence & detection opportunities (§3.1)", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
-		_, tbl := experiments.MissionProfiles(sel.Seed)
+		_, tbl := experiments.MissionProfiles(sel.Seed, sel.Workers)
 		fmt.Println(tbl)
 		return nil
 	}},
@@ -201,8 +202,11 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
-	"missions": {desc: "Monte-Carlo mission survival with vs without Radshield", run: func(experiments.SELConfig, experiments.SEUConfig) error {
-		_, _, tbl, err := experiments.MissionSurvival(experiments.DefaultMissionConfig())
+	"missions": {desc: "Monte-Carlo mission survival with vs without Radshield", run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		cfg := experiments.DefaultMissionConfig()
+		cfg.Workers = sel.Workers
+		cfg.Telemetry = sel.Telemetry
+		_, _, tbl, err := experiments.MissionSurvival(cfg)
 		if err != nil {
 			return err
 		}
@@ -249,6 +253,7 @@ func main() {
 		hours   = flag.Float64("hours", 4, "SEL campaign length in simulated hours")
 		size    = flag.Int("size", 256<<10, "workload input size in bytes")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
 		telOut  = flag.String("telemetry", "", "write a JSON telemetry snapshot to this file at exit ('-' for stdout)")
 		telHTTP = flag.String("telemetry-http", "", "serve the telemetry snapshot (and expvar) on this address while running")
 		wall    = flag.Bool("wallclock", false, "time experiments with the host clock (real-hardware mode) instead of reporting simulated mission time")
@@ -294,8 +299,9 @@ func main() {
 	sel := experiments.DefaultSELConfig()
 	sel.Duration = time.Duration(*hours * float64(time.Hour))
 	sel.Seed = *seed
+	sel.Workers = *workers
 	sel.Telemetry = reg
-	seu := experiments.SEUConfig{Size: *size, Seed: *seed + 41, Telemetry: reg}
+	seu := experiments.SEUConfig{Size: *size, Seed: *seed + 41, Workers: *workers, Telemetry: reg}
 
 	var targets []string
 	if *exp == "all" {

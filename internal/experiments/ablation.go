@@ -12,6 +12,7 @@ import (
 	"radshield/internal/forest"
 	"radshield/internal/ild"
 	"radshield/internal/machine"
+	"radshield/internal/sched"
 	"radshield/internal/stats"
 	"radshield/internal/trace"
 	"radshield/internal/workloads"
@@ -28,18 +29,23 @@ func AblationRollingMin(c SELConfig) *Table {
 		Title:  "Ablation: rolling-minimum filter width",
 		Header: []string{"FilterK", "Quiescent σ (A)", "σ vs SEL (0.07A) margin"},
 	}
-	for _, k := range []int{1, 3, 5, 9} {
-		mc := c.machineConfig(c.Seed + int64(k))
-		mc.FilterK = k
+	ks := []int{1, 3, 5, 9}
+	// Each filter width is an independent trial (own machine, own RNG);
+	// σ estimation never fails so the error path is unreachable.
+	sigmas, _ := sched.Map(len(ks), c.Workers, func(i int) (float64, error) {
+		mc := c.machineConfig(c.Seed + int64(ks[i]))
+		mc.FilterK = ks[i]
 		m := machine.New(mc)
 		rng := rand.New(rand.NewSource(c.Seed))
 		var cur []float64
 		m.RunTrace(trace.Quiescent(rng, 30*time.Second, 10*time.Second), func(tel machine.Telemetry) {
 			cur = append(cur, tel.CurrentA)
 		})
-		sigma := stats.StdDev(cur)
+		return stats.StdDev(cur), nil
+	}, sched.WithTelemetry(c.Telemetry))
+	for i, sigma := range sigmas {
 		margin := 0.07 / sigma
-		tbl.AddRow(fmt.Sprint(k), fmt.Sprintf("%.4f", sigma), fmt.Sprintf("%.1fσ", margin))
+		tbl.AddRow(fmt.Sprint(ks[i]), fmt.Sprintf("%.4f", sigma), fmt.Sprintf("%.1fσ", margin))
 	}
 	return tbl
 }
@@ -66,20 +72,27 @@ func AblationQuiescenceGate(c SELConfig) (*Table, error) {
 		Title:  "Ablation: quiescence gating",
 		Header: []string{"Variant", "FP samples under load", "Load samples"},
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		mon  ild.Monitor
-	}{{"gated (ILD)", gated}, {"ungated", ungated}} {
+	}{{"gated (ILD)", gated}, {"ungated", ungated}}
+	// Each variant owns its monitor and replays the same burst trace on
+	// its own machine, so the two trials are independent.
+	type gateCount struct{ fp, n int }
+	counts, _ := sched.Map(len(variants), c.Workers, func(i int) (gateCount, error) {
 		m := machine.New(c.machineConfig(c.Seed + 310))
 		rng := rand.New(rand.NewSource(c.Seed + 311))
-		fp, n := 0, 0
+		var gc gateCount
 		m.RunTrace(trace.Burst(rng, 2*time.Minute, 4), func(tel machine.Telemetry) {
-			n++
-			if v.mon.Observe(tel) {
-				fp++
+			gc.n++
+			if variants[i].mon.Observe(tel) {
+				gc.fp++
 			}
 		})
-		tbl.AddRow(v.name, fmt.Sprint(fp), fmt.Sprint(n))
+		return gc, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	for i, gc := range counts {
+		tbl.AddRow(variants[i].name, fmt.Sprint(gc.fp), fmt.Sprint(gc.n))
 	}
 	return tbl, nil
 }
@@ -161,16 +174,30 @@ func AblationClassifier(c SELConfig) (*Table, error) {
 		Title:  "Ablation: ILD model choice (per-sample rates during quiescence)",
 		Header: []string{"Model", "FalseNegRate", "FalsePosRate"},
 	}
-	fnr, fpr := evaluate(func(tel machine.Telemetry) bool { return lin.Observe(tel) })
-	tbl.AddRow("linear+window (ILD)", pct(fnr), pct(fpr))
-	fnr, fpr = evaluate(func(tel machine.Telemetry) bool {
-		return rf.Predict(append(ild.Features(tel), tel.CurrentA)) == 1
-	})
-	tbl.AddRow("random forest", pct(fnr), pct(fpr))
-	fnr, fpr = evaluate(func(tel machine.Telemetry) bool {
-		return nb.Predict(append(ild.Features(tel), tel.CurrentA)) == 1
-	})
-	tbl.AddRow("naive bayes", pct(fnr), pct(fpr))
+	// Training above is shared and serial; evaluation replays identical
+	// campaigns per model, so each model is one scheduler trial. The
+	// forest and Bayes predictors are pure; the ILD detector is stateful
+	// but owned by its trial alone.
+	models := []struct {
+		name    string
+		predict func(machine.Telemetry) bool
+	}{
+		{"linear+window (ILD)", func(tel machine.Telemetry) bool { return lin.Observe(tel) }},
+		{"random forest", func(tel machine.Telemetry) bool {
+			return rf.Predict(append(ild.Features(tel), tel.CurrentA)) == 1
+		}},
+		{"naive bayes", func(tel machine.Telemetry) bool {
+			return nb.Predict(append(ild.Features(tel), tel.CurrentA)) == 1
+		}},
+	}
+	type rates struct{ fnr, fpr float64 }
+	rows, _ := sched.Map(len(models), c.Workers, func(i int) (rates, error) {
+		fnr, fpr := evaluate(models[i].predict)
+		return rates{fnr, fpr}, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	for i, r := range rows {
+		tbl.AddRow(models[i].name, pct(r.fnr), pct(r.fpr))
+	}
 	return tbl, nil
 }
 
@@ -230,18 +257,23 @@ func AblationCacheECC(c SEUConfig) (*Table, error) {
 		Title:  "Ablation: software flush discipline vs hardware cache ECC",
 		Header: []string{"Variant", "Runtime(s)", "Flushes", "Strikes absorbed in HW", "Votes corrected"},
 	}
-	run := func(ecc bool) error {
+	// Both variants build their own runtime from the shared (stateless)
+	// builder; the same strike is injected in each, so they are
+	// independent scheduler trials.
+	variants := []bool{false, true}
+	rows, err := sched.Map(len(variants), c.Workers, func(i int) ([]string, error) {
+		ecc := variants[i]
 		cfg := emr.DefaultConfig()
 		cfg.CacheECC = ecc
 		cfg.DRAMSize = 256 << 20
 		cfg.StorageSize = 256 << 20
 		rt, err := emr.New(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		spec, err := b.Build(rt, c.Size, c.Seed)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		done := false
 		spec.Hook = func(hp *emr.HookPoint) {
@@ -252,24 +284,23 @@ func AblationCacheECC(c SEUConfig) (*Table, error) {
 		}
 		res, err := rt.Run(spec)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		name := "EMR flush discipline"
 		if ecc {
 			name = "hardware cache ECC (plain 3-MR)"
 		}
-		tbl.AddRow(name,
+		return []string{name,
 			fmt.Sprintf("%.4f", res.Report.Makespan.Seconds()),
 			fmt.Sprint(res.Report.CacheStats.LinesFlushed),
 			fmt.Sprint(res.Report.CacheStats.FlipsAbsorbed),
-			fmt.Sprint(res.Report.Votes.Corrected))
-		return nil
-	}
-	if err := run(false); err != nil {
+			fmt.Sprint(res.Report.Votes.Corrected)}, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
 		return nil, err
 	}
-	if err := run(true); err != nil {
-		return nil, err
+	for _, r := range rows {
+		tbl.AddRow(r...)
 	}
 	return tbl, nil
 }

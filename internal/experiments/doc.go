@@ -17,6 +17,13 @@
 // deliberately detaches telemetry so flight metrics are not polluted by
 // training traffic.
 //
+// Campaign loops fan their trials across CPUs through internal/sched;
+// the Workers field on each config bounds the width (0 = one worker per
+// CPU). Trials are self-contained — own seeded RNG, machine, detector —
+// and results are collected in trial order, so rendered output is
+// byte-identical at any width (the TestParallelEquivalence tests
+// enforce this).
+//
 // Invariants: every harness is deterministic given its config (seeded
 // RNGs, simulated clocks, virtual cost models); scaled-down defaults
 // preserve the paper's qualitative shapes (who wins, by what factor)

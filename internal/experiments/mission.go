@@ -10,6 +10,8 @@ import (
 	"radshield/internal/fault"
 	"radshield/internal/ild"
 	"radshield/internal/machine"
+	"radshield/internal/sched"
+	"radshield/internal/telemetry"
 	"radshield/internal/trace"
 	"radshield/internal/workloads"
 )
@@ -33,6 +35,16 @@ type MissionConfig struct {
 	// meaningful event counts (survival statistics need events).
 	RateBoost float64
 	Seed      int64
+
+	// Workers bounds the campaign scheduler's parallelism; <= 0 means
+	// one worker per CPU. Any width produces byte-identical output:
+	// each mission is an independently-seeded trial and tallies are
+	// accumulated in mission order.
+	Workers int
+
+	// Telemetry, when non-nil, receives the campaign scheduler's
+	// sched_* metrics (see TELEMETRY.md).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultMissionConfig runs compressed 12-hour missions at boosted LEO
@@ -67,17 +79,31 @@ func MissionSurvival(c MissionConfig) (protected, unprotected MissionTally, tbl 
 		return protected, unprotected, nil, err
 	}
 
-	for i := 0; i < c.Missions; i++ {
-		p, err := flyOneMission(env, c, c.Seed+int64(i)*17, true, golden)
+	// One trial per mission, both arms: the arms share a seed (identical
+	// event schedule) so keeping them in one work item preserves the
+	// paired comparison while the scheduler fans missions across CPUs.
+	type missionPair struct {
+		protected   missionResult
+		unprotected missionResult
+	}
+	pairs, err := sched.Map(c.Missions, c.Workers, func(i int) (missionPair, error) {
+		seed := c.Seed + int64(i)*17
+		p, err := flyOneMission(env, c, seed, true, golden)
 		if err != nil {
-			return protected, unprotected, nil, err
+			return missionPair{}, err
 		}
-		accumulate(&protected, p)
-		u, err := flyOneMission(env, c, c.Seed+int64(i)*17, false, golden)
+		u, err := flyOneMission(env, c, seed, false, golden)
 		if err != nil {
-			return protected, unprotected, nil, err
+			return missionPair{}, err
 		}
-		accumulate(&unprotected, u)
+		return missionPair{protected: p, unprotected: u}, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return protected, unprotected, nil, err
+	}
+	for _, pr := range pairs {
+		accumulate(&protected, pr.protected)
+		accumulate(&unprotected, pr.unprotected)
 	}
 
 	tbl = &Table{

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"radshield/internal/ild"
+	"radshield/internal/sched"
 	"radshield/internal/trace"
 )
 
@@ -25,8 +26,9 @@ type ProfileStats struct {
 }
 
 // MissionProfiles analyses the four mission profiles the deployments in
-// the paper's §5 span.
-func MissionProfiles(seed int64) ([]ProfileStats, *Table) {
+// the paper's §5 span. Each profile is one scheduler trial with its own
+// seeded RNG; workers <= 0 means one per CPU.
+func MissionProfiles(seed int64, workers int) ([]ProfileStats, *Table) {
 	const cores = 4
 	minWindow := 4 * time.Second // sustain (3 s) + boundary margin
 	policy := ild.BubblePolicy{BubbleLen: minWindow, Pause: 3 * time.Minute}
@@ -45,21 +47,24 @@ func MissionProfiles(seed int64) ([]ProfileStats, *Table) {
 		Title:  "Mission profiles: natural detection opportunities (§3.1 premise)",
 		Header: []string{"Profile", "Quiescent", "Opportunities/hr", "Worst gap", "Worst gap (bubbled)"},
 	}
-	var out []ProfileStats
-	for i, p := range profiles {
+	// Trace generation never fails, so the scheduler error path is
+	// unreachable here; panics still propagate.
+	out, _ := sched.Map(len(profiles), workers, func(i int) (ProfileStats, error) {
+		p := profiles[i]
 		rng := rand.New(rand.NewSource(seed + int64(i)))
 		tr := p.gen(rng)
 		opps, worst := opportunityStats(tr, minWindow)
 		_, worstBubbled := opportunityStats(ild.InjectBubbles(tr, policy), minWindow)
-		st := ProfileStats{
+		return ProfileStats{
 			Profile:              p.name,
 			QuiescentFraction:    tr.QuiescentFraction(),
 			OpportunitiesPerHour: float64(opps) / tr.Total().Hours(),
 			WorstGap:             worst,
 			WorstGapBubbled:      worstBubbled,
-		}
-		out = append(out, st)
-		tbl.AddRow(p.name, pct(st.QuiescentFraction),
+		}, nil
+	})
+	for _, st := range out {
+		tbl.AddRow(st.Profile, pct(st.QuiescentFraction),
 			fmt.Sprintf("%.1f", st.OpportunitiesPerHour),
 			st.WorstGap.Round(time.Second).String(),
 			st.WorstGapBubbled.Round(time.Second).String())

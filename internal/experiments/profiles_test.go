@@ -6,7 +6,7 @@ import (
 )
 
 func TestMissionProfilesDetectionOpportunities(t *testing.T) {
-	stats, tbl := MissionProfiles(1)
+	stats, tbl := MissionProfiles(1, 0)
 	t.Logf("\n%s", tbl)
 	if len(stats) != 4 {
 		t.Fatalf("profiles = %d", len(stats))

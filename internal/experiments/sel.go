@@ -8,6 +8,7 @@ import (
 	"radshield/internal/forest"
 	"radshield/internal/ild"
 	"radshield/internal/machine"
+	"radshield/internal/sched"
 	"radshield/internal/stats"
 	"radshield/internal/telemetry"
 	"radshield/internal/trace"
@@ -25,6 +26,12 @@ type SELConfig struct {
 	SELAmps     float64       // latchup magnitude (paper: +0.07 A)
 	Window      time.Duration // detection window (paper: 3 min)
 	Seed        int64
+
+	// Workers bounds the campaign scheduler's parallelism for the
+	// experiments that fan out independent trials (Table 2 monitors,
+	// Fig 10 sweep levels, threshold sweeps, ablation variants); <= 0
+	// means one worker per CPU. Output is byte-identical at any width.
+	Workers int
 
 	// Telemetry, when non-nil, receives machine, detector, and campaign
 	// metrics (see TELEMETRY.md). Nil means no instrumentation cost.
@@ -120,44 +127,32 @@ type DetectorAccuracyResult struct {
 	MaxLatency        time.Duration
 }
 
-// Table2 runs the detector-accuracy campaign (paper Table 2): a long
-// flight-software trace with periodic +SELAmps latchups, evaluated
-// simultaneously by ILD, the current-only random forest, and three
-// static thresholds.
-func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
-	det, err := TrainILD(c)
-	if err != nil {
-		return nil, nil, err
-	}
-	monitors := []struct {
-		name string
-		m    ild.Monitor
-	}{
-		{"ILD", det},
-		{"RandomForest", trainForestBaseline(c)},
-	}
-	for _, level := range []float64{1.75, 1.80, 1.85} {
-		st, err := ild.NewStaticThreshold(level)
-		if err != nil {
-			return nil, nil, err
-		}
-		monitors = append(monitors, struct {
-			name string
-			m    ild.Monitor
-		}{fmt.Sprintf("Static %.2fA", level), st})
-	}
+// table2Episode is one recorded SEL episode: its onset time and the
+// sample-index range over which the serial harness would have treated
+// samples as in-episode (lastSample is the clearing sample, inclusive,
+// or -1 when the campaign ends mid-episode).
+type table2Episode struct {
+	start       time.Duration
+	firstSample int
+	lastSample  int
+}
 
-	// Attach instruments to the ILD detector (not the baselines: Table 2
-	// compares detectors, but the telemetry story follows the paper's
-	// deployed design).
-	ins := ild.NewInstruments(c.Telemetry)
-	det.SetInstruments(ins)
-	var episodesCtr, missedCtr *telemetry.Counter
-	if c.Telemetry != nil {
-		episodesCtr = c.Telemetry.Counter("ild_episodes_total", "episodes")
-		missedCtr = c.Telemetry.Counter("ild_episodes_missed_total", "episodes")
-	}
+// table2Recording is the monitor-independent campaign input: the full
+// telemetry stream of the flight trace with latchups injected on the
+// paper's schedule, plus the episode windows derived from it. Episode
+// scheduling depends only on sample timestamps — never on detector
+// output — so every monitor can replay the identical stream in
+// parallel. Memory: one machine.Telemetry per sample (~220 B), ≈0.3 GB
+// for the paper-scale 4 h / 10 ms campaign; scale Duration accordingly.
+type table2Recording struct {
+	samples  []machine.Telemetry
+	episodes []table2Episode
+}
 
+// recordTable2Campaign plays the Table 2 flight trace once, injecting
+// and clearing latchups exactly as the serial harness did, and records
+// the resulting telemetry stream.
+func recordTable2Campaign(c SELConfig) *table2Recording {
 	m := machine.New(c.machineConfig(c.Seed))
 	rng := rand.New(rand.NewSource(c.Seed + 1))
 	flight := trace.FlightSoftware(rng, c.Duration, 4)
@@ -165,69 +160,150 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 	// straddling the workload→bubble boundary reads as busy and resets
 	// the averaging window, so a bare 3 s bubble never quite fills a 3 s
 	// window.
-	policy := ild.BubblePolicy{BubbleLen: c.ildConfig().SustainFor + time.Second, Pause: 3 * time.Minute, Instruments: ins}
+	policy := ild.BubblePolicy{BubbleLen: c.ildConfig().SustainFor + time.Second, Pause: 3 * time.Minute, Instruments: ild.NewInstruments(c.Telemetry)}
 	flight = ild.InjectBubbles(flight, policy)
 
-	type state struct {
-		episodeHit []bool // per episode: fired within window
-		latencies  []time.Duration
-		fpSamples  int
-		negSamples int
-	}
-	states := make([]state, len(monitors))
-
-	var episodeStart time.Duration
+	rec := &table2Recording{}
 	nextSEL := c.SELEvery
 	episodeEnd := time.Duration(-1)
-
+	k := 0
 	m.RunTrace(flight, func(tel machine.Telemetry) {
-		// Episode scheduling.
 		if episodeEnd < 0 && tel.T >= nextSEL {
 			m.InjectSEL(c.SELAmps)
-			episodeStart = tel.T
 			episodeEnd = tel.T + c.Window
-			for i := range states {
-				states[i].episodeHit = append(states[i].episodeHit, false)
-			}
+			rec.episodes = append(rec.episodes, table2Episode{start: tel.T, firstSample: k, lastSample: -1})
 		}
-		inEpisode := episodeEnd >= 0
-		for i, mon := range monitors {
-			fired := mon.m.Observe(tel)
-			if inEpisode {
-				if fired && !states[i].episodeHit[len(states[i].episodeHit)-1] {
-					states[i].episodeHit[len(states[i].episodeHit)-1] = true
-					states[i].latencies = append(states[i].latencies, tel.T-episodeStart)
-					if i == 0 { // ILD is monitors[0]
-						ins.ObserveLatency(tel.T - episodeStart)
-					}
-				}
-			} else {
-				states[i].negSamples++
-				if fired {
-					states[i].fpSamples++
-					if i == 0 {
-						ins.CountFalseTrip()
-					}
-				}
-			}
-		}
-		if inEpisode && tel.T >= episodeEnd {
+		rec.samples = append(rec.samples, tel)
+		if episodeEnd >= 0 && tel.T >= episodeEnd {
 			m.ClearSEL()
 			episodeEnd = -1
 			nextSEL = tel.T + c.SELEvery
-			episodesCtr.Inc()
-			if !states[0].episodeHit[len(states[0].episodeHit)-1] {
-				missedCtr.Inc()
+			rec.episodes[len(rec.episodes)-1].lastSample = k
+		}
+		k++
+	})
+	return rec
+}
+
+// table2State is one monitor's accumulated campaign statistics.
+type table2State struct {
+	episodeHit []bool // per episode: fired within window
+	latencies  []time.Duration
+	fpSamples  int
+	negSamples int
+}
+
+// replayTable2 walks a monitor over the recorded stream, reproducing the
+// serial harness's per-sample bookkeeping bit for bit. ildInstruments is
+// non-nil only for the ILD trial, which also owns the per-episode
+// telemetry counters.
+func replayTable2(rec *table2Recording, mon ild.Monitor, ins *ild.Instruments, episodesCtr, missedCtr *telemetry.Counter) table2State {
+	var st table2State
+	ep := 0
+	for k, tel := range rec.samples {
+		var cur *table2Episode
+		if ep < len(rec.episodes) {
+			if e := &rec.episodes[ep]; k >= e.firstSample && (e.lastSample < 0 || k <= e.lastSample) {
+				cur = e
+				if k == e.firstSample {
+					st.episodeHit = append(st.episodeHit, false)
+				}
 			}
 		}
-	})
+		fired := mon.Observe(tel)
+		if cur != nil {
+			if fired && !st.episodeHit[len(st.episodeHit)-1] {
+				st.episodeHit[len(st.episodeHit)-1] = true
+				st.latencies = append(st.latencies, tel.T-cur.start)
+				if ins != nil {
+					ins.ObserveLatency(tel.T - cur.start)
+				}
+			}
+			if k == cur.lastSample {
+				if ins != nil {
+					episodesCtr.Inc()
+					if !st.episodeHit[len(st.episodeHit)-1] {
+						missedCtr.Inc()
+					}
+				}
+				ep++
+			}
+		} else {
+			st.negSamples++
+			if fired {
+				st.fpSamples++
+				if ins != nil {
+					ins.CountFalseTrip()
+				}
+			}
+		}
+	}
+	return st
+}
 
-	results := make([]DetectorAccuracyResult, len(monitors))
+// Table2 runs the detector-accuracy campaign (paper Table 2): a long
+// flight-software trace with periodic +SELAmps latchups, evaluated by
+// ILD, the current-only random forest, and three static thresholds.
+//
+// The campaign stream is recorded once (it is monitor-independent), then
+// each detector trains and replays it as one scheduler trial, so the
+// monitors evaluate in parallel yet the rendered table is byte-identical
+// to a workers=1 run.
+func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
+	rec := recordTable2Campaign(c)
+
+	// Attach instruments to the ILD detector (not the baselines: Table 2
+	// compares detectors, but the telemetry story follows the paper's
+	// deployed design).
+	ins := ild.NewInstruments(c.Telemetry)
+	var episodesCtr, missedCtr *telemetry.Counter
+	if c.Telemetry != nil {
+		episodesCtr = c.Telemetry.Counter("ild_episodes_total", "episodes")
+		missedCtr = c.Telemetry.Counter("ild_episodes_missed_total", "episodes")
+	}
+
+	type monitorSpec struct {
+		name  string
+		build func() (ild.Monitor, error)
+	}
+	specs := []monitorSpec{
+		{"ILD", func() (ild.Monitor, error) {
+			det, err := TrainILD(c)
+			if err != nil {
+				return nil, err
+			}
+			det.SetInstruments(ins)
+			return det, nil
+		}},
+		{"RandomForest", func() (ild.Monitor, error) { return trainForestBaseline(c), nil }},
+	}
+	for _, level := range []float64{1.75, 1.80, 1.85} {
+		level := level
+		specs = append(specs, monitorSpec{fmt.Sprintf("Static %.2fA", level), func() (ild.Monitor, error) {
+			return ild.NewStaticThreshold(level)
+		}})
+	}
+
+	states, err := sched.Map(len(specs), c.Workers, func(i int) (table2State, error) {
+		mon, err := specs[i].build()
+		if err != nil {
+			return table2State{}, err
+		}
+		if i == 0 { // ILD owns the detector-side telemetry
+			return replayTable2(rec, mon, ins, episodesCtr, missedCtr), nil
+		}
+		return replayTable2(rec, mon, nil, nil, nil), nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	results := make([]DetectorAccuracyResult, len(specs))
 	tbl := &Table{
 		Title:  "Table 2: SEL detector accuracy",
 		Header: []string{"Detector", "Episodes", "FalseNegRate", "FalsePosRate", "MeanLatency", "MaxLatency"},
 	}
-	for i, mon := range monitors {
+	for i, mon := range specs {
 		st := states[i]
 		missed := 0
 		for _, hit := range st.episodeHit {
@@ -269,18 +345,31 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 // rate per magnitude. The paper's knee is at ≈0.05 A (ILD's threshold is
 // 0.055 A with the rolling-min floor beneath it).
 func Fig10(c SELConfig, episodesPer int) (*Figure, error) {
-	det, err := TrainILD(c)
+	base, err := TrainILD(c)
 	if err != nil {
 		return nil, err
 	}
+	model := base.Model()
 	fig := &Figure{
 		Title:  "Figure 10: misdetection rate vs latchup current",
 		XLabel: "additional latchup current (A)",
 		YLabel: "false negative rate",
 	}
-	s := Series{Name: "ILD"}
-	for amps := 0.01; amps <= 0.1005; amps += 0.01 {
-		m := machine.New(c.machineConfig(c.Seed + int64(amps*1000)))
+	// The sweep iterates integer centiamps (1..10 → +0.01..+0.10 A):
+	// floating-point accumulation (amps += 0.01) makes both the level
+	// count and the int64(amps*1000) seed derivation depend on rounding
+	// drift, whereas integer levels keep the per-level machine seed
+	// exact. Each level is one scheduler trial with its own detector
+	// instance (same trained model) and its own seeded RNG.
+	const levels = 10
+	fnr, err := sched.Map(levels, c.Workers, func(li int) (float64, error) {
+		ca := li + 1
+		amps := float64(ca) / 100
+		det, err := ild.NewDetector(model, c.ildConfig())
+		if err != nil {
+			return 0, err
+		}
+		m := machine.New(c.machineConfig(c.Seed + int64(ca)*10))
 		rng := rand.New(rand.NewSource(c.Seed + 2))
 		missed := 0
 		for ep := 0; ep < episodesPer; ep++ {
@@ -300,7 +389,14 @@ func Fig10(c SELConfig, episodesPer int) (*Figure, error) {
 				missed++
 			}
 		}
-		s.Add(amps, float64(missed)/float64(episodesPer))
+		return float64(missed) / float64(episodesPer), nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, err
+	}
+	s := Series{Name: "ILD"}
+	for li, y := range fnr {
+		s.Add(float64(li+1)/100, y)
 	}
 	fig.Series = append(fig.Series, s)
 	return fig, nil

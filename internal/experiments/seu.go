@@ -9,6 +9,7 @@ import (
 	"radshield/internal/emr"
 	"radshield/internal/fault"
 	"radshield/internal/ild"
+	"radshield/internal/sched"
 	"radshield/internal/telemetry"
 	"radshield/internal/workloads"
 )
@@ -17,6 +18,13 @@ import (
 type SEUConfig struct {
 	Size int   // input volume per workload in bytes
 	Seed int64 // synthetic-data seed
+
+	// Workers bounds the campaign scheduler's parallelism across the
+	// independent (workload, scheme) runs; <= 0 means one worker per
+	// CPU. Output is byte-identical at any width; with workers > 1 only
+	// the interleaving of telemetry *events* may vary (counters are
+	// order-independent sums).
+	Workers int
 
 	// Telemetry, when non-nil, receives per-run EMR metrics from every
 	// runtime the experiment constructs (see TELEMETRY.md).
@@ -66,19 +74,22 @@ func Fig11(c SEUConfig) ([]Fig11Row, *Table, error) {
 		Title:  "Figure 11: relative runtime (normalized to unprotected parallel 3-MR, DRAM frontier)",
 		Header: []string{"Workload", "Unprotected", "EMR", "Serial 3-MR"},
 	}
-	var rows []Fig11Row
-	for _, b := range workloads.All() {
+	// One trial per workload; the three scheme runs inside a trial stay
+	// serial so the normalization denominator rides in the same work item.
+	wls := workloads.All()
+	rows, err := sched.Map(len(wls), c.Workers, func(i int) (Fig11Row, error) {
+		b := wls[i]
 		base, err := runScheme(b, fault.SchemeUnprotectedParallel, emr.FrontierDRAM, c, nil, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s/unprotected: %w", b.Name, err)
+			return Fig11Row{}, fmt.Errorf("%s/unprotected: %w", b.Name, err)
 		}
 		emrRes, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s/emr: %w", b.Name, err)
+			return Fig11Row{}, fmt.Errorf("%s/emr: %w", b.Name, err)
 		}
 		ser, err := runScheme(b, fault.SchemeSerial3MR, emr.FrontierDRAM, c, nil, nil)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s/serial: %w", b.Name, err)
+			return Fig11Row{}, fmt.Errorf("%s/serial: %w", b.Name, err)
 		}
 		den := float64(base.Report.Makespan)
 		row := Fig11Row{
@@ -87,15 +98,21 @@ func Fig11(c SEUConfig) ([]Fig11Row, *Table, error) {
 			EMRRel:       float64(emrRes.Report.Makespan) / den,
 		}
 		row.EMRSlowdownPct = (row.EMRRel - 1) * 100
-		rows = append(rows, row)
-		tbl.AddRow(b.Name, "1.00", fmt.Sprintf("%.2f", row.EMRRel), fmt.Sprintf("%.2f", row.Serial3MRRel))
+		return row, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row.Workload, "1.00", fmt.Sprintf("%.2f", row.EMRRel), fmt.Sprintf("%.2f", row.Serial3MRRel))
 	}
 	return rows, tbl, nil
 }
 
 // Fig12 reproduces the input-size sweep on the encryption workload over
-// both frontiers (paper Figure 12).
-func Fig12(seed int64, sizes []int) (*Figure, error) {
+// both frontiers (paper Figure 12). Each (scheme, frontier, size) cell
+// is one scheduler trial bounded by workers (<= 0: one per CPU).
+func Fig12(seed int64, workers int, sizes []int) (*Figure, error) {
 	if len(sizes) == 0 {
 		sizes = []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
 	}
@@ -105,7 +122,7 @@ func Fig12(seed int64, sizes []int) (*Figure, error) {
 		YLabel: "virtual runtime (s)",
 	}
 	b := workloads.Encryption()
-	for _, combo := range []struct {
+	combos := []struct {
 		name     string
 		scheme   fault.Scheme
 		frontier emr.Frontier
@@ -114,14 +131,22 @@ func Fig12(seed int64, sizes []int) (*Figure, error) {
 		{"3MR/dram", fault.SchemeSerial3MR, emr.FrontierDRAM},
 		{"EMR/disk", fault.SchemeEMR, emr.FrontierStorage},
 		{"3MR/disk", fault.SchemeSerial3MR, emr.FrontierStorage},
-	} {
+	}
+	secs, err := sched.Map(len(combos)*len(sizes), workers, func(k int) (float64, error) {
+		combo, size := combos[k/len(sizes)], sizes[k%len(sizes)]
+		res, err := runScheme(b, combo.scheme, combo.frontier, SEUConfig{Size: size, Seed: seed}, nil, nil)
+		if err != nil {
+			return 0, fmt.Errorf("%s size %d: %w", combo.name, size, err)
+		}
+		return res.Report.Makespan.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range combos {
 		s := Series{Name: combo.name}
-		for _, size := range sizes {
-			res, err := runScheme(b, combo.scheme, combo.frontier, SEUConfig{Size: size, Seed: seed}, nil, nil)
-			if err != nil {
-				return nil, fmt.Errorf("%s size %d: %w", combo.name, size, err)
-			}
-			s.Add(float64(size), res.Report.Makespan.Seconds())
+		for si, size := range sizes {
+			s.Add(float64(size), secs[ci*len(sizes)+si])
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -150,32 +175,33 @@ func Fig13(c SEUConfig) ([]Fig13Point, *Table, error) {
 		Title:  "Figure 13: replication threshold vs runtime and memory (EMR, DRAM frontier)",
 		Header: []string{"Workload", "Threshold", "ReplicaFrac", "Runtime(s)", "PeakMem(B)", "Jobsets"},
 	}
-	var points []Fig13Point
-	for _, name := range names {
+	points, err := sched.Map(len(names)*len(thresholds), c.Workers, func(k int) (Fig13Point, error) {
+		name, th := names[k/len(thresholds)], thresholds[k%len(thresholds)]
 		b, err := workloads.ByName(name)
 		if err != nil {
-			return nil, nil, err
+			return Fig13Point{}, err
 		}
-		for _, th := range thresholds {
-			th := th
-			res, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, &th)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s thr %v: %w", name, th, err)
-			}
-			rep := res.Report
-			frac := 0.0
-			if rep.InputBytes > 0 {
-				frac = float64(rep.ReplicaBytes) / float64(3*rep.InputBytes)
-			}
-			p := Fig13Point{
-				Workload: name, Threshold: th, ReplicaFrac: frac,
-				RuntimeSec: rep.Makespan.Seconds(), PeakMemBytes: rep.PeakMemoryBytes,
-				Jobsets: rep.Jobsets,
-			}
-			points = append(points, p)
-			tbl.AddRow(name, fmt.Sprintf("%.3f", th), pct(frac),
-				fmt.Sprintf("%.4f", p.RuntimeSec), fmt.Sprint(p.PeakMemBytes), fmt.Sprint(p.Jobsets))
+		res, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, &th)
+		if err != nil {
+			return Fig13Point{}, fmt.Errorf("%s thr %v: %w", name, th, err)
 		}
+		rep := res.Report
+		frac := 0.0
+		if rep.InputBytes > 0 {
+			frac = float64(rep.ReplicaBytes) / float64(3*rep.InputBytes)
+		}
+		return Fig13Point{
+			Workload: name, Threshold: th, ReplicaFrac: frac,
+			RuntimeSec: rep.Makespan.Seconds(), PeakMemBytes: rep.PeakMemoryBytes,
+			Jobsets: rep.Jobsets,
+		}, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range points {
+		tbl.AddRow(p.Workload, fmt.Sprintf("%.3f", p.Threshold), pct(p.ReplicaFrac),
+			fmt.Sprintf("%.4f", p.RuntimeSec), fmt.Sprint(p.PeakMemBytes), fmt.Sprint(p.Jobsets))
 	}
 	return points, tbl, nil
 }
@@ -242,32 +268,40 @@ func Fig14(c SEUConfig) ([]Fig14Row, *Table, error) {
 		Title:  "Figure 14: relative energy (normalized to unprotected parallel 3-MR, DRAM frontier)",
 		Header: []string{"Workload", "3-MR", "EMR", "Radshield (EMR+ILD)"},
 	}
-	var rows []Fig14Row
-	for _, b := range workloads.All() {
+	// The scheme×workload matrix fans out one trial per workload (the
+	// three scheme runs share the trial so relative energies normalize
+	// against their own baseline run).
+	wls := workloads.All()
+	rows, err := sched.Map(len(wls), c.Workers, func(i int) (Fig14Row, error) {
+		b := wls[i]
 		base, err := runScheme(b, fault.SchemeUnprotectedParallel, emr.FrontierDRAM, c, nil, nil)
 		if err != nil {
-			return nil, nil, err
+			return Fig14Row{}, err
 		}
 		ser, err := runScheme(b, fault.SchemeSerial3MR, emr.FrontierDRAM, c, nil, nil)
 		if err != nil {
-			return nil, nil, err
+			return Fig14Row{}, err
 		}
 		em, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, nil)
 		if err != nil {
-			return nil, nil, err
+			return Fig14Row{}, err
 		}
 		// ILD adds its bubble fraction of the makespan at idle power plus
 		// the negligible sampling compute.
 		ildExtraJ := policy.OverheadFraction() * em.Report.Makespan.Seconds() * idleW
 		den := base.Report.EnergyJ
-		row := Fig14Row{
+		return Fig14Row{
 			Workload:     b.Name,
 			Serial3MRRel: ser.Report.EnergyJ / den,
 			EMRRel:       em.Report.EnergyJ / den,
 			RadshieldRel: (em.Report.EnergyJ + ildExtraJ) / den,
-		}
-		rows = append(rows, row)
-		tbl.AddRow(b.Name, fmt.Sprintf("%.2f", row.Serial3MRRel),
+		}, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range rows {
+		tbl.AddRow(row.Workload, fmt.Sprintf("%.2f", row.Serial3MRRel),
 			fmt.Sprintf("%.2f", row.EMRRel), fmt.Sprintf("%.2f", row.RadshieldRel))
 	}
 	return rows, tbl, nil
@@ -278,6 +312,11 @@ type Table7Config struct {
 	Runs int // injections per scheme (paper: 20)
 	Size int
 	Seed int64
+
+	// Workers bounds the scheduler width across the scheme×run matrix;
+	// <= 0 means one worker per CPU. Each injection run has its own
+	// seeded RNG, so tallies are identical at any width.
+	Workers int
 
 	// Telemetry, when non-nil, counts injected faults per target kind and
 	// emits a fault_injected event for each strike.
@@ -320,14 +359,25 @@ func Table7(c Table7Config) (map[string]*fault.Tally, *Table, error) {
 		Title:  "Table 7: fault injection into the image-processing workload",
 		Header: []string{"Scheme", "Corrected", "No Effect", "Error", "SDC"},
 	}
-	for _, sc := range schemes {
+	// Flatten the scheme×run matrix into independent trials: every
+	// injection run draws from rand.NewSource(Seed*1000+run), so trials
+	// share nothing but the read-only golden outputs. Outcomes come back
+	// in matrix order and are tallied serially below.
+	outcomes, err := sched.Map(len(schemes)*c.Runs, c.Workers, func(k int) (fault.Outcome, error) {
+		sc, run := schemes[k/c.Runs], k%c.Runs
+		outcome, err := injectOnce(b, sc.scheme, sc.mbu, c, int64(run), golden)
+		if err != nil {
+			return 0, fmt.Errorf("%s run %d: %w", sc.name, run, err)
+		}
+		return outcome, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, sc := range schemes {
 		tally := &fault.Tally{}
 		for run := 0; run < c.Runs; run++ {
-			outcome, err := injectOnce(b, sc.scheme, sc.mbu, c, int64(run), golden)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s run %d: %w", sc.name, run, err)
-			}
-			tally.Add(outcome)
+			tally.Add(outcomes[si*c.Runs+run])
 		}
 		tallies[sc.name] = tally
 		tbl.AddRow(sc.name,

@@ -36,7 +36,7 @@ func TestFig11ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig12CrossFrontierShape(t *testing.T) {
-	fig, err := Fig12(42, []int{64 << 10, 256 << 10, 1 << 20})
+	fig, err := Fig12(42, 0, []int{64 << 10, 256 << 10, 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"radshield/internal/ild"
 	"radshield/internal/machine"
+	"radshield/internal/sched"
 	"radshield/internal/trace"
 )
 
@@ -36,14 +37,17 @@ func ThresholdSweep(c SELConfig, episodes int) ([]ThresholdPoint, *Table, error)
 		Title:  "Decision-threshold sweep (paper §3.1: 0.055 A chosen)",
 		Header: []string{"Threshold (A)", "FalseNegRate", "FalsePosRate"},
 	}
-	var points []ThresholdPoint
+	// Every candidate threshold re-runs the identical campaign (same
+	// machine seeds, same traces) with its own detector instance over the
+	// shared read-only model, so levels are independent scheduler trials.
 	thresholds := []float64{0.040, 0.045, 0.050, 0.055, 0.060, 0.065, 0.070, 0.075, 0.080}
-	for _, th := range thresholds {
+	points, err := sched.Map(len(thresholds), c.Workers, func(ti int) (ThresholdPoint, error) {
+		th := thresholds[ti]
 		cfg := c.ildConfig()
 		cfg.ThresholdA = th
 		det, err := ild.NewDetector(model, cfg)
 		if err != nil {
-			return nil, nil, err
+			return ThresholdPoint{}, err
 		}
 
 		// Clean phase: long quiescence, no SEL — count FP samples.
@@ -76,13 +80,17 @@ func ThresholdSweep(c SELConfig, episodes int) ([]ThresholdPoint, *Table, error)
 			}
 		}
 
-		p := ThresholdPoint{
+		return ThresholdPoint{
 			ThresholdA:        th,
 			FalseNegativeRate: float64(missed) / float64(episodes),
 			FalsePositiveRate: float64(fp) / float64(clean),
-		}
-		points = append(points, p)
-		tbl.AddRow(fmt.Sprintf("%.3f", th), pct(p.FalseNegativeRate), pct(p.FalsePositiveRate))
+		}, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range points {
+		tbl.AddRow(fmt.Sprintf("%.3f", p.ThresholdA), pct(p.FalseNegativeRate), pct(p.FalsePositiveRate))
 	}
 	return points, tbl, nil
 }

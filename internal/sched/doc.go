@@ -1,0 +1,32 @@
+// Package sched is the experiment harness's deterministic parallel
+// campaign scheduler: a bounded, order-preserving worker pool that fans
+// independently-seeded trials across CPUs while keeping campaign output
+// byte-identical to a serial run.
+//
+// Every evaluation campaign in internal/experiments is embarrassingly
+// parallel — each trial (a mission, an injection run, a sweep level, a
+// detector under test) draws from its own seeded *rand.Rand and shares
+// only read-only inputs (golden outputs, trained models, recorded
+// telemetry streams). Map and Stream exploit that: trials execute
+// concurrently on up to `workers` goroutines, but results are collected
+// and delivered strictly in trial order, so accumulation, table
+// rendering, and error selection cannot observe scheduling jitter. The
+// golden-equivalence tests in internal/experiments diff parallel output
+// against workers=1 byte for byte.
+//
+// Semantics:
+//
+//   - workers <= 0 normalizes to runtime.GOMAXPROCS(0); workers > n is
+//     clamped to n.
+//   - The first error in trial order wins. Dispatch stops once any trial
+//     fails, but trials already in flight drain before Map/Stream
+//     returns, so no goroutine outlives the call.
+//   - A panicking trial is drained the same way, then the panic is
+//     re-raised in the caller's goroutine as a *TrialPanic carrying the
+//     trial index, original value, and worker stack.
+//
+// With WithTelemetry the pool reports sched_trials_total (completed
+// trials), sched_workers (width of the most recent pool), and
+// sched_queue_wait_events (results that arrived ahead of turn and had to
+// be buffered for in-order delivery) — see TELEMETRY.md.
+package sched

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"radshield/internal/telemetry"
+)
+
+// Workers normalizes a requested pool width: values <= 0 mean "one
+// worker per available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Option configures a pool invocation.
+type Option func(*options)
+
+type options struct {
+	reg *telemetry.Registry
+}
+
+// WithTelemetry attaches a metrics registry to the pool. A nil registry
+// is a no-op, so callers may pass their config's registry unconditionally.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// TrialPanic is re-raised in the caller's goroutine when a trial
+// panicked in a worker. It preserves the trial index, the original panic
+// value, and the worker's stack at recovery time.
+type TrialPanic struct {
+	Trial int
+	Value any
+	Stack []byte
+}
+
+func (p *TrialPanic) String() string {
+	return fmt.Sprintf("sched: trial %d panicked: %v\n%s", p.Trial, p.Value, p.Stack)
+}
+
+// result carries one trial's outcome from a worker to the collector.
+type result[T any] struct {
+	i   int
+	v   T
+	err error
+	pan *TrialPanic
+}
+
+// Map runs fn(0..n-1) on up to `workers` goroutines and returns the
+// results indexed by trial. The slice is identical to a serial
+// `for i := 0; i < n; i++` loop regardless of worker count. On error the
+// first failure in trial order is returned (and the remaining in-flight
+// trials drain first); a panicking trial re-panics here as *TrialPanic.
+func Map[T any](n, workers int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
+	out := make([]T, n)
+	err := Stream(n, workers, fn, func(i int, v T) error {
+		out[i] = v
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream is the streaming variant of Map: emit(i, v) is called exactly
+// once per successful trial, strictly in trial order, as soon as every
+// earlier trial has been delivered — trial k+1 may finish first, but its
+// result is buffered until trial k emits. An error from emit stops the
+// campaign like a trial error.
+func Stream[T any](n, workers int, fn func(i int) (T, error), emit func(i int, v T) error, opts ...Option) error {
+	if n <= 0 {
+		return nil
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	var trialsCtr, waitCtr *telemetry.Counter
+	if o.reg != nil {
+		o.reg.Gauge("sched_workers", "workers").Set(float64(w))
+		trialsCtr = o.reg.Counter("sched_trials_total", "trials")
+		waitCtr = o.reg.Counter("sched_queue_wait_events", "events")
+	}
+
+	idx := make(chan int)
+	results := make(chan result[T], w)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Dispatcher: feed trial indices until done or a failure halts the
+	// campaign. Unfinished indices are simply never dispatched.
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res := result[T]{i: i}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							res.pan = &TrialPanic{Trial: i, Value: r, Stack: debug.Stack()}
+						}
+					}()
+					res.v, res.err = fn(i)
+				}()
+				if res.err != nil || res.pan != nil {
+					halt()
+				}
+				results <- res
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// In-order collector: buffer out-of-order arrivals, deliver the
+	// contiguous prefix. The emitted sequence is always 0,1,2,…, so the
+	// first failure seen here is deterministically the lowest-index
+	// failure among the trials that ran.
+	pending := make(map[int]result[T], w)
+	next := 0
+	var firstErr error
+	var firstPan *TrialPanic
+	for res := range results {
+		trialsCtr.Inc()
+		if res.i != next {
+			waitCtr.Inc()
+		}
+		pending[res.i] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			switch {
+			case firstErr != nil || firstPan != nil:
+				// Already failing: drain without delivering.
+			case r.pan != nil:
+				firstPan = r.pan
+			case r.err != nil:
+				firstErr = fmt.Errorf("trial %d: %w", r.i, r.err)
+			default:
+				if err := emit(r.i, r.v); err != nil {
+					firstErr = err
+					halt()
+				}
+			}
+		}
+	}
+	// A failure can be stranded behind a gap of never-dispatched indices
+	// (dispatch halted before them). Sweep what remains in index order so
+	// the failure is still surfaced deterministically.
+	if firstErr == nil && firstPan == nil {
+		for i := next; i < n && firstErr == nil && firstPan == nil; i++ {
+			r, ok := pending[i]
+			if !ok {
+				continue
+			}
+			switch {
+			case r.pan != nil:
+				firstPan = r.pan
+			case r.err != nil:
+				firstErr = fmt.Errorf("trial %d: %w", r.i, r.err)
+			}
+		}
+	}
+	if firstPan != nil {
+		//radlint:allow nopanic re-raising a trial panic in the caller's goroutine; swallowing it would hide the crash
+		panic(firstPan)
+	}
+	return firstErr
+}
