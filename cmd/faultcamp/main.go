@@ -3,10 +3,17 @@
 // multi-bit upsets) injected into the image-processing workload under
 // each redundancy scheme, classified against a golden run.
 //
+// With -guard it instead turns the injector on Radshield itself: the
+// sensor-fault sweep (stuck/dropout/offset/garbage current readings
+// against the guard supervisor's degradation ladder) and the EMR
+// watchdog sweep (hung and crashed replicas against the redundancy
+// ladder).
+//
 // Usage:
 //
 //	faultcamp -runs 100
 //	faultcamp -runs 20 -size 65536 -seed 3
+//	faultcamp -guard
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
+	"radshield/internal/power"
 )
 
 func main() {
@@ -24,10 +32,16 @@ func main() {
 		size    = flag.Int("size", 64<<10, "workload input size in bytes")
 		seed    = flag.Int64("seed", 7, "campaign seed")
 		workers = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
+		guard   = flag.Bool("guard", false, "inject faults into Radshield's own sensor and replicas instead of the workload")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcamp: ")
+
+	if *guard {
+		runGuardCampaign(*seed, *workers)
+		return
+	}
 
 	cfg := experiments.Table7Config{Runs: *runs, Size: *size, Seed: *seed, Workers: *workers}
 	tallies, tbl, err := experiments.Table7(cfg)
@@ -48,4 +62,44 @@ func main() {
 	if protectedSDC > 0 {
 		log.Fatal("PROTECTION FAILURE: SDC escaped a redundancy scheme")
 	}
+}
+
+// runGuardCampaign sweeps faults against Radshield's own dependencies
+// and applies the guard layer's safety verdicts.
+func runGuardCampaign(seed int64, workers int) {
+	gc := experiments.DefaultGuardCampaignConfig()
+	gc.SEL.Seed = seed
+	gc.SEL.Workers = workers
+	trials, tbl, err := experiments.GuardCampaign(gc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+
+	wc := experiments.DefaultWatchdogCampaignConfig()
+	wc.Seed = seed
+	wc.Workers = workers
+	wdTrials, wdTbl, err := experiments.WatchdogCampaign(wc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(wdTbl)
+
+	// Safety verdicts: a guarded mission may never miss a latchup
+	// because its own sensor died, and a degraded EMR retry may never
+	// produce wrong outputs.
+	for _, tr := range trials {
+		if tr.Kind == power.FaultStuck && tr.MissedSELs > 0 {
+			log.Fatalf("PROTECTION FAILURE: %d SELs missed behind a stuck sensor", tr.MissedSELs)
+		}
+		if !tr.Survived {
+			log.Fatalf("PROTECTION FAILURE: guarded mission lost the board under a %v sensor fault", tr.Kind)
+		}
+	}
+	for _, tr := range wdTrials {
+		if !tr.TMROutputs || !tr.Degraded {
+			log.Fatalf("PROTECTION FAILURE: wrong outputs with a %s replica (executor %d)", tr.Cause, tr.Executor)
+		}
+	}
+	fmt.Println("guard layer held: zero missed SELs behind sensor faults, golden outputs through replica faults")
 }

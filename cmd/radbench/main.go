@@ -213,6 +213,30 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
+	"guard": {desc: "guard-layer campaign: sensor faults vs the degradation ladder, replica faults vs the watchdog", span: func(experiments.SELConfig) time.Duration {
+		// 8 grid points × 2 arms × 30-minute missions.
+		return 16 * 30 * time.Minute
+	}, run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		gc := experiments.DefaultGuardCampaignConfig()
+		gc.SEL.Seed = sel.Seed
+		gc.SEL.Workers = sel.Workers
+		gc.SEL.Telemetry = sel.Telemetry
+		_, tbl, err := experiments.GuardCampaign(gc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		wc := experiments.DefaultWatchdogCampaignConfig()
+		wc.Seed = sel.Seed + 8
+		wc.Workers = sel.Workers
+		wc.Telemetry = sel.Telemetry
+		_, wdTbl, err := experiments.WatchdogCampaign(wc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(wdTbl)
+		return nil
+	}},
 	"featsel": {desc: "random-forest feature selection for ILD's metric set (§3.1)", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		res := experiments.FeatureSelection(sel)
 		fmt.Println(res.Tbl)

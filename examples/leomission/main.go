@@ -82,7 +82,9 @@ func main() {
 			switch ev.Kind {
 			case fault.SEL:
 				fmt.Printf("[%10s] radiation: latchup strikes (+%.3f A)\n", tel.T.Round(time.Second), ev.Amps)
-				m.InjectSEL(ev.Amps)
+				if err := m.InjectSEL(ev.Amps); err != nil {
+					log.Fatal(err)
+				}
 			default:
 				pendingSEUs++ // strikes the payload during its next run
 			}

@@ -85,7 +85,9 @@ func main() {
 
 	// 2. A micro-latchup strikes: +0.07 A, invisible to any static
 	//    threshold.
-	m.InjectSEL(0.07)
+	if err := m.InjectSEL(0.07); err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Keep observing telemetry; ILD flags the excess within seconds
 	//    of quiescence.

@@ -67,7 +67,9 @@ func main() {
 	m.RunTrace(drive, func(tel machine.Telemetry) {
 		if !struck && tel.T >= strikeAt {
 			struck = true
-			m.InjectSEL(0.09)
+			if err := m.InjectSEL(0.09); err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("[%6s] latchup strikes (+0.09 A) mid-drive\n", tel.T.Round(time.Second))
 		}
 		if cycledAt < 0 && det.Observe(tel) {

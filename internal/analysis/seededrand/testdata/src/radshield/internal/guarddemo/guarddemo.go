@@ -1,0 +1,27 @@
+// Package guarddemo is a seededrand fixture shaped like the guard
+// watchdog: retry backoff must be deterministic. Jitter drawn from the
+// process-global generator makes every campaign run unrepeatable.
+package guarddemo
+
+import (
+	"math/rand"
+	"time"
+)
+
+// JitteredBackoffWrong spreads retries with global-generator jitter —
+// flagged: two runs of the same campaign retry at different times.
+func JitteredBackoffWrong(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base))) // want `rand\.Int63n draws from the process-global generator`
+}
+
+// DeterministicBackoff is the sanctioned pattern: pure arithmetic on
+// the attempt number, identical on every run.
+func DeterministicBackoff(base time.Duration, attempt int) time.Duration {
+	return base << attempt
+}
+
+// SeededJitter shows the acceptable alternative when spread is really
+// needed: an injected seeded generator, owned by the caller.
+func SeededJitter(rng *rand.Rand, base time.Duration) time.Duration {
+	return base + time.Duration(rng.Int63n(int64(base)))
+}

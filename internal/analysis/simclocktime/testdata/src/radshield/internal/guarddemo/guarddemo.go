@@ -1,0 +1,40 @@
+// Package guarddemo is a simclocktime fixture shaped like the guard
+// supervisor: sensor-health staleness must be judged from the
+// telemetry stream's own timestamps, never the host clock — a guard
+// that reads time.Now gives different verdicts on every replay.
+package guarddemo
+
+import "time"
+
+// Sample is a stand-in for machine.Telemetry: simulated mission time
+// plus a reading.
+type Sample struct {
+	T    time.Duration
+	RawA float64
+}
+
+// StaleWrong judges staleness with the wall clock — flagged: replaying
+// the same telemetry tomorrow would yield different verdicts.
+func StaleWrong(lastSeen time.Time) bool {
+	return time.Since(lastSeen) > time.Second // want `time\.Since reads the host clock`
+}
+
+// DeadlineWrong arms a host-clock timer for the watchdog deadline.
+func DeadlineWrong(deadline time.Duration) <-chan time.Time {
+	return time.After(deadline) // want `time\.After reads the host clock`
+}
+
+// StaleRight is the sanctioned pattern: the verdict depends only on the
+// fed samples, so a replay is bit-identical.
+func StaleRight(prev, cur Sample, maxGap time.Duration) bool {
+	return cur.T-prev.T > maxGap
+}
+
+// DeadlineRight bills a visit against its deadline from the elapsed
+// simulated time the runtime hands over — pure arithmetic on durations.
+func DeadlineRight(elapsed, deadline time.Duration) (time.Duration, bool) {
+	if elapsed > deadline {
+		return deadline, false
+	}
+	return elapsed, true
+}

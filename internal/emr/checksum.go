@@ -57,11 +57,13 @@ func (r *Runtime) runChecksummed(spec *Spec) (*Result, error) {
 
 	for d := 0; d < n; d++ {
 		out, io, err := r.visitChecksummed(spec, store, d)
+		v := r.parts(spec, io.total, io.fetched, 0)
+		v.compute += io.stall
+		v, err = r.watchVisit(0, d, v, err)
 		outputs[d] = [][]byte{out}
 		errs[d] = err
 		// Checksum maintenance costs one extra pass over the bytes at
 		// memory bandwidth.
-		v := r.parts(spec, io.total, io.fetched, 0)
 		verify := r.parts(spec, 0, io.total, 0).fetch
 		acct.addVisit(v)
 		acct.makespan += v.total() + verify
@@ -102,6 +104,7 @@ func (r *Runtime) visitChecksummed(spec *Spec, store *checksumStore, dsIdx int) 
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseBeforeRead, Jobset: -1, Dataset: dsIdx, Executor: 0, Regions: regionsOf(ds)}
 		spec.Hook(hp)
+		io.stall += hp.Stall
 		if hp.Fail != nil {
 			r.ins.hookAbort()
 			return nil, io, hp.Fail
@@ -122,6 +125,7 @@ func (r *Runtime) visitChecksummed(spec *Spec, store *checksumStore, dsIdx int) 
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseAfterRead, Jobset: -1, Dataset: dsIdx, Executor: 0, Regions: regionsOf(ds)}
 		spec.Hook(hp)
+		io.stall += hp.Stall
 		if hp.Fail != nil {
 			r.ins.hookAbort()
 			return nil, io, hp.Fail
@@ -154,6 +158,7 @@ func (r *Runtime) visitChecksummed(spec *Spec, store *checksumStore, dsIdx int) 
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseAfterJob, Jobset: -1, Dataset: dsIdx, Executor: 0, Regions: regionsOf(ds), Output: out}
 		spec.Hook(hp)
+		io.stall += hp.Stall
 		if hp.Fail != nil {
 			r.ins.hookAbort()
 			return nil, io, hp.Fail

@@ -93,6 +93,12 @@ type Config struct {
 	// region shared by at least two datasets.
 	ReplicationThreshold float64
 	Cost                 CostModel
+	// Watch, when non-nil, observes every executor visit's virtual
+	// elapsed time and error, and may kill or re-bill the visit — the
+	// guard watchdog's attachment point (see internal/guard). Watchers
+	// run on the deterministic sequential collection path regardless of
+	// ParallelExecution.
+	Watch Watcher
 	// Telemetry, when non-nil, receives the runtime's vote/flush/fetch
 	// counters, the per-run makespan histogram, and vote-mismatch /
 	// checksum-miss events (see TELEMETRY.md). Nil disables
@@ -140,8 +146,12 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Executors < 1 {
 		return nil, fmt.Errorf("emr: Executors = %d, want ≥ 1", cfg.Executors)
 	}
-	if cfg.Scheme != fault.SchemeNone && cfg.Scheme != fault.SchemeChecksum && cfg.Executors < 3 {
-		return nil, fmt.Errorf("emr: scheme %v needs ≥ 3 executors, have %d", cfg.Scheme, cfg.Executors)
+	if cfg.Scheme != fault.SchemeNone && cfg.Scheme != fault.SchemeChecksum && cfg.Executors < 2 {
+		// Two executors is DMR: disagreement is detected (no silent
+		// corruption) but not correctable by vote — the guard layer's
+		// degraded mode, which pairs it with a checksum arbiter. Full
+		// correction needs three.
+		return nil, fmt.Errorf("emr: scheme %v needs ≥ 2 executors, have %d", cfg.Scheme, cfg.Executors)
 	}
 	if cfg.Frontier == FrontierDRAM && !cfg.DRAMECC {
 		return nil, fmt.Errorf("emr: DRAM frontier requires ECC DRAM; set Frontier to storage instead")

@@ -311,7 +311,7 @@ func TestVoteMajority(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cases := []func(*Config){
 		func(c *Config) { c.Executors = 0 },
-		func(c *Config) { c.Executors = 2 },
+		func(c *Config) { c.Executors = 1 },   // EMR needs ≥ 2 (DMR floor)
 		func(c *Config) { c.DRAMECC = false }, // DRAM frontier requires ECC
 		func(c *Config) { c.DRAMSize = 0 },
 		func(c *Config) { c.CacheSets = 0 },

@@ -50,6 +50,12 @@ type HookPoint struct {
 	// Fail, when set by the hook, aborts this executor's job with the
 	// given error.
 	Fail error
+	// Stall, when set by the hook, adds virtual elapsed time to this
+	// visit — modelling a replica that hangs (an irradiated core stuck
+	// in a livelock) rather than computing wrong bytes. Stall composes
+	// with Fail: a replica can hang and then crash. A configured Watcher
+	// sees the stalled elapsed time and may kill the visit.
+	Stall time.Duration
 }
 
 // Hook observes and perturbs execution at defined points. A nil hook is
@@ -138,8 +144,36 @@ func (r *Runtime) Run(spec Spec) (*Result, error) {
 
 // visitIO summarizes one visit's data movement for the cost model.
 type visitIO struct {
-	total   uint64 // bytes the job consumed (drives compute time)
-	fetched uint64 // bytes actually fetched from the frontier (cache misses × line size)
+	total   uint64        // bytes the job consumed (drives compute time)
+	fetched uint64        // bytes actually fetched from the frontier (cache misses × line size)
+	stall   time.Duration // hook-injected hang time (HookPoint.Stall)
+}
+
+// Watcher observes every executor visit as it completes — the guard
+// watchdog's attachment point (see internal/guard). VisitDone receives
+// the visit's virtual elapsed time (compute + fetch + flush + any
+// hook-injected stall) and the visit's error; it returns the duration
+// to charge to the accounting (a killed hung visit is billed only up to
+// its deadline) and the error to record in the vote (non-nil
+// invalidates the visit's output). Watchers are always invoked from the
+// sequential, deterministic collection path, in (jobset, round,
+// executor) order, regardless of ParallelExecution.
+type Watcher interface {
+	VisitDone(executor, dataset int, elapsed time.Duration, visitErr error) (time.Duration, error)
+}
+
+// watchVisit reports one finished visit to the configured watcher and
+// applies its verdict. With no watcher the visit passes through
+// untouched.
+func (r *Runtime) watchVisit(executor, dataset int, v visitParts, visitErr error) (visitParts, error) {
+	if r.cfg.Watch == nil {
+		return v, visitErr
+	}
+	charged, err := r.cfg.Watch.VisitDone(executor, dataset, v.total(), visitErr)
+	if d := charged - v.total(); d != 0 {
+		v.compute += d
+	}
+	return v, err
 }
 
 // visit performs one executor's processing of one dataset: resolve
@@ -163,6 +197,7 @@ func (r *Runtime) visit(spec *Spec, a *analysis, jobset, dsIdx, executor int) (o
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseBeforeRead, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions}
 		spec.Hook(hp)
+		io.stall += hp.Stall
 		if hp.Fail != nil {
 			r.ins.hookAbort()
 			return nil, io, hp.Fail
@@ -189,6 +224,7 @@ func (r *Runtime) visit(spec *Spec, a *analysis, jobset, dsIdx, executor int) (o
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseAfterRead, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions}
 		spec.Hook(hp)
+		io.stall += hp.Stall
 		if hp.Fail != nil {
 			r.ins.hookAbort()
 			return nil, io, hp.Fail
@@ -209,6 +245,7 @@ func (r *Runtime) visit(spec *Spec, a *analysis, jobset, dsIdx, executor int) (o
 	if spec.Hook != nil {
 		hp := &HookPoint{Phase: PhaseAfterJob, Jobset: jobset, Dataset: dsIdx, Executor: executor, Regions: regions, Output: out}
 		spec.Hook(hp)
+		io.stall += hp.Stall
 		if hp.Fail != nil {
 			r.ins.hookAbort()
 			return nil, io, hp.Fail
@@ -287,9 +324,12 @@ func (r *Runtime) runEMR(spec *Spec) (*Result, error) {
 			for e := 0; e < ex; e++ {
 				d := set[(t+e*k/ex)%k]
 				res := results[e]
-				visits = append(visits, r.parts(spec, res.io.total, res.io.fetched, res.lines))
+				v := r.parts(spec, res.io.total, res.io.fetched, res.lines)
+				v.compute += res.io.stall
+				v, verr := r.watchVisit(e, d, v, res.err)
+				visits = append(visits, v)
 				outputs[d][e] = res.out
-				errs[d*ex+e] = res.err
+				errs[d*ex+e] = verr
 			}
 		}
 		acct.addJobsetMakespan(visits, k, ex)
@@ -315,8 +355,16 @@ func (r *Runtime) runUnprotected(spec *Spec) (*Result, error) {
 	}
 	for d := 0; d < n; d++ {
 		var total, fetched uint64
+		var extra time.Duration // lockstep: the slowest copy gates the round
 		for e := 0; e < ex; e++ {
 			out, io, err := r.visit(spec, nil, -1, d, e)
+			base := r.parts(spec, io.total, io.fetched, 0)
+			ve := base
+			ve.compute += io.stall
+			ve, err = r.watchVisit(e, d, ve, err)
+			if adj := ve.total() - base.total(); adj > extra {
+				extra = adj
+			}
 			outputs[d][e] = out
 			errs[d*ex+e] = err
 			total = io.total
@@ -325,6 +373,7 @@ func (r *Runtime) runUnprotected(spec *Spec) (*Result, error) {
 		// All copies run in lockstep on separate cores: elapsed is one
 		// visit's compute plus the (shared) fetch.
 		v := r.parts(spec, total, fetched, 0)
+		v.compute += extra
 		acct.addVisit(v)
 		acct.makespan += v.total()
 		acct.busy += time.Duration(ex)*v.compute + v.fetch
@@ -349,9 +398,11 @@ func (r *Runtime) runSerial(spec *Spec) (*Result, error) {
 	for pass := 0; pass < ex; pass++ {
 		for d := 0; d < n; d++ {
 			out, io, err := r.visit(spec, nil, -1, d, pass)
+			v := r.parts(spec, io.total, io.fetched, 0)
+			v.compute += io.stall
+			v, err = r.watchVisit(pass, d, v, err)
 			outputs[d][pass] = out
 			errs[d*ex+pass] = err
-			v := r.parts(spec, io.total, io.fetched, 0)
 			acct.addVisit(v)
 			acct.makespan += v.total()
 			acct.busy += v.total()
@@ -373,9 +424,11 @@ func (r *Runtime) runNone(spec *Spec) (*Result, error) {
 	errs := make([]error, n)
 	for d := 0; d < n; d++ {
 		out, io, err := r.visit(spec, nil, -1, d, 0)
+		v := r.parts(spec, io.total, io.fetched, 0)
+		v.compute += io.stall
+		v, err = r.watchVisit(0, d, v, err)
 		outputs[d] = [][]byte{out}
 		errs[d] = err
-		v := r.parts(spec, io.total, io.fetched, 0)
 		acct.addVisit(v)
 		acct.makespan += v.total()
 		acct.busy += v.total()

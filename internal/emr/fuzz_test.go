@@ -1,0 +1,160 @@
+package emr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"radshield/internal/fault"
+)
+
+// Fuzz targets for the two arbitration primitives everything above them
+// trusts: the majority vote (exec.go) and the checksum guard
+// (checksum.go). Both are invariant checks, not golden tests — any
+// input the fuzzer invents must keep the safety properties.
+//
+// CI runs these as a short smoke (-fuzz -fuzztime 10s); the committed
+// seed corpora below keep the deterministic `go test` pass meaningful.
+
+// replicaSet builds the voter's input from up to three fuzzer-chosen
+// replicas; the low three bits of keep select which participate.
+func replicaSet(a, b, c []byte, keep byte) [][]byte {
+	var valid [][]byte
+	for i, r := range [][]byte{a, b, c} {
+		if keep&(1<<i) != 0 {
+			valid = append(valid, r)
+		}
+	}
+	return valid
+}
+
+func FuzzMajority(f *testing.F) {
+	f.Add([]byte("out"), []byte("out"), []byte("out"), byte(7))
+	f.Add([]byte("out"), []byte("out"), []byte("bad"), byte(7))
+	f.Add([]byte("a"), []byte("b"), []byte("c"), byte(7))
+	f.Add([]byte{}, []byte{}, []byte{0xff}, byte(7))
+	f.Add([]byte("solo"), []byte(nil), []byte(nil), byte(1))
+	f.Add([]byte(nil), []byte(nil), []byte(nil), byte(0))
+
+	f.Fuzz(func(t *testing.T, a, b, c []byte, keep byte) {
+		valid := replicaSet(a, b, c, keep)
+		winner, unanimous, ok := majority(valid)
+
+		// The vote is a pure function: a second call must agree.
+		w2, u2, ok2 := majority(valid)
+		if !bytes.Equal(winner, w2) || unanimous != u2 || ok != ok2 {
+			t.Fatalf("vote not deterministic: (%x,%v,%v) then (%x,%v,%v)", winner, unanimous, ok, w2, u2, ok2)
+		}
+
+		agreeing := 0
+		for _, v := range valid {
+			if bytes.Equal(v, winner) {
+				agreeing++
+			}
+		}
+		switch {
+		case !ok:
+			// A failed vote must mean there was genuinely no majority: no
+			// pair of replicas may agree, and a lone replica always wins.
+			if len(valid) == 1 {
+				t.Fatal("single replica rejected")
+			}
+			for i := range valid {
+				for j := i + 1; j < len(valid); j++ {
+					if bytes.Equal(valid[i], valid[j]) {
+						t.Fatalf("vote failed despite agreeing replicas %d and %d", i, j)
+					}
+				}
+			}
+		case len(valid) >= 2:
+			// A winner among ≥2 replicas must hold a real majority pair —
+			// a single flipped replica can never win the vote.
+			if agreeing < 2 {
+				t.Fatalf("winner %x has only %d agreeing replicas", winner, agreeing)
+			}
+		default:
+			if agreeing != 1 {
+				t.Fatalf("lone replica vote returned a foreign winner %x", winner)
+			}
+		}
+		if unanimous && agreeing != len(valid) {
+			t.Fatalf("unanimous with %d/%d agreeing replicas", agreeing, len(valid))
+		}
+		if !ok && (winner != nil || unanimous) {
+			t.Fatalf("failed vote leaked winner %x unanimous=%v", winner, unanimous)
+		}
+	})
+}
+
+func FuzzChecksum(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), uint16(3), byte(5), false)
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00}, uint16(0), byte(0), true)
+	f.Add([]byte{0xff}, uint16(9), byte(7), true)
+	f.Add(bytes.Repeat([]byte{0xA5}, 300), uint16(131), byte(2), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, flipOff uint16, flipBit byte, flip bool) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		if len(data) > 4<<10 {
+			data = data[:4<<10]
+		}
+		want, err := sumJob([][]byte{data})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg := DefaultConfig()
+		cfg.Scheme = fault.SchemeChecksum
+		cfg.Executors = 1
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := rt.LoadInput("fuzz", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := Spec{
+			Name:          "fuzz",
+			Datasets:      []Dataset{{Inputs: []InputRef{ref}}},
+			Job:           sumJob,
+			CyclesPerByte: 10,
+		}
+		landed := false
+		if flip {
+			done := false
+			spec.Hook = func(hp *HookPoint) {
+				if done || hp.Phase != PhaseAfterRead {
+					return
+				}
+				done = true
+				addr := hp.Regions[0].Addr + uint64(flipOff)%hp.Regions[0].Len
+				landed = rt.Cache().FlipBit(addr, uint(flipBit%8))
+			}
+		}
+		res, err := rt.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if landed {
+			// A strike in the consumed bytes must surface as a detected
+			// checksum mismatch — never a silent wrong output.
+			if !errors.Is(res.PerDataset[0].Err, ErrChecksumMismatch) {
+				t.Fatalf("corrupted input not detected: err=%v out=%x want=%x",
+					res.PerDataset[0].Err, res.Outputs[0], want)
+			}
+			if res.Outputs[0] != nil {
+				t.Fatal("corrupted dataset still produced an output")
+			}
+			return
+		}
+		if res.PerDataset[0].Err != nil {
+			t.Fatalf("clean run reported error: %v", res.PerDataset[0].Err)
+		}
+		if !bytes.Equal(res.Outputs[0], want) {
+			t.Fatalf("clean output %x, want %x", res.Outputs[0], want)
+		}
+	})
+}

@@ -43,59 +43,93 @@ func mixJob(inputs [][]byte) ([]byte, error) {
 // the residual probability is a hash collision of the job function.
 func TestPropertyEMRNeverSilentlyWrong(t *testing.T) {
 	goldenOutputs := invariantGolden(t)
-
 	f := func(seed int64, strikes uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
-		rt, err := New(DefaultConfig())
-		if err != nil {
-			return false
+		return invariantTrial(goldenOutputs, seed, strikes)
+	}
+	// Seeded explicitly: quick's default source is time-seeded, which
+	// made this test the one nondeterministic entry in the suite.
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: this seed once produced a silent wrong answer. The rng
+// drew the identical (offset 13, bit 1) flip for two executors'
+// replicas of the shared input; replicas are never flushed, so both
+// corrupted copies persisted across later datasets and the two
+// executors outvoted the third with identical wrong bytes. The
+// distinct-flip rule in invariantTrial excludes that double-fault.
+func TestInvariantReplicaCollisionSeed(t *testing.T) {
+	goldenOutputs := invariantGolden(t)
+	if !invariantTrial(goldenOutputs, 4474133211735295592, 0x9e) {
+		t.Fatal("invariant violated on the pinned replica-collision seed")
+	}
+}
+
+// invariantTrial runs one fault pattern and reports whether every
+// dataset was byte-identical to golden or visibly failed.
+func invariantTrial(goldenOutputs [][]byte, seed int64, strikes uint8) bool {
+	rng := rand.New(rand.NewSource(seed))
+	rt, err := New(DefaultConfig())
+	if err != nil {
+		return false
+	}
+	spec := chunkedSpec2(rt, 8, 256, true)
+	spec.Job = mixJob
+	remaining := int(strikes%24) + 1
+	// The invariant holds for DISTINCT faults: two strikes at the
+	// same (offset, bit) of two executors' replicas of one input
+	// are a two-identical-fault collision — the replicas carry the
+	// same wrong bytes, the executors agree, and the vote corrects
+	// toward the corruption. No voting scheme detects that, and it
+	// is outside the paper's single-upset threat model, so the
+	// injector never repeats a landed (offset, bit).
+	landed := map[[2]uint64]bool{}
+	spec.Hook = func(hp *HookPoint) {
+		if remaining <= 0 {
+			return
 		}
-		spec := chunkedSpec2(rt, 8, 256, true)
-		spec.Job = mixJob
-		remaining := int(strikes%24) + 1
-		spec.Hook = func(hp *HookPoint) {
-			if remaining <= 0 {
-				return
-			}
-			switch hp.Phase {
-			case PhaseAfterRead:
-				if rng.Float64() < 0.15 {
-					reg := hp.Regions[rng.Intn(len(hp.Regions))]
-					fl := fault.RandomFlip(rng, reg.Len)
-					if rt.Cache().FlipBit(reg.Addr+fl.Offset, fl.Bit) {
-						remaining--
-					}
+		switch hp.Phase {
+		case PhaseAfterRead:
+			if rng.Float64() < 0.15 {
+				reg := hp.Regions[rng.Intn(len(hp.Regions))]
+				fl := fault.RandomFlip(rng, reg.Len)
+				key := [2]uint64{fl.Offset, uint64(fl.Bit)}
+				if landed[key] {
+					return
 				}
-			case PhaseAfterJob:
-				if rng.Float64() < 0.05 && len(hp.Output) > 0 {
-					hp.Output[rng.Intn(len(hp.Output))] ^= 1 << uint(rng.Intn(8))
+				if rt.Cache().FlipBit(reg.Addr+fl.Offset, fl.Bit) {
+					landed[key] = true
 					remaining--
 				}
 			}
-		}
-		res, err := rt.Run(spec)
-		if err != nil {
-			return false
-		}
-		for i := range goldenOutputs {
-			out := res.Outputs[i]
-			if out == nil {
-				// Detected failure: must carry an error.
-				if res.PerDataset[i].Err == nil {
-					return false
-				}
-				continue
+		case PhaseAfterJob:
+			if rng.Float64() < 0.05 && len(hp.Output) > 0 {
+				hp.Output[rng.Intn(len(hp.Output))] ^= 1 << uint(rng.Intn(8))
+				remaining--
 			}
-			if !bytes.Equal(out, goldenOutputs[i]) {
-				// Silent wrong answer: the invariant is broken.
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		return false
+	}
+	for i := range goldenOutputs {
+		out := res.Outputs[i]
+		if out == nil {
+			// Detected failure: must carry an error.
+			if res.PerDataset[i].Err == nil {
 				return false
 			}
+			continue
 		}
-		return true
+		if !bytes.Equal(out, goldenOutputs[i]) {
+			// Silent wrong answer: the invariant is broken.
+			return false
+		}
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Fatal(err)
-	}
+	return true
 }
 
 // invariantGolden computes the fault-free mixJob outputs.

@@ -1,0 +1,229 @@
+package emr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"radshield/internal/fault"
+)
+
+// recordingWatcher logs every VisitDone call and optionally kills
+// visits whose elapsed exceeds a deadline, billing them at the deadline.
+type recordingWatcher struct {
+	deadline time.Duration
+	calls    []watchCall
+	kills    int
+}
+
+type watchCall struct {
+	executor, dataset int
+	elapsed           time.Duration
+	err               error
+}
+
+var errWatchKill = errors.New("watchdog: visit deadline exceeded")
+
+func (w *recordingWatcher) VisitDone(executor, dataset int, elapsed time.Duration, visitErr error) (time.Duration, error) {
+	w.calls = append(w.calls, watchCall{executor, dataset, elapsed, visitErr})
+	if w.deadline > 0 && elapsed > w.deadline && visitErr == nil {
+		w.kills++
+		return w.deadline, errWatchKill
+	}
+	return elapsed, visitErr
+}
+
+func TestWatcherSeesEveryVisit(t *testing.T) {
+	for _, scheme := range []fault.Scheme{
+		fault.SchemeEMR, fault.SchemeUnprotectedParallel, fault.SchemeSerial3MR,
+		fault.SchemeNone, fault.SchemeChecksum,
+	} {
+		w := &recordingWatcher{}
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		if scheme == fault.SchemeNone || scheme == fault.SchemeChecksum {
+			cfg.Executors = 1
+		}
+		cfg.Watch = w
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(chunkedSpec(t, rt, 4, 128, false)); err != nil {
+			t.Fatal(err)
+		}
+		want := 4 * cfg.Executors
+		if len(w.calls) != want {
+			t.Errorf("%v: watcher saw %d visits, want %d", scheme, len(w.calls), want)
+		}
+		for _, c := range w.calls {
+			if c.elapsed <= 0 {
+				t.Errorf("%v: visit (%d,%d) has non-positive elapsed %v", scheme, c.executor, c.dataset, c.elapsed)
+			}
+		}
+	}
+}
+
+func TestHookStallExtendsElapsedAndMakespan(t *testing.T) {
+	run := func(stall time.Duration) (time.Duration, *recordingWatcher) {
+		w := &recordingWatcher{}
+		cfg := DefaultConfig()
+		cfg.Watch = w
+		rt, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := chunkedSpec(t, rt, 4, 128, false)
+		spec.Hook = func(hp *HookPoint) {
+			if hp.Phase == PhaseAfterRead && hp.Executor == 1 && hp.Dataset == 0 {
+				hp.Stall = stall
+			}
+		}
+		res, err := rt.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.Makespan, w
+	}
+	base, _ := run(0)
+	stalled, w := run(50 * time.Millisecond)
+	if stalled <= base {
+		t.Fatalf("stalled makespan %v not above base %v", stalled, base)
+	}
+	var sawStall bool
+	for _, c := range w.calls {
+		if c.executor == 1 && c.dataset == 0 && c.elapsed >= 50*time.Millisecond {
+			sawStall = true
+		}
+	}
+	if !sawStall {
+		t.Fatal("watcher never saw the stalled visit's elapsed time")
+	}
+}
+
+func TestWatcherKillStillVotesWithRemainingReplicas(t *testing.T) {
+	w := &recordingWatcher{deadline: 10 * time.Millisecond}
+	cfg := DefaultConfig()
+	cfg.Watch = w
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := golden(t, 4, 128, false)
+	spec := chunkedSpec(t, rt, 4, 128, false)
+	spec.Hook = func(hp *HookPoint) {
+		if hp.Phase == PhaseAfterRead && hp.Executor == 2 && hp.Dataset == 1 {
+			hp.Stall = time.Second // hung replica, far past the deadline
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.kills != 1 {
+		t.Fatalf("kills = %d, want 1", w.kills)
+	}
+	for i := range want {
+		if !bytes.Equal(res.Outputs[i], want[i]) {
+			t.Fatalf("dataset %d output wrong after watchdog kill", i)
+		}
+	}
+	if res.Report.ExecErrors != 1 {
+		t.Fatalf("ExecErrors = %d, want 1 (the killed visit)", res.Report.ExecErrors)
+	}
+	// The hung visit is billed at the deadline, not its full stall.
+	if res.Report.Makespan > time.Second {
+		t.Fatalf("makespan %v still includes the uncapped hang", res.Report.Makespan)
+	}
+}
+
+func TestDMRDetectsButCannotCorrect(t *testing.T) {
+	// Two agreeing executors produce outputs like TMR.
+	cfg := DefaultConfig()
+	cfg.Executors = 2
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := golden(t, 4, 128, false)
+	res, err := rt.Run(chunkedSpec(t, rt, 4, 128, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(res.Outputs[i], want[i]) {
+			t.Fatalf("DMR dataset %d output mismatch", i)
+		}
+	}
+
+	// A corrupted copy under DMR is detected (vote fails loudly) rather
+	// than silently emitted — the guard pairs this with an arbiter.
+	rt2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := chunkedSpec(t, rt2, 4, 128, false)
+	spec.Hook = func(hp *HookPoint) {
+		if hp.Phase == PhaseAfterJob && hp.Executor == 1 && hp.Dataset == 2 {
+			hp.Output[0] ^= 0xFF
+		}
+	}
+	res2, err := rt2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outputs[2] != nil {
+		t.Fatal("DMR emitted an output despite replica disagreement")
+	}
+	if !res2.PerDataset[2].Disagreement {
+		t.Fatal("disagreement not flagged")
+	}
+	if res2.Report.Votes.Failed != 1 {
+		t.Fatalf("Votes.Failed = %d, want 1", res2.Report.Votes.Failed)
+	}
+	for _, d := range []int{0, 1, 3} {
+		if !bytes.Equal(res2.Outputs[d], want[d]) {
+			t.Fatalf("unaffected dataset %d corrupted", d)
+		}
+	}
+}
+
+func TestWatcherErrorPropagatesToVote(t *testing.T) {
+	// A watcher that kills every visit of executor 0 leaves TMR as a
+	// 2-of-2 vote — still correct outputs.
+	kill := fmt.Errorf("core 0 offline")
+	w := watcherFunc(func(executor, dataset int, elapsed time.Duration, visitErr error) (time.Duration, error) {
+		if executor == 0 {
+			return elapsed, kill
+		}
+		return elapsed, visitErr
+	})
+	cfg := DefaultConfig()
+	cfg.Watch = w
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := golden(t, 4, 128, false)
+	res, err := rt.Run(chunkedSpec(t, rt, 4, 128, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(res.Outputs[i], want[i]) {
+			t.Fatalf("dataset %d wrong with executor 0 dead", i)
+		}
+	}
+	if res.Report.ExecErrors != 4 {
+		t.Fatalf("ExecErrors = %d, want 4", res.Report.ExecErrors)
+	}
+}
+
+// watcherFunc adapts a function to the Watcher interface.
+type watcherFunc func(executor, dataset int, elapsed time.Duration, visitErr error) (time.Duration, error)
+
+func (f watcherFunc) VisitDone(executor, dataset int, elapsed time.Duration, visitErr error) (time.Duration, error) {
+	return f(executor, dataset, elapsed, visitErr)
+}

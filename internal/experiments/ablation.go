@@ -131,7 +131,7 @@ func AblationClassifier(c SELConfig) (*Table, error) {
 	for pass, sel := range []float64{0, c.SELAmps} {
 		m := machine.New(c.machineConfig(c.Seed + 400 + int64(pass)))
 		if sel > 0 {
-			m.InjectSEL(sel)
+			injectSEL(m, sel)
 		}
 		rng := rand.New(rand.NewSource(c.Seed + 402))
 		label := 0
@@ -160,7 +160,7 @@ func AblationClassifier(c SELConfig) (*Table, error) {
 		for pass, sel := range []float64{0, c.SELAmps} {
 			m := machine.New(c.machineConfig(c.Seed + 500 + int64(pass)))
 			if sel > 0 {
-				m.InjectSEL(sel)
+				injectSEL(m, sel)
 			}
 			rng := rand.New(rand.NewSource(c.Seed + 502 + int64(pass)))
 			m.RunTrace(trace.Quiescent(rng, time.Minute, 10*time.Second), func(tel machine.Telemetry) {

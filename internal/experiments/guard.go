@@ -1,0 +1,532 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"radshield/internal/emr"
+	"radshield/internal/fault"
+	"radshield/internal/guard"
+	"radshield/internal/ild"
+	"radshield/internal/linmodel"
+	"radshield/internal/machine"
+	"radshield/internal/power"
+	"radshield/internal/sched"
+	"radshield/internal/telemetry"
+	"radshield/internal/trace"
+)
+
+// Guard campaigns: fault injection against Radshield's own dependencies.
+// The other experiments assume the current sensor and the executor cores
+// are sound; these sweeps break them on a schedule and measure how the
+// guard layer (internal/guard) degrades and recovers — detection
+// latency, false-healthy time, degraded-mode dwell, and the mission
+// survival delta versus an unguarded detector.
+
+// GuardCampaignConfig parameterizes the sensor-fault sweep.
+type GuardCampaignConfig struct {
+	// SEL supplies the shared campaign parameters: mission Duration,
+	// telemetry cadence, latchup period/magnitude, detection Window,
+	// Seed, Workers, Telemetry.
+	SEL SELConfig
+	// The sweep grid: every fault kind × onset × duration combination
+	// is one paired trial (guarded and unguarded arms share seeds).
+	Kinds          []power.FaultKind
+	Onsets         []time.Duration
+	FaultDurations []time.Duration // 0 = permanent once started
+	// OffsetA is the bias magnitude used for FaultOffset trials.
+	OffsetA float64
+	// Supervisor tunes the guard ladder. Note RefireWindow must span a
+	// few quiescence opportunities (bubble cadence) or a biased sensor's
+	// post-cycle refires are never recognized as a storm.
+	Supervisor guard.SupervisorConfig
+}
+
+// DefaultGuardCampaignConfig sweeps all four sensor-fault models, one
+// mid-mission onset, transient and permanent windows.
+func DefaultGuardCampaignConfig() GuardCampaignConfig {
+	sel := DefaultSELConfig()
+	sel.Duration = 30 * time.Minute
+	sel.SELEvery = 8 * time.Minute
+	sup := guard.DefaultSupervisorConfig()
+	sup.RefireWindow = 10 * time.Minute // covers the 3-minute bubble cadence
+	return GuardCampaignConfig{
+		SEL:            sel,
+		Kinds:          []power.FaultKind{power.FaultStuck, power.FaultDropout, power.FaultOffset, power.FaultGarbage},
+		Onsets:         []time.Duration{10 * time.Minute},
+		FaultDurations: []time.Duration{6 * time.Minute, 0},
+		OffsetA:        0.12,
+		Supervisor:     sup,
+	}
+}
+
+// GuardTrial is one paired sweep point: the same mission flown with the
+// guard supervisor (guarded arm) and with a bare ILD detector
+// (unguarded arm), sharing seeds so the comparison is paired.
+type GuardTrial struct {
+	Kind          power.FaultKind
+	Onset         time.Duration
+	FaultDuration time.Duration // 0 = permanent
+
+	// DetectSamples counts telemetry samples from fault onset to the
+	// guard's first demotion (-1: the fault was never recognized).
+	DetectSamples int
+	// FalseHealthy is how long the fault was active while the guard
+	// still fully trusted the sensor (linear mode, healthy verdict).
+	FalseHealthy time.Duration
+	// DegradedDwell is total mission time spent below the linear rung.
+	DegradedDwell time.Duration
+	BlindCycles   int
+	FinalMode     guard.Mode
+
+	// MissedSELs counts latchup episodes that stayed uncleared past the
+	// detection window, per arm.
+	MissedSELs          int
+	UnguardedMissedSELs int
+	PowerCycles         int
+	UnguardedCycles     int
+	Survived            bool
+	UnguardedSurvived   bool
+}
+
+// guardArmResult is one arm's raw tallies.
+type guardArmResult struct {
+	detectSamples       int
+	falseHealthySamples int
+	degradedSamples     int
+	blindCycles         int
+	finalMode           guard.Mode
+	missedSELs          int
+	powerCycles         int
+	survived            bool
+}
+
+// guardTrialSpec is one grid point.
+type guardTrialSpec struct {
+	kind  power.FaultKind
+	onset time.Duration
+	dur   time.Duration
+}
+
+// GuardCampaign sweeps sensor faults against the guard layer and
+// renders the comparison table. Trials fan out across the campaign
+// scheduler; output is byte-identical at any worker width.
+func GuardCampaign(c GuardCampaignConfig) ([]GuardTrial, *Table, error) {
+	base, err := TrainILD(c.SEL)
+	if err != nil {
+		return nil, nil, err
+	}
+	model := base.Model()
+
+	var specs []guardTrialSpec
+	for _, k := range c.Kinds {
+		for _, on := range c.Onsets {
+			for _, du := range c.FaultDurations {
+				specs = append(specs, guardTrialSpec{kind: k, onset: on, dur: du})
+			}
+		}
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("experiments: empty guard sweep grid")
+	}
+
+	trials, err := sched.Map(len(specs), c.SEL.Workers, func(i int) (GuardTrial, error) {
+		sp := specs[i]
+		seed := c.SEL.Seed + 1000 + int64(i)*29
+		g, err := flyGuardArm(c, sp, model, seed, true)
+		if err != nil {
+			return GuardTrial{}, err
+		}
+		u, err := flyGuardArm(c, sp, model, seed, false)
+		if err != nil {
+			return GuardTrial{}, err
+		}
+		return GuardTrial{
+			Kind: sp.kind, Onset: sp.onset, FaultDuration: sp.dur,
+			DetectSamples: g.detectSamples,
+			FalseHealthy:  time.Duration(g.falseHealthySamples) * c.SEL.SampleEvery,
+			DegradedDwell: time.Duration(g.degradedSamples) * c.SEL.SampleEvery,
+			BlindCycles:   g.blindCycles,
+			FinalMode:     g.finalMode,
+			MissedSELs:    g.missedSELs, UnguardedMissedSELs: u.missedSELs,
+			PowerCycles: g.powerCycles, UnguardedCycles: u.powerCycles,
+			Survived: g.survived, UnguardedSurvived: u.survived,
+		}, nil
+	}, sched.WithTelemetry(c.SEL.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Guard campaign: sensor faults over %v missions, SEL every %v, window %v",
+			c.SEL.Duration, c.SEL.SELEvery, c.SEL.Window),
+		Header: []string{"Fault", "Onset", "For", "Demoted@", "FalseHealthy", "DegradedDwell",
+			"BlindCycles", "FinalMode", "MissedSEL g/u", "Cycles g/u", "Survived g/u"},
+	}
+	for _, tr := range trials {
+		demoted := "never"
+		if tr.DetectSamples >= 0 {
+			demoted = fmt.Sprintf("%d smp", tr.DetectSamples)
+		}
+		durStr := "permanent"
+		if tr.FaultDuration > 0 {
+			durStr = tr.FaultDuration.String()
+		}
+		tbl.AddRow(tr.Kind.String(), tr.Onset.String(), durStr, demoted,
+			tr.FalseHealthy.Round(10*time.Millisecond).String(),
+			tr.DegradedDwell.Round(10*time.Millisecond).String(),
+			fmt.Sprint(tr.BlindCycles), tr.FinalMode.String(),
+			fmt.Sprintf("%d/%d", tr.MissedSELs, tr.UnguardedMissedSELs),
+			fmt.Sprintf("%d/%d", tr.PowerCycles, tr.UnguardedCycles),
+			fmt.Sprintf("%v/%v", tr.Survived, tr.UnguardedSurvived))
+	}
+	return trials, tbl, nil
+}
+
+// flyGuardArm flies one mission arm: flight software with bubbles,
+// latchups on the campaign period, and the scheduled sensor fault. The
+// guarded arm routes every sample through the supervisor and acts on
+// its decisions; the unguarded arm runs the paper's bare detector.
+func flyGuardArm(c GuardCampaignConfig, sp guardTrialSpec, model *linmodel.Model, seed int64, guarded bool) (guardArmResult, error) {
+	res := guardArmResult{detectSamples: -1}
+	det, err := ild.NewDetector(model, c.SEL.ildConfig())
+	if err != nil {
+		return res, err
+	}
+	var sup *guard.Supervisor
+	if guarded {
+		if sup, err = guard.NewSupervisor(det, c.Supervisor); err != nil {
+			return res, err
+		}
+	}
+
+	mc := c.SEL.machineConfig(seed)
+	mc.Telemetry = nil // trials run in parallel; per-trial metrics stay local
+	m := machine.New(mc)
+	if err := m.Sensor().ScheduleFault(power.SensorFault{
+		Kind: sp.kind, Start: sp.onset, Duration: sp.dur, OffsetA: c.OffsetA,
+	}); err != nil {
+		return res, err
+	}
+
+	rng := rand.New(rand.NewSource(seed + 3))
+	mission := trace.FlightSoftware(rng, c.SEL.Duration, mc.Cores)
+	mission = ild.InjectBubbles(mission, ild.BubblePolicy{
+		BubbleLen: c.SEL.ildConfig().SustainFor + time.Second,
+		Pause:     3 * time.Minute,
+	})
+
+	nextSEL := c.SEL.SELEvery
+	selSince := time.Duration(-1)
+	missedCounted := false
+	faultSamples := 0
+	m.RunTrace(mission, func(tel machine.Telemetry) {
+		// Latchup episode bookkeeping: one SEL at a time, next one
+		// scheduled a period after the previous clears (any power cycle
+		// clears it; a damaged board never clears).
+		if selSince >= 0 && !m.SELActive() {
+			selSince = -1
+			nextSEL = tel.T + c.SEL.SELEvery
+		}
+		if selSince < 0 && tel.T >= nextSEL && !m.Damaged() {
+			injectSEL(m, c.SEL.SELAmps)
+			selSince = tel.T
+			missedCounted = false
+		}
+		if selSince >= 0 && !missedCounted && tel.T-selSince > c.SEL.Window {
+			res.missedSELs++
+			missedCounted = true
+		}
+
+		faultActive := sp.kind != power.FaultNone && tel.T >= sp.onset &&
+			(sp.dur <= 0 || tel.T < sp.onset+sp.dur)
+		if faultActive {
+			faultSamples++
+		}
+
+		if !guarded {
+			if det.Observe(tel) {
+				m.PowerCycle()
+				det.Reset()
+			}
+			return
+		}
+		d := sup.Observe(tel)
+		if faultActive && d.SensorOK && d.Mode == guard.ModeLinearModel {
+			res.falseHealthySamples++
+		}
+		if d.Mode != guard.ModeLinearModel {
+			res.degradedSamples++
+		}
+		if res.detectSamples < 0 && d.Demoted && faultActive {
+			res.detectSamples = faultSamples
+		}
+		if d.Fired || d.BlindCycle {
+			m.PowerCycle()
+			sup.NotePowerCycle(tel.T)
+		}
+	})
+
+	if guarded {
+		res.blindCycles = sup.BlindCycles()
+		res.finalMode = sup.Mode()
+	}
+	res.powerCycles = m.PowerCycles()
+	res.survived = !m.Damaged()
+	return res, nil
+}
+
+// WatchdogCampaignConfig parameterizes the EMR replica-fault sweep.
+type WatchdogCampaignConfig struct {
+	Datasets int
+	Chunk    int
+	Seed     int64
+	Workers  int
+	Watchdog guard.WatchdogConfig
+	// Stall is the injected hang length for "hang" trials; it must
+	// exceed Watchdog.Deadline.
+	Stall time.Duration
+	// Telemetry, when non-nil, receives the campaign scheduler's
+	// sched_* metrics.
+	Telemetry *telemetry.Registry
+}
+
+// DefaultWatchdogCampaignConfig sweeps every executor with both failure
+// causes under a 10 ms visit deadline.
+func DefaultWatchdogCampaignConfig() WatchdogCampaignConfig {
+	wd := guard.DefaultWatchdogConfig()
+	wd.Deadline = 10 * time.Millisecond
+	return WatchdogCampaignConfig{
+		Datasets: 4,
+		Chunk:    256,
+		Seed:     9,
+		Watchdog: wd,
+		Stall:    time.Second,
+	}
+}
+
+// WatchdogTrial is one replica-fault sweep point: one executor failing
+// persistently with one cause, run under TMR with the watchdog
+// attached, then retried under the degraded plan it prescribes.
+type WatchdogTrial struct {
+	Executor int
+	Cause    string // "hang" or "crash"
+
+	Kills      int
+	Crashes    int
+	Mode       guard.RedundancyMode
+	Backoff    time.Duration // deterministic delay before the retry
+	TMROutputs bool          // TMR run produced golden outputs despite the bad core
+	Degraded   bool          // degraded-plan retry produced golden outputs
+}
+
+// errInjectedCrash is the deterministic crash injected into replica
+// visits for "crash" trials.
+var errInjectedCrash = fmt.Errorf("experiments: injected replica crash")
+
+// WatchdogCampaign sweeps persistent per-executor faults against the
+// EMR watchdog and renders the table. Output is byte-identical at any
+// worker width.
+func WatchdogCampaign(c WatchdogCampaignConfig) ([]WatchdogTrial, *Table, error) {
+	if c.Datasets < 1 || c.Chunk < 1 {
+		return nil, nil, fmt.Errorf("experiments: watchdog campaign needs datasets and chunk ≥ 1")
+	}
+	if c.Stall <= c.Watchdog.Deadline {
+		return nil, nil, fmt.Errorf("experiments: Stall %v must exceed the watchdog deadline %v", c.Stall, c.Watchdog.Deadline)
+	}
+	type wdSpec struct {
+		executor int
+		cause    string
+	}
+	var specs []wdSpec
+	for e := 0; e < emr.DefaultConfig().Executors; e++ {
+		for _, cause := range []string{"hang", "crash"} {
+			specs = append(specs, wdSpec{executor: e, cause: cause})
+		}
+	}
+
+	trials, err := sched.Map(len(specs), c.Workers, func(i int) (WatchdogTrial, error) {
+		sp := specs[i]
+		tr := WatchdogTrial{Executor: sp.executor, Cause: sp.cause}
+
+		golden, err := watchdogGolden(c)
+		if err != nil {
+			return tr, err
+		}
+		w, err := guard.NewWatchdog(c.Watchdog)
+		if err != nil {
+			return tr, err
+		}
+
+		// Stage 1: TMR with the bad core. The watchdog kills/strikes it
+		// out; the remaining replicas still vote correct outputs.
+		cfg := emr.DefaultConfig()
+		cfg.Watch = w
+		rt, err := emr.New(cfg)
+		if err != nil {
+			return tr, err
+		}
+		spec, err := watchdogSpec(rt, c)
+		if err != nil {
+			return tr, err
+		}
+		spec.Hook = func(hp *emr.HookPoint) {
+			if hp.Phase == emr.PhaseAfterRead && hp.Executor == sp.executor {
+				if sp.cause == "hang" {
+					hp.Stall = c.Stall
+				} else {
+					hp.Fail = errInjectedCrash
+				}
+			}
+		}
+		res, err := rt.Run(spec)
+		if err != nil {
+			return tr, err
+		}
+		tr.Kills = w.Kills()
+		tr.Crashes = w.Crashes()
+		tr.Mode = w.Mode()
+		tr.TMROutputs = outputsMatch(res.Outputs, golden)
+
+		// Stage 2: retry under the degraded plan after the deterministic
+		// backoff. A checksum-arbiter plan also runs the arbiter pass and
+		// requires it to agree.
+		tr.Backoff, _ = w.Backoff(0)
+		plan := w.Plan()
+		cfg2 := emr.DefaultConfig()
+		cfg2.Scheme = plan.Scheme
+		cfg2.Executors = plan.Executors
+		cfg2.Watch = w
+		rt2, err := emr.New(cfg2)
+		if err != nil {
+			return tr, err
+		}
+		spec2, err := watchdogSpec(rt2, c)
+		if err != nil {
+			return tr, err
+		}
+		res2, err := rt2.Run(spec2)
+		if err != nil {
+			return tr, err
+		}
+		tr.Degraded = outputsMatch(res2.Outputs, golden)
+		if plan.ChecksumArbiter && tr.Degraded {
+			ok, err := watchdogArbiter(c, golden)
+			if err != nil {
+				return tr, err
+			}
+			tr.Degraded = ok
+		}
+		return tr, nil
+	}, sched.WithTelemetry(c.Telemetry))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Watchdog campaign: persistent replica faults, %d datasets, deadline %v",
+			c.Datasets, c.Watchdog.Deadline),
+		Header: []string{"Executor", "Cause", "Kills", "Crashes", "Mode", "Backoff", "TMR outputs", "Degraded retry"},
+	}
+	okStr := func(ok bool) string {
+		if ok {
+			return "golden"
+		}
+		return "WRONG"
+	}
+	for _, tr := range trials {
+		tbl.AddRow(fmt.Sprint(tr.Executor), tr.Cause, fmt.Sprint(tr.Kills), fmt.Sprint(tr.Crashes),
+			tr.Mode.String(), tr.Backoff.String(), okStr(tr.TMROutputs), okStr(tr.Degraded))
+	}
+	return trials, tbl, nil
+}
+
+// watchdogJob digests its inputs deterministically.
+func watchdogJob(inputs [][]byte) ([]byte, error) {
+	var sum uint32
+	for _, in := range inputs {
+		for _, b := range in {
+			sum = sum*31 + uint32(b)
+		}
+	}
+	return []byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)}, nil
+}
+
+// watchdogSpec stages the campaign's chunked datasets into rt.
+func watchdogSpec(rt *emr.Runtime, c WatchdogCampaignConfig) (emr.Spec, error) {
+	data := make([]byte, c.Datasets*c.Chunk)
+	for i := range data {
+		data[i] = byte(int64(i)*7 + c.Seed)
+	}
+	ref, err := rt.LoadInput("wd", data)
+	if err != nil {
+		return emr.Spec{}, err
+	}
+	datasets := make([]emr.Dataset, c.Datasets)
+	for i := range datasets {
+		s, err := ref.Slice(uint64(i*c.Chunk), uint64(c.Chunk))
+		if err != nil {
+			return emr.Spec{}, err
+		}
+		datasets[i] = emr.Dataset{Inputs: []emr.InputRef{s}}
+	}
+	return emr.Spec{Name: "watchdog", Datasets: datasets, Job: watchdogJob, CyclesPerByte: 10}, nil
+}
+
+// watchdogGolden computes the reference outputs with a single
+// unprotected run.
+func watchdogGolden(c WatchdogCampaignConfig) ([][]byte, error) {
+	cfg := emr.DefaultConfig()
+	cfg.Scheme = fault.SchemeNone
+	cfg.Executors = 1
+	rt, err := emr.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := watchdogSpec(rt, c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}
+
+// watchdogArbiter runs the checksum-guarded pass a DMR plan pairs with
+// its two replicas and reports whether it agrees with the golden
+// outputs.
+func watchdogArbiter(c WatchdogCampaignConfig, golden [][]byte) (bool, error) {
+	cfg := emr.DefaultConfig()
+	cfg.Scheme = fault.SchemeChecksum
+	cfg.Executors = 1
+	rt, err := emr.New(cfg)
+	if err != nil {
+		return false, err
+	}
+	spec, err := watchdogSpec(rt, c)
+	if err != nil {
+		return false, err
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		return false, err
+	}
+	return outputsMatch(res.Outputs, golden), nil
+}
+
+// outputsMatch reports whether every dataset output equals the golden.
+func outputsMatch(got, want [][]byte) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}

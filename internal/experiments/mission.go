@@ -200,7 +200,7 @@ func flyOneMission(env fault.Environment, c MissionConfig, seed int64, shielded 
 			ev := events[nextEvent]
 			nextEvent++
 			if ev.Kind == fault.SEL {
-				m.InjectSEL(ev.Amps)
+				injectSEL(m, ev.Amps)
 			} else {
 				pendingSEUs++
 			}

@@ -68,6 +68,16 @@ func (c SELConfig) ildConfig() ild.Config {
 	return ic
 }
 
+// injectSEL injects a latchup whose magnitude comes from a validated
+// experiment config: the machine rejecting it means the config escaped
+// validation, which is a bug worth crashing the campaign over.
+func injectSEL(m *machine.Machine, amps float64) {
+	if err := m.InjectSEL(amps); err != nil {
+		//radlint:allow nopanic amps come from validated experiment configs; documented panic contract
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}
+
 // TrainILD performs the pre-launch procedure: run the ground twin over a
 // quiescent trace and fit the linear current model.
 func TrainILD(c SELConfig) (*ild.Detector, error) {
@@ -95,7 +105,7 @@ func trainForestBaseline(c SELConfig) *ild.ForestDetector {
 	for pass, sel := range []float64{0, c.SELAmps} {
 		m := machine.New(c.machineConfig(c.Seed + 200 + int64(pass)))
 		if sel > 0 {
-			m.InjectSEL(sel)
+			injectSEL(m, sel)
 		}
 		rng := rand.New(rand.NewSource(c.Seed + 202))
 		tr := trace.Quiescent(rng, 10*time.Minute, 15*time.Second)
@@ -169,7 +179,7 @@ func recordTable2Campaign(c SELConfig) *table2Recording {
 	k := 0
 	m.RunTrace(flight, func(tel machine.Telemetry) {
 		if episodeEnd < 0 && tel.T >= nextSEL {
-			m.InjectSEL(c.SELAmps)
+			injectSEL(m, c.SELAmps)
 			episodeEnd = tel.T + c.Window
 			rec.episodes = append(rec.episodes, table2Episode{start: tel.T, firstSample: k, lastSample: -1})
 		}
@@ -375,7 +385,7 @@ func Fig10(c SELConfig, episodesPer int) (*Figure, error) {
 		for ep := 0; ep < episodesPer; ep++ {
 			det.Reset()
 			// One minute latched, one minute clear, all quiescent.
-			m.InjectSEL(amps)
+			injectSEL(m, amps)
 			hit := false
 			m.RunTrace(trace.Quiescent(rng, time.Minute, 10*time.Second), func(tel machine.Telemetry) {
 				if det.Observe(tel) {
@@ -448,7 +458,7 @@ func Fig2(c SELConfig) *Fig2Result {
 			res.MaxNominalA = tel.RawA
 		}
 	})
-	m.InjectSEL(c.SELAmps)
+	injectSEL(m, c.SELAmps)
 	latched := Series{Name: fmt.Sprintf("under SEL (+%.2f A)", c.SELAmps)}
 	m.RunTrace(trace.Quiescent(rng, time.Minute, 10*time.Second), func(tel machine.Telemetry) {
 		latched.Add(tel.T.Seconds(), tel.RawA)

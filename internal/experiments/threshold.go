@@ -65,7 +65,7 @@ func ThresholdSweep(c SELConfig, episodes int) ([]ThresholdPoint, *Table, error)
 		missed := 0
 		for ep := 0; ep < episodes; ep++ {
 			det.Reset()
-			m.InjectSEL(c.SELAmps)
+			injectSEL(m, c.SELAmps)
 			hit := false
 			m.RunTrace(trace.Quiescent(rng, time.Minute, 15*time.Second), func(tel machine.Telemetry) {
 				if det.Observe(tel) {

@@ -1,0 +1,126 @@
+package guard
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"radshield/internal/machine"
+)
+
+// tel builds a minimal quiescent telemetry sample at the given raw
+// current.
+func tel(t time.Duration, rawA float64) machine.Telemetry {
+	return machine.Telemetry{
+		T:        t,
+		CurrentA: rawA,
+		RawA:     rawA,
+		PerCore:  []machine.CoreTelemetry{{FreqHz: 600e6, CacheHitRate: 0.97}},
+	}
+}
+
+// variedTel returns a healthy reading with per-sample ADC jitter so the
+// stuck-at check never triggers.
+func variedTel(t time.Duration, i int) machine.Telemetry {
+	return tel(t, 1.55+0.0001*float64(i%7))
+}
+
+func newHealth(t *testing.T) *SensorHealth {
+	t.Helper()
+	h, err := NewSensorHealth(DefaultHealthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHealthConfigValidation(t *testing.T) {
+	for _, mod := range []func(*HealthConfig){
+		func(c *HealthConfig) { c.MinPlausibleA = -1 },
+		func(c *HealthConfig) { c.MaxPlausibleA = c.MinPlausibleA },
+		func(c *HealthConfig) { c.StuckAfter = 1 },
+		func(c *HealthConfig) { c.MaxSampleGap = -time.Second },
+	} {
+		cfg := DefaultHealthConfig()
+		mod(&cfg)
+		if _, err := NewSensorHealth(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestHealthFlagsNonFinite(t *testing.T) {
+	h := newHealth(t)
+	h.Observe(variedTel(0, 0))
+	for i, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		v := h.Observe(tel(time.Duration(i+1)*time.Millisecond, bad))
+		if v.OK || v.Reason != "nan" {
+			t.Fatalf("verdict for %v = %+v, want nan", bad, v)
+		}
+	}
+	// Filtered current can be poisoned independently of the raw reading.
+	s := tel(5*time.Millisecond, 1.55)
+	s.CurrentA = math.NaN()
+	if v := h.Observe(s); v.OK || v.Reason != "nan" {
+		t.Fatalf("NaN CurrentA verdict = %+v, want nan", v)
+	}
+}
+
+func TestHealthFlagsOutOfRange(t *testing.T) {
+	h := newHealth(t)
+	for i, bad := range []float64{-3.2, 0.001, 400, 1e6} {
+		v := h.Observe(tel(time.Duration(i)*time.Millisecond, bad))
+		if v.OK || v.Reason != "range" {
+			t.Fatalf("verdict for %v A = %+v, want range", bad, v)
+		}
+	}
+}
+
+func TestHealthFlagsStuckSensor(t *testing.T) {
+	cfg := DefaultHealthConfig()
+	cfg.StuckAfter = 10
+	h, err := NewSensorHealth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Varying readings never trip the stuck check.
+	for i := 0; i < 100; i++ {
+		if v := h.Observe(variedTel(time.Duration(i)*time.Millisecond, i)); !v.OK {
+			t.Fatalf("varying sample %d flagged: %+v", i, v)
+		}
+	}
+	// A frozen register trips exactly at StuckAfter repeats.
+	for i := 0; i < 9; i++ {
+		if v := h.Observe(tel(time.Duration(100+i)*time.Millisecond, 1.6)); !v.OK {
+			t.Fatalf("repeat %d flagged early: %+v", i, v)
+		}
+	}
+	v := h.Observe(tel(110*time.Millisecond, 1.6))
+	if v.OK || v.Reason != "stuck" {
+		t.Fatalf("verdict at StuckAfter = %+v, want stuck", v)
+	}
+	// It stays stuck until the value moves again.
+	if v := h.Observe(tel(111*time.Millisecond, 1.6)); v.Reason != "stuck" {
+		t.Fatalf("still-frozen verdict = %+v", v)
+	}
+	if v := h.Observe(tel(112*time.Millisecond, 1.5507)); !v.OK {
+		t.Fatalf("recovered sample flagged: %+v", v)
+	}
+}
+
+func TestHealthFlagsStaleStream(t *testing.T) {
+	h := newHealth(t)
+	h.Observe(variedTel(time.Millisecond, 1))
+	// Non-advancing timestamp.
+	if v := h.Observe(variedTel(time.Millisecond, 2)); v.OK || v.Reason != "stale" {
+		t.Fatalf("repeated timestamp verdict = %+v, want stale", v)
+	}
+	// A gap beyond MaxSampleGap.
+	if v := h.Observe(variedTel(time.Second, 3)); v.OK || v.Reason != "stale" {
+		t.Fatalf("gapped sample verdict = %+v, want stale", v)
+	}
+	// Stream resumes at normal cadence.
+	if v := h.Observe(variedTel(time.Second+time.Millisecond, 4)); !v.OK {
+		t.Fatalf("resumed sample flagged: %+v", v)
+	}
+}

@@ -63,6 +63,10 @@ func (s *StaticThreshold) Observe(tel machine.Telemetry) bool {
 	return s.consecutive >= need
 }
 
+// Reset clears the sustain run (used after a power cycle, like
+// Detector.Reset).
+func (s *StaticThreshold) Reset() { s.consecutive = 0 }
+
 // ForestDetector is the state-of-the-art ML baseline (paper §4.1.2,
 // after Dorise et al.): a random forest trained *solely on current draw*
 // — the system treated as a black box, no performance counters, no

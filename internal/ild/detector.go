@@ -2,6 +2,7 @@ package ild
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"radshield/internal/linmodel"
@@ -64,6 +65,10 @@ type Detector struct {
 	// declared state so only rising edges count as new detections.
 	ins    *Instruments
 	firing bool
+	// badSamples counts rejected NaN/Inf telemetry samples. A faulted
+	// sensor (see internal/power) must not poison the averaging window:
+	// one NaN in a running mean sticks forever.
+	badSamples int
 }
 
 // SetInstruments attaches telemetry instruments (nil detaches them).
@@ -119,10 +124,47 @@ func (d *Detector) Quiescent(tel machine.Telemetry) bool {
 	return tel.TotalInstrPerSec() < d.cfg.QuiescentInstrPerSec
 }
 
+// finite reports whether v is a usable measurement.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// badSampleReason classifies an unusable telemetry sample: a NaN/Inf
+// filtered current reading ("current") or a NaN/Inf counter-derived
+// feature ("features"). It returns "" for a clean sample. Only the
+// values the detector actually consumes are checked.
+func badSampleReason(tel machine.Telemetry) string {
+	if !finite(tel.CurrentA) {
+		return "current"
+	}
+	for _, c := range tel.PerCore {
+		if !finite(c.InstrPerSec) || !finite(c.BusCyclesPerSec) || !finite(c.FreqHz) ||
+			!finite(c.BranchMissRate) || !finite(c.CacheHitRate) {
+			return "features"
+		}
+	}
+	if !finite(tel.DiskReadPerSec) || !finite(tel.DiskWritePerSec) {
+		return "features"
+	}
+	return ""
+}
+
+// BadSamples returns how many telemetry samples the detector rejected
+// as NaN/Inf. The guard layer reads this as one of its sensor-health
+// signals.
+func (d *Detector) BadSamples() int { return d.badSamples }
+
 // Observe consumes one telemetry sample and reports whether an SEL is
 // declared at this instant. Non-quiescent samples reset the averaging
-// window: measurements taken under load are never used.
+// window: measurements taken under load are never used. Samples
+// carrying NaN/Inf current or features are rejected outright (counted
+// as ild_bad_samples_total) without touching the averaging window — a
+// corrupt reading carries no information either way, and a single NaN
+// folded into a running mean would wedge the detector permanently.
 func (d *Detector) Observe(tel machine.Telemetry) bool {
+	if reason := badSampleReason(tel); reason != "" {
+		d.badSamples++
+		d.ins.badSample(tel.T, reason)
+		return false
+	}
 	if !d.Quiescent(tel) {
 		d.window.Reset()
 		d.firing = false
@@ -167,9 +209,13 @@ type Trainer struct {
 // NewTrainer returns a Trainer with the given config.
 func NewTrainer(cfg Config) *Trainer { return &Trainer{cfg: cfg} }
 
-// Add records one telemetry sample if it is quiescent; it reports
-// whether the sample was used.
+// Add records one telemetry sample if it is quiescent and finite; it
+// reports whether the sample was used. NaN/Inf samples are rejected —
+// one NaN row makes the normal equations unsolvable.
 func (t *Trainer) Add(tel machine.Telemetry) bool {
+	if badSampleReason(tel) != "" {
+		return false
+	}
 	if tel.TotalInstrPerSec() >= t.cfg.QuiescentInstrPerSec {
 		return false
 	}

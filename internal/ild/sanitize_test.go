@@ -1,0 +1,117 @@
+package ild
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"radshield/internal/machine"
+	"radshield/internal/telemetry"
+)
+
+// quiescentTel builds a clean quiescent sample at the given current.
+func quiescentTel(t time.Duration, currentA float64) machine.Telemetry {
+	return machine.Telemetry{
+		T:        t,
+		CurrentA: currentA,
+		RawA:     currentA,
+		PerCore:  []machine.CoreTelemetry{{FreqHz: 600e6, CacheHitRate: 0.97}},
+	}
+}
+
+func fitTrivialDetector(t *testing.T) *Detector {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SustainFor = 3 * time.Millisecond // 3-sample window
+	tr := NewTrainer(cfg)
+	for i := 0; i < 50; i++ {
+		tel := quiescentTel(time.Duration(i)*time.Millisecond, 1.55+0.0001*float64(i%3))
+		if !tr.Add(tel) {
+			t.Fatalf("clean quiescent sample %d rejected", i)
+		}
+	}
+	det, err := tr.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestObserveRejectsNaNCurrent(t *testing.T) {
+	det := fitTrivialDetector(t)
+	// Prime the window with a latchup-sized excess, one sample short of
+	// declaring.
+	det.Observe(quiescentTel(0, 1.65))
+	det.Observe(quiescentTel(time.Millisecond, 1.65))
+
+	for i, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if det.Observe(quiescentTel(time.Duration(2+i)*time.Millisecond, bad)) {
+			t.Fatalf("detector declared on a non-finite sample %v", bad)
+		}
+	}
+	if det.BadSamples() != 3 {
+		t.Fatalf("BadSamples = %d, want 3", det.BadSamples())
+	}
+	if r := det.Residual(); math.IsNaN(r) {
+		t.Fatal("NaN reached the averaging window")
+	}
+	// The primed window survived the bad samples: one more clean excess
+	// sample completes the sustain run.
+	if !det.Observe(quiescentTel(5*time.Millisecond, 1.65)) {
+		t.Fatal("window lost its state across rejected samples")
+	}
+}
+
+func TestObserveRejectsNaNFeatures(t *testing.T) {
+	det := fitTrivialDetector(t)
+	tel := quiescentTel(0, 1.55)
+	tel.PerCore[0].InstrPerSec = math.NaN() // glitched counter
+	if det.Observe(tel) {
+		t.Fatal("declared on NaN features")
+	}
+	if det.BadSamples() != 1 {
+		t.Fatalf("BadSamples = %d, want 1", det.BadSamples())
+	}
+	tel2 := quiescentTel(time.Millisecond, 1.55)
+	tel2.DiskWritePerSec = math.Inf(1)
+	det.Observe(tel2)
+	if det.BadSamples() != 2 {
+		t.Fatalf("BadSamples = %d, want 2", det.BadSamples())
+	}
+}
+
+func TestBadSamplesCountedInTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry(64)
+	ins := NewInstruments(reg)
+	det := fitTrivialDetector(t)
+	det.SetInstruments(ins)
+	det.Observe(quiescentTel(0, math.NaN()))
+	if got := ins.BadSamples.Value(); got != 1 {
+		t.Fatalf("ild_bad_samples_total = %v, want 1", got)
+	}
+	events := reg.Events()
+	found := false
+	for _, ev := range events {
+		if ev.Kind == telemetry.KindBadSample && ev.Fields["reason"] == "current" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ild_bad_sample event emitted; events: %v", events)
+	}
+}
+
+func TestTrainerRejectsNaNSamples(t *testing.T) {
+	tr := NewTrainer(DefaultConfig())
+	if tr.Add(quiescentTel(0, math.NaN())) {
+		t.Fatal("trainer accepted a NaN current")
+	}
+	bad := quiescentTel(0, 1.55)
+	bad.PerCore[0].BranchMissRate = math.Inf(1)
+	if tr.Add(bad) {
+		t.Fatal("trainer accepted an Inf feature")
+	}
+	if tr.Samples() != 0 {
+		t.Fatalf("Samples = %d, want 0", tr.Samples())
+	}
+}

@@ -35,6 +35,9 @@ type Instruments struct {
 	// FalseTrips counts detector firings outside any SEL episode (the
 	// numerator of Table 2's false-positive rate).
 	FalseTrips *telemetry.Counter
+	// BadSamples counts telemetry samples rejected as NaN/Inf before
+	// they could reach the rolling window or model.
+	BadSamples *telemetry.Counter
 }
 
 // NewInstruments registers the ILD metric set on reg. A nil registry
@@ -54,7 +57,21 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 		Residual:         reg.Gauge("ild_residual_amps", "amps"),
 		DetectionLatency: reg.Histogram("ild_detection_latency_seconds", "seconds", telemetry.LatencyBuckets()),
 		FalseTrips:       reg.Counter("ild_false_trips_total", "samples"),
+		BadSamples:       reg.Counter("ild_bad_samples_total", "samples"),
 	}
+}
+
+// badSample records one rejected NaN/Inf telemetry sample.
+func (ins *Instruments) badSample(t time.Duration, reason string) {
+	if ins == nil {
+		return
+	}
+	ins.BadSamples.Inc()
+	ins.reg.Emit(telemetry.Event{
+		T:      t,
+		Kind:   telemetry.KindBadSample,
+		Fields: map[string]any{"reason": reason},
+	})
 }
 
 // observe records one detector decision. fired is the rising-edge

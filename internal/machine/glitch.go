@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file holds the perf-counter glitch models: deterministic,
+// schedulable failures of the counter read path. The PMU and its driver
+// live on the same irradiated die as everything else; "Where Linux
+// Breaks Under Radiation" (PAPERS.md) attributes a large share of
+// observed failures to peripheral/driver faults. A glitched counter
+// feeds ILD's quiescence detector and feature vector garbage, so the
+// guard layer must notice before the detector mis-trains or mis-gates.
+
+// GlitchKind classifies a counter glitch model.
+type GlitchKind int
+
+const (
+	// GlitchNone is the healthy read path.
+	GlitchNone GlitchKind = iota
+	// GlitchFreeze models a wedged PMU register: reads return the last
+	// latched value, so per-interval deltas collapse to zero while the
+	// core keeps executing. When the window closes the next read catches
+	// up in one enormous delta — both edges are visible anomalies.
+	GlitchFreeze
+	// GlitchSpike models a single-event upset in a high counter bit: the
+	// reported rates jump by a large multiplicative factor for the
+	// duration of the window.
+	GlitchSpike
+	// GlitchGarbage models a corrupted read path: rates are replaced with
+	// deterministic garbage, including negative values (a counter that
+	// "ran backwards" after a partial register upset).
+	GlitchGarbage
+)
+
+// String names the glitch kind for tables and telemetry fields.
+func (k GlitchKind) String() string {
+	switch k {
+	case GlitchNone:
+		return "none"
+	case GlitchFreeze:
+		return "freeze"
+	case GlitchSpike:
+		return "spike"
+	case GlitchGarbage:
+		return "garbage"
+	default:
+		return "unknown"
+	}
+}
+
+// spikeFactor is the multiplicative excursion of GlitchSpike: one
+// flipped bit around bit 10 of a rate-sized delta.
+const spikeFactor = 1024
+
+// CounterGlitch is one scheduled glitch window on the counter read
+// path, in simulated time. Core selects the afflicted core; AllCores
+// hits every core at once (a wedged PMU driver rather than one bad
+// register). A zero Duration means the glitch is permanent once it
+// starts.
+type CounterGlitch struct {
+	Kind     GlitchKind
+	Core     int // core index, or AllCores
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// AllCores selects every core for a CounterGlitch.
+const AllCores = -1
+
+// active reports whether the glitch covers core at instant now.
+func (g CounterGlitch) active(core int, now time.Duration) bool {
+	if g.Kind == GlitchNone || now < g.Start {
+		return false
+	}
+	if g.Core != AllCores && g.Core != core {
+		return false
+	}
+	return g.Duration <= 0 || now < g.Start+g.Duration
+}
+
+// ScheduleCounterGlitch adds a glitch window to the machine's schedule.
+// Overlapping windows resolve earliest-scheduled-first per core.
+func (m *Machine) ScheduleCounterGlitch(g CounterGlitch) error {
+	switch g.Kind {
+	case GlitchFreeze, GlitchSpike, GlitchGarbage:
+	default:
+		return fmt.Errorf("machine: ScheduleCounterGlitch: invalid kind %d", int(g.Kind))
+	}
+	if g.Core != AllCores && (g.Core < 0 || g.Core >= len(m.cores)) {
+		return fmt.Errorf("machine: ScheduleCounterGlitch: core %d out of range [0,%d)", g.Core, len(m.cores))
+	}
+	if g.Start < 0 {
+		return fmt.Errorf("machine: ScheduleCounterGlitch: negative start %v", g.Start)
+	}
+	if g.Duration < 0 {
+		return fmt.Errorf("machine: ScheduleCounterGlitch: negative duration %v", g.Duration)
+	}
+	m.glitches = append(m.glitches, g)
+	return nil
+}
+
+// CounterGlitches returns the scheduled glitch windows.
+func (m *Machine) CounterGlitches() []CounterGlitch {
+	return append([]CounterGlitch(nil), m.glitches...)
+}
+
+// activeGlitch returns the glitch covering core at the present instant.
+func (m *Machine) activeGlitch(core int) (CounterGlitch, bool) {
+	now := m.clock.Now()
+	for _, g := range m.glitches {
+		if g.active(core, now) {
+			return g, true
+		}
+	}
+	return CounterGlitch{}, false
+}
+
+// glitchSeedSalt decorrelates the garbage-rate stream from the sensor
+// noise stream, mirroring power.faultSeedSalt.
+const glitchSeedSalt = 0x911c4
+
+// glitchRates transforms one core's healthy telemetry through the
+// active glitch model. Freeze is handled earlier in Sample (it changes
+// which raw counter value the read returns); this covers the
+// value-corrupting kinds.
+func (m *Machine) glitchRates(ct CoreTelemetry, g CounterGlitch) CoreTelemetry {
+	switch g.Kind {
+	case GlitchSpike:
+		ct.InstrPerSec *= spikeFactor
+		ct.BusCyclesPerSec *= spikeFactor
+	case GlitchGarbage:
+		if m.grng == nil {
+			m.grng = rand.New(rand.NewSource(m.cfg.SensorSeed + glitchSeedSalt))
+		}
+		// Uniform in [-1e9, 1e9): wild positive and negative rates.
+		ct.InstrPerSec = (m.grng.Float64()*2 - 1) * 1e9
+		ct.BusCyclesPerSec = (m.grng.Float64()*2 - 1) * 1e9
+		ct.BranchMissRate = m.grng.Float64() * 10
+		ct.CacheHitRate = m.grng.Float64() * 10
+	}
+	return ct
+}

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
 	"radshield/internal/cpu"
@@ -125,6 +126,11 @@ type Machine struct {
 	damaged     bool
 	powerCycles int
 
+	glitches     []CounterGlitch
+	grng         *rand.Rand // garbage-rate stream, lazily seeded
+	faultActive  power.FaultKind
+	glitchActive []GlitchKind // per core, for onset/clear events
+
 	tripConsecutive int
 	supplyTrips     int
 
@@ -155,6 +161,7 @@ func New(cfg Config) *Machine {
 		clock:        simclock.New(),
 		sensor:       power.NewSensor(power.NewModel(cfg.Power), cfg.SensorSeed),
 		lastCounters: make([]cpu.Counters, cfg.Cores),
+		glitchActive: make([]GlitchKind, cfg.Cores),
 		ins:          newInstruments(cfg.Telemetry),
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -174,14 +181,23 @@ func (m *Machine) Config() Config { return m.cfg }
 func (m *Machine) Sensor() *power.Sensor { return m.sensor }
 
 // InjectSEL adds a persistent latchup current of the given magnitude.
-// Injecting while one is active stacks (multiple strikes).
-func (m *Machine) InjectSEL(amps float64) {
+// Injecting while one is active stacks (multiple strikes). A latchup is
+// extra current by definition, so non-positive or non-finite magnitudes
+// are rejected with an error.
+func (m *Machine) InjectSEL(amps float64) error {
+	if math.IsNaN(amps) || math.IsInf(amps, 0) {
+		return fmt.Errorf("machine: InjectSEL: non-finite amps %v", amps)
+	}
+	if amps <= 0 {
+		return fmt.Errorf("machine: InjectSEL: amps = %v, want > 0", amps)
+	}
 	if m.selAmps == 0 {
 		m.selSince = m.clock.Now()
 	}
 	m.selAmps += amps
 	m.sensor.SetSELOffset(m.selAmps)
 	m.ins.selOnset(m.clock.Now(), amps)
+	return nil
 }
 
 // SELActive reports whether an uncleard latchup is present.
@@ -201,8 +217,10 @@ func (m *Machine) PowerCycles() int { return m.powerCycles }
 func (m *Machine) EnergyJoules() float64 { return m.energyJ }
 
 // PowerCycle clears any latchup (the paper: power cycles, unlike reboots,
-// drain the residual charge) and restarts the counters. Accumulated
-// damage is permanent.
+// drain the residual charge) and restarts the counters. The supply's own
+// trip integrator resets too: its comparator loses power with the rest
+// of the rail, so a partially-accumulated trip does not survive into the
+// fresh boot. Accumulated damage is permanent.
 func (m *Machine) PowerCycle() {
 	m.powerCycles++
 	m.ins.powerCycle()
@@ -210,6 +228,7 @@ func (m *Machine) PowerCycle() {
 		m.ins.selClear(m.clock.Now(), "power_cycle")
 	}
 	m.selAmps = 0
+	m.tripConsecutive = 0
 	m.sensor.SetSELOffset(0)
 	for i, c := range m.cores {
 		c.SetLoad(cpu.IdleLoad)
@@ -269,6 +288,7 @@ func (m *Machine) Step(dt time.Duration) {
 	m.cumDiskW += m.diskWriteRate * sec
 	m.energyJ += m.sensor.TrueCurrent(m.BoardState()) * m.cfg.SupplyVoltage * sec
 	m.clock.Advance(dt)
+	m.sensor.AdvanceTo(m.clock.Now()) // activate scheduled sensor faults
 	// Orbital thermal cycle: the current baseline drifts sinusoidally
 	// with board temperature, invisibly to the performance counters.
 	if p := m.cfg.Power; p.ThermalDriftA > 0 && p.ThermalDriftPeriodSec > 0 {
@@ -294,6 +314,10 @@ func (m *Machine) Sample() Telemetry {
 	tel := Telemetry{T: now, PerCore: make([]CoreTelemetry, len(m.cores))}
 	for i, c := range m.cores {
 		cur := c.Counters()
+		g, glitching := m.activeGlitch(i)
+		if glitching && g.Kind == GlitchFreeze {
+			cur = m.lastCounters[i] // wedged register latches the old value
+		}
 		d := cur.Sub(m.lastCounters[i])
 		m.lastCounters[i] = cur
 		ct := CoreTelemetry{
@@ -307,6 +331,17 @@ func (m *Machine) Sample() Telemetry {
 		if d.CacheRefs > 0 {
 			ct.CacheHitRate = float64(d.CacheHits) / float64(d.CacheRefs)
 		}
+		if glitching && g.Kind != GlitchFreeze {
+			ct = m.glitchRates(ct, g)
+		}
+		kind := GlitchNone
+		if glitching {
+			kind = g.Kind
+		}
+		if kind != m.glitchActive[i] {
+			m.ins.counterGlitch(now, m.glitchActive[i], kind, i)
+			m.glitchActive[i] = kind
+		}
 		tel.PerCore[i] = ct
 	}
 	tel.DiskReadPerSec = (m.cumDiskR - m.lastDiskR) / sec
@@ -318,10 +353,22 @@ func (m *Machine) Sample() Telemetry {
 	tel.RawA = m.sensor.Sample(state)
 	tel.CurrentA = m.sensor.SampleFiltered(state, m.cfg.FilterK)
 
-	// The supply's own over-current circuit sees the raw reading and
-	// power cycles the board after a sustained excess.
+	fk := power.FaultNone
+	if f, ok := m.sensor.ActiveFault(); ok {
+		fk = f.Kind
+	}
+	if fk != m.faultActive {
+		m.ins.sensorFault(now, m.faultActive, fk)
+		m.faultActive = fk
+	}
+
+	// The supply's own over-current circuit is an analog comparator wired
+	// to the shunt directly, so it sees the healthy raw reading even when
+	// the digital sensor path is faulted; it power cycles the board after
+	// a sustained excess. With no sensor fault scheduled AnalogRaw equals
+	// RawA exactly.
 	if m.cfg.AutoSupplyTrip {
-		if tel.RawA > m.cfg.SupplyTripA {
+		if m.sensor.AnalogRaw() > m.cfg.SupplyTripA {
 			m.tripConsecutive++
 		} else {
 			m.tripConsecutive = 0

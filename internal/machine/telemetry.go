@@ -3,6 +3,7 @@ package machine
 import (
 	"time"
 
+	"radshield/internal/power"
 	"radshield/internal/telemetry"
 )
 
@@ -11,12 +12,14 @@ import (
 type instruments struct {
 	reg *telemetry.Registry
 
-	selInjected *telemetry.Counter // machine_sel_injected_total
-	powerCycles *telemetry.Counter // machine_power_cycles_total
-	supplyTrips *telemetry.Counter // machine_supply_trips_total
-	damaged     *telemetry.Counter // machine_damage_total
-	currentA    *telemetry.Gauge   // machine_current_amps
-	energyJ     *telemetry.Gauge   // machine_energy_joules
+	selInjected  *telemetry.Counter // machine_sel_injected_total
+	powerCycles  *telemetry.Counter // machine_power_cycles_total
+	supplyTrips  *telemetry.Counter // machine_supply_trips_total
+	damaged      *telemetry.Counter // machine_damage_total
+	sensorFaults *telemetry.Counter // machine_sensor_faults_total
+	ctrGlitches  *telemetry.Counter // machine_counter_glitches_total
+	currentA     *telemetry.Gauge   // machine_current_amps
+	energyJ      *telemetry.Gauge   // machine_energy_joules
 }
 
 func newInstruments(reg *telemetry.Registry) *instruments {
@@ -24,13 +27,15 @@ func newInstruments(reg *telemetry.Registry) *instruments {
 		return nil
 	}
 	return &instruments{
-		reg:         reg,
-		selInjected: reg.Counter("machine_sel_injected_total", "latchups"),
-		powerCycles: reg.Counter("machine_power_cycles_total", "cycles"),
-		supplyTrips: reg.Counter("machine_supply_trips_total", "trips"),
-		damaged:     reg.Counter("machine_damage_total", "chips"),
-		currentA:    reg.Gauge("machine_current_amps", "amps"),
-		energyJ:     reg.Gauge("machine_energy_joules", "joules"),
+		reg:          reg,
+		selInjected:  reg.Counter("machine_sel_injected_total", "latchups"),
+		powerCycles:  reg.Counter("machine_power_cycles_total", "cycles"),
+		supplyTrips:  reg.Counter("machine_supply_trips_total", "trips"),
+		damaged:      reg.Counter("machine_damage_total", "chips"),
+		sensorFaults: reg.Counter("machine_sensor_faults_total", "faults"),
+		ctrGlitches:  reg.Counter("machine_counter_glitches_total", "glitches"),
+		currentA:     reg.Gauge("machine_current_amps", "amps"),
+		energyJ:      reg.Gauge("machine_energy_joules", "joules"),
 	}
 }
 
@@ -74,6 +79,41 @@ func (ins *instruments) damage(t time.Duration) {
 	}
 	ins.damaged.Inc()
 	ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindDamage})
+}
+
+// sensorFault emits the onset/clear edges of a sensor-fault window.
+// prev is the fault kind active at the previous sample, next the one
+// active now; a direct fault→fault handover emits both edges.
+func (ins *instruments) sensorFault(t time.Duration, prev, next power.FaultKind) {
+	if ins == nil {
+		return
+	}
+	if prev != power.FaultNone {
+		ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindSensorFault,
+			Fields: map[string]any{"fault": prev.String(), "phase": "clear"}})
+	}
+	if next != power.FaultNone {
+		ins.sensorFaults.Inc()
+		ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindSensorFault,
+			Fields: map[string]any{"fault": next.String(), "phase": "onset"}})
+	}
+}
+
+// counterGlitch emits the onset/clear edges of a counter-glitch window
+// on one core.
+func (ins *instruments) counterGlitch(t time.Duration, prev, next GlitchKind, core int) {
+	if ins == nil {
+		return
+	}
+	if prev != GlitchNone {
+		ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindCounterGlitch,
+			Fields: map[string]any{"glitch": prev.String(), "core": core, "phase": "clear"}})
+	}
+	if next != GlitchNone {
+		ins.ctrGlitches.Inc()
+		ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindCounterGlitch,
+			Fields: map[string]any{"glitch": next.String(), "core": core, "phase": "onset"}})
+	}
 }
 
 func (ins *instruments) sample(currentA, energyJ float64) {

@@ -3,6 +3,7 @@ package power
 import (
 	"math"
 	"math/rand"
+	"time"
 )
 
 // Params are the coefficients of the board current model and sensor.
@@ -105,8 +106,21 @@ func (m *Model) TrueCurrent(s BoardState) float64 {
 type Sensor struct {
 	model      *Model
 	rng        *rand.Rand
+	seed       int64
 	selOffset  float64
 	baseOffset float64 // thermal-drift offset, updated by the machine
+
+	// Sensor-fault state (see faults.go). now is the simulated instant,
+	// advanced by the machine; lastHealthy freezes the stuck-at value;
+	// analogRaw carries the most recent pre-fault raw reading for the
+	// supply's independent analog trip comparator; frng feeds garbage
+	// values without perturbing the nominal noise stream.
+	faults      []SensorFault
+	now         time.Duration
+	lastHealthy float64
+	haveHealthy bool
+	analogRaw   float64
+	frng        *rand.Rand
 }
 
 // SetBaselineOffset installs the current thermal-drift offset. The
@@ -118,7 +132,7 @@ func (s *Sensor) BaselineOffset() float64 { return s.baseOffset }
 
 // NewSensor returns a sensor over the model with a deterministic RNG.
 func NewSensor(model *Model, seed int64) *Sensor {
-	return &Sensor{model: model, rng: rand.New(rand.NewSource(seed))}
+	return &Sensor{model: model, rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // SetSELOffset installs a persistent additional current draw, the
@@ -135,8 +149,16 @@ func (s *Sensor) TrueCurrent(state BoardState) float64 {
 }
 
 // Sample returns one raw sensor reading: true current + SEL offset +
-// Gaussian noise, possibly landing on a transient spike.
+// Gaussian noise, possibly landing on a transient spike, then passed
+// through the active sensor-fault model (identity when healthy).
 func (s *Sensor) Sample(state BoardState) float64 {
+	h := s.healthySample(state)
+	s.analogRaw = h
+	return s.applyFault(h)
+}
+
+// healthySample draws one fault-free raw reading.
+func (s *Sensor) healthySample(state BoardState) float64 {
 	cur := s.TrueCurrent(state) + s.rng.NormFloat64()*s.model.p.NoiseSigmaA
 	if s.rng.Float64() < s.model.p.SpikeProb {
 		cur += 0.05 + s.rng.Float64()*(s.model.p.SpikeMaxA-0.05)
@@ -147,21 +169,30 @@ func (s *Sensor) Sample(state BoardState) float64 {
 	return cur
 }
 
+// AnalogRaw returns the healthy raw value behind the most recent Sample
+// call. The power supply's own over-current comparator is an analog
+// circuit wired to the shunt directly — a digital sensor fault (stuck
+// register, dead I2C bus) does not blind it — so the machine's supply
+// trip path reads this instead of the possibly-faulted sample.
+func (s *Sensor) AnalogRaw() float64 { return s.analogRaw }
+
 // SampleFiltered returns the minimum of k raw draws, modelling ILD's
 // ±250 µs rolling-minimum filter: transient spikes are positive
 // excursions, so the windowed minimum tracks the true baseline with far
-// lower variance (paper: σ 0.14 A → 0.02 A during quiescence).
+// lower variance (paper: σ 0.14 A → 0.02 A during quiescence). The
+// fault model transforms the filtered result: a stuck or dead ADC
+// corrupts every draw in the window identically.
 func (s *Sensor) SampleFiltered(state BoardState, k int) float64 {
 	if k < 1 {
 		k = 1
 	}
 	min := math.Inf(1)
 	for i := 0; i < k; i++ {
-		if v := s.Sample(state); v < min {
+		if v := s.healthySample(state); v < min {
 			min = v
 		}
 	}
-	return min
+	return s.applyFault(min)
 }
 
 // Tripped reports whether a reading exceeds the supply's hardware

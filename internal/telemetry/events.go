@@ -43,6 +43,32 @@ const (
 	// KindFaultInjected: a fault-injection campaign placed an upset.
 	// Fields: target, scheme.
 	KindFaultInjected Kind = "fault_injected"
+	// KindBadSample: ILD rejected a telemetry sample carrying NaN/Inf
+	// current or counter features instead of feeding it to the model.
+	// Fields: reason ("current" or "features").
+	KindBadSample Kind = "ild_bad_sample"
+	// KindSensorFault: a scheduled fault window on the current sensor
+	// opened or closed (see internal/power faults). Fields: fault, phase
+	// ("onset" or "clear").
+	KindSensorFault Kind = "sensor_fault"
+	// KindCounterGlitch: a scheduled perf-counter glitch window opened or
+	// closed. Fields: glitch, core, phase ("onset" or "clear").
+	KindCounterGlitch Kind = "counter_glitch"
+	// KindGuardMode: the guard supervisor moved ILD along its degradation
+	// ladder (see internal/guard). Fields: from, to, reason.
+	KindGuardMode Kind = "guard_mode_change"
+	// KindBlindCycle: the guard supervisor commanded a precautionary
+	// power cycle while the board could not observe its own current
+	// (sensor unusable or ladder fully degraded). No fields; the
+	// machine's own sel_clear/power-cycle telemetry records the effect.
+	KindBlindCycle Kind = "guard_blind_cycle"
+	// KindReplicaKill: the guard watchdog killed a hung or crashed EMR
+	// replica visit. Fields: executor, dataset, cause.
+	KindReplicaKill Kind = "replica_kill"
+	// KindRedundancyMode: the guard watchdog changed the EMR redundancy
+	// scheme (TMR → DMR+checksum → serial, or back on recovery). Fields:
+	// from, to, executor.
+	KindRedundancyMode Kind = "redundancy_mode_change"
 )
 
 // Event is one structured observation. T is simulated time (offset from
