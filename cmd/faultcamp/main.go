@@ -20,11 +20,36 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
+	"radshield/internal/downlink"
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
 	"radshield/internal/power"
 )
+
+// ship streams a campaign verdict to the ground station when -downlink
+// is engaged; faultcamp has no mission timeline, so the feed's clock is
+// a verdict counter.
+var (
+	feed  *downlink.Feed
+	dlNow time.Duration
+)
+
+func ship(vc uint8, msg string) {
+	if feed == nil {
+		return
+	}
+	dlNow += time.Millisecond
+	err := feed.Enqueue(vc, []byte(msg), dlNow)
+	if err == nil {
+		dlNow += time.Millisecond
+		err = feed.Tick(dlNow)
+	}
+	if err != nil {
+		log.Fatalf("downlink: %v", err)
+	}
+}
 
 func main() {
 	var (
@@ -33,10 +58,21 @@ func main() {
 		seed    = flag.Int64("seed", 7, "campaign seed")
 		workers = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
 		guard   = flag.Bool("guard", false, "inject faults into Radshield's own sensor and replicas instead of the workload")
+		dlAddr  = flag.String("downlink", "", "stream campaign verdicts to a groundstation at this TCP address (see cmd/groundstation)")
+		dlLink  = flag.Int("link-id", 3, "spacecraft link id for -downlink")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcamp: ")
+
+	if *dlAddr != "" {
+		var err error
+		if feed, err = downlink.DialFeed(*dlAddr, uint16(*dlLink)); err != nil {
+			log.Fatal(err)
+		}
+		defer feed.Close()
+		fmt.Printf("downlink engaged: link %d to %s\n", *dlLink, *dlAddr)
+	}
 
 	if *guard {
 		runGuardCampaign(*seed, *workers)
@@ -60,7 +96,22 @@ func main() {
 		unprotectedSDC, protectedSDC, tallies["Checksum"].Counts[fault.SDC])
 	fmt.Println("(the checksum guard detects memory strikes but is blind to pipeline strikes — paper §2.2)")
 	if protectedSDC > 0 {
+		ship(0, fmt.Sprintf("protection_failure campaign=table7 sdc=%d", protectedSDC))
+		drainFeed()
 		log.Fatal("PROTECTION FAILURE: SDC escaped a redundancy scheme")
+	}
+	ship(1, fmt.Sprintf("table7 runs=%d unprotected_sdc=%d protected_sdc=0", *runs, unprotectedSDC))
+	ship(0, "campaign_complete campaign=table7 verdict=protected")
+	drainFeed()
+}
+
+// drainFeed flushes any unacknowledged frames before exit.
+func drainFeed() {
+	if feed == nil {
+		return
+	}
+	if _, err := feed.Drain(dlNow+time.Millisecond, dlNow+time.Minute, time.Millisecond); err != nil {
+		log.Fatalf("downlink: %v", err)
 	}
 }
 
@@ -90,16 +141,25 @@ func runGuardCampaign(seed int64, workers int) {
 	// produce wrong outputs.
 	for _, tr := range trials {
 		if tr.Kind == power.FaultStuck && tr.MissedSELs > 0 {
+			ship(0, fmt.Sprintf("protection_failure campaign=guard missed_sels=%d", tr.MissedSELs))
+			drainFeed()
 			log.Fatalf("PROTECTION FAILURE: %d SELs missed behind a stuck sensor", tr.MissedSELs)
 		}
 		if !tr.Survived {
+			ship(0, fmt.Sprintf("protection_failure campaign=guard board_lost_under=%v", tr.Kind))
+			drainFeed()
 			log.Fatalf("PROTECTION FAILURE: guarded mission lost the board under a %v sensor fault", tr.Kind)
 		}
 	}
 	for _, tr := range wdTrials {
 		if !tr.TMROutputs || !tr.Degraded {
+			ship(0, fmt.Sprintf("protection_failure campaign=watchdog cause=%s executor=%d", tr.Cause, tr.Executor))
+			drainFeed()
 			log.Fatalf("PROTECTION FAILURE: wrong outputs with a %s replica (executor %d)", tr.Cause, tr.Executor)
 		}
 	}
 	fmt.Println("guard layer held: zero missed SELs behind sensor faults, golden outputs through replica faults")
+	ship(1, fmt.Sprintf("guard trials=%d watchdog_trials=%d", len(trials), len(wdTrials)))
+	ship(0, "campaign_complete campaign=guard verdict=protected")
+	drainFeed()
 }

@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"radshield/internal/downlink"
 	"radshield/internal/experiments"
 	"radshield/internal/guard"
 	"radshield/internal/ild"
@@ -56,6 +57,8 @@ func main() {
 		faultAt   = flag.Duration("fault-at", 30*time.Minute, "when the sensor fault starts")
 		faultFor  = flag.Duration("fault-for", 0, "sensor fault length; 0 = permanent")
 		faultOfs  = flag.Float64("fault-offset", 0.12, "bias magnitude for -sensor-fault offset (A)")
+		dlAddr    = flag.String("downlink", "", "stream mission events to a groundstation at this TCP address (see cmd/groundstation)")
+		dlLink    = flag.Int("link-id", 1, "spacecraft link id for -downlink")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -109,6 +112,35 @@ func main() {
 		fmt.Printf("sensor fault scheduled: %v at %v %s — guard supervisor engaged\n", kind, *faultAt, forStr)
 	}
 
+	// Downlink: mission events stream to a live ground station with full
+	// ARQ; the guard supervisor's mode changes drive beacon-mode
+	// degradation on the same transmitter.
+	var feed *downlink.Feed
+	if *dlAddr != "" {
+		if *dlLink < 1 || *dlLink > 0xFFFF {
+			log.Fatalf("-link-id %d out of range [1, 65535]", *dlLink)
+		}
+		if feed, err = downlink.DialFeed(*dlAddr, uint16(*dlLink)); err != nil {
+			log.Fatal(err)
+		}
+		defer feed.Close()
+		fmt.Printf("downlink engaged: link %d to %s\n", *dlLink, *dlAddr)
+		if sup != nil {
+			sup.OnModeChange(func(t time.Duration, from, to guard.Mode, reason string) {
+				feed.SetBeacon(to > from, t, reason)
+			})
+		}
+	}
+	// enqueueEvent ships a priority-0 event when the downlink is up.
+	enqueueEvent := func(now time.Duration, msg string) {
+		if feed == nil {
+			return
+		}
+		if err := feed.Enqueue(0, []byte(msg), now); err != nil {
+			log.Fatalf("downlink: %v", err)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(*seed + 2))
 	mission := trace.FlightSoftware(rng, time.Duration(*hours*float64(time.Hour)), mc.Cores)
 	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute, Instruments: ins})
@@ -142,6 +174,7 @@ func main() {
 			}
 			fmt.Printf("[%8s] *** latchup strikes (+%.3f A) — current now %.3f A\n",
 				tel.T.Round(time.Second), *selAmps, tel.CurrentA)
+			enqueueEvent(tel.T, fmt.Sprintf("sel_strike t=%v amps=%.3f", tel.T, *selAmps))
 		}
 
 		fired := false
@@ -150,15 +183,18 @@ func main() {
 			if d.Demoted {
 				fmt.Printf("[%8s] --- guard demotes detector to %v (%s)\n",
 					tel.T.Round(time.Second), d.Mode, d.Reason)
+				enqueueEvent(tel.T, fmt.Sprintf("guard_demote t=%v mode=%v reason=%s", tel.T, d.Mode, d.Reason))
 			}
 			if d.Promoted {
 				fmt.Printf("[%8s] +++ sensor healthy again — guard promotes detector to %v\n",
 					tel.T.Round(time.Second), d.Mode)
+				enqueueEvent(tel.T, fmt.Sprintf("guard_promote t=%v mode=%v", tel.T, d.Mode))
 			}
 			if d.BlindCycle {
 				fmt.Printf("[%8s] ~~~ sensor blind — precautionary power cycle\n", tel.T.Round(time.Second))
 				m.PowerCycle()
 				sup.NotePowerCycle(tel.T)
+				enqueueEvent(tel.T, fmt.Sprintf("blind_cycle t=%v", tel.T))
 			}
 			fired = d.Fired
 			if fired {
@@ -166,6 +202,7 @@ func main() {
 					tel.T.Round(time.Second), d.Mode)
 				m.PowerCycle()
 				sup.NotePowerCycle(tel.T)
+				enqueueEvent(tel.T, fmt.Sprintf("sel_detected t=%v mode=%v", tel.T, d.Mode))
 			}
 		} else if rec.Observe(tel) {
 			fired = true
@@ -173,6 +210,7 @@ func main() {
 				tel.T.Round(time.Second), det.Residual())
 			m.PowerCycle()
 			det.Reset()
+			enqueueEvent(tel.T, fmt.Sprintf("sel_detected t=%v residual=%.4f", tel.T, det.Residual()))
 		}
 		if fired && detectedAt < 0 {
 			detectedAt = tel.T
@@ -185,6 +223,12 @@ func main() {
 
 		if tel.T >= nextReport {
 			nextReport += *report
+			if feed != nil {
+				hk := fmt.Sprintf("hk t=%v current=%.3f instr=%.2e", tel.T, tel.CurrentA, tel.TotalInstrPerSec())
+				if err := feed.Enqueue(1, []byte(hk), tel.T); err != nil {
+					log.Fatalf("downlink: %v", err)
+				}
+			}
 			state := "quiescent"
 			if !det.Quiescent(tel) {
 				state = "busy"
@@ -197,7 +241,28 @@ func main() {
 					tel.T.Round(time.Second), tel.CurrentA, tel.TotalInstrPerSec(), state)
 			}
 		}
+
+		if feed != nil {
+			if err := feed.Tick(tel.T); err != nil {
+				log.Fatalf("downlink: %v", err)
+			}
+		}
 	})
+
+	if feed != nil {
+		// Mission over: the ground pass is continuous from here, so
+		// beacon-mode restraint no longer applies; drain the flight
+		// recorder fully before reporting.
+		end := mission.Total()
+		feed.SetBeacon(false, end, "mission_complete")
+		drainedAt, err := feed.Drain(end, end+10*time.Minute, time.Second)
+		if err != nil {
+			log.Fatalf("downlink: %v", err)
+		}
+		ds := feed.Stats()
+		fmt.Printf("downlink drained at %v: %d frames sent, %d acked, %d retransmits, %d beacons\n",
+			drainedAt.Round(time.Second), ds.Sent, ds.Acked, ds.Retransmits, ds.Beacons)
+	}
 
 	if *dump != "" && rec != nil {
 		f, err := os.Create(*dump)

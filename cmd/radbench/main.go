@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"radshield/internal/downlink"
 	"radshield/internal/emr"
 	"radshield/internal/experiments"
 	"radshield/internal/ild"
@@ -243,6 +244,28 @@ var registry = map[string]struct {
 		fmt.Printf("importance mass: genuine counters %.3f, distractors %.3f\n", res.TopCounters, res.DistractorMass)
 		return nil
 	}},
+	"downlink": {desc: "downlink campaign: loss × blackout × service policy, paired lossy/clean arms", span: func(experiments.SELConfig) time.Duration {
+		// 12 grid points × 2 arms × 20-minute flights.
+		return 24 * 20 * time.Minute
+	}, run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		dc := experiments.DefaultDownlinkCampaignConfig()
+		dc.Seed = sel.Seed + 23
+		dc.Workers = sel.Workers
+		dc.Telemetry = sel.Telemetry
+		trials, tbl, err := experiments.DownlinkCampaign(dc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		for _, tr := range trials {
+			if !tr.P0Recovered {
+				return fmt.Errorf("lossy arm lost priority-0 events (loss=%g blackout=%v policy=%v)",
+					tr.Loss, tr.Blackout, tr.Policy)
+			}
+		}
+		fmt.Println("ARQ recovered 100% of priority-0 events on every lossy arm")
+		return nil
+	}},
 }
 
 // wallNow is the one sanctioned host-clock read in radbench: -wallclock
@@ -281,6 +304,8 @@ func main() {
 		telOut  = flag.String("telemetry", "", "write a JSON telemetry snapshot to this file at exit ('-' for stdout)")
 		telHTTP = flag.String("telemetry-http", "", "serve the telemetry snapshot (and expvar) on this address while running")
 		wall    = flag.Bool("wallclock", false, "time experiments with the host clock (real-hardware mode) instead of reporting simulated mission time")
+		dlAddr  = flag.String("downlink", "", "stream experiment completions to a groundstation at this TCP address (see cmd/groundstation)")
+		dlLink  = flag.Int("link-id", 2, "spacecraft link id for -downlink")
 	)
 	flag.Parse()
 
@@ -318,6 +343,37 @@ func main() {
 			}
 		}()
 		fmt.Printf("telemetry: http://%s/telemetry\n\n", *telHTTP)
+	}
+
+	// Downlink: each experiment's completion goes to the ground station
+	// as housekeeping, the campaign verdict as a priority-0 event. The
+	// feed's clock is the campaign event counter — radbench has no
+	// mission timeline of its own.
+	var feed *downlink.Feed
+	var dlNow time.Duration
+	if *dlAddr != "" {
+		var err error
+		if feed, err = downlink.DialFeed(*dlAddr, uint16(*dlLink)); err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer feed.Close()
+		fmt.Printf("downlink engaged: link %d to %s\n\n", *dlLink, *dlAddr)
+	}
+	ship := func(vc uint8, msg string) {
+		if feed == nil {
+			return
+		}
+		dlNow += time.Millisecond
+		err := feed.Enqueue(vc, []byte(msg), dlNow)
+		if err == nil {
+			dlNow += time.Millisecond
+			err = feed.Tick(dlNow)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: downlink: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	sel := experiments.DefaultSELConfig()
@@ -363,6 +419,14 @@ func main() {
 			fmt.Printf("(%s covered %v of simulated mission time, campaign total %v)\n\n", name, d, campaign.Now())
 		default:
 			fmt.Printf("\n")
+		}
+		ship(1, fmt.Sprintf("experiment=%s status=ok campaign_t=%v", name, campaign.Now()))
+	}
+	ship(0, fmt.Sprintf("campaign_complete experiments=%d simulated=%v", len(targets), campaign.Now()))
+	if feed != nil {
+		if _, err := feed.Drain(dlNow+time.Millisecond, dlNow+time.Minute, time.Millisecond); err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: downlink: %v\n", err)
+			os.Exit(1)
 		}
 	}
 

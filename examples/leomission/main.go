@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"radshield/internal/downlink"
 	"radshield/internal/emr"
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
@@ -31,8 +32,9 @@ import (
 
 func main() {
 	var (
-		days = flag.Float64("days", 3, "mission length in simulated days")
-		seed = flag.Int64("seed", 2026, "mission seed")
+		days   = flag.Float64("days", 3, "mission length in simulated days")
+		seed   = flag.Int64("seed", 2026, "mission seed")
+		dlAddr = flag.String("downlink", "", "stream mission events to a live groundstation at this TCP address\n(run `go run ./cmd/groundstation -listen :7007` first, then pass -downlink localhost:7007)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -64,6 +66,27 @@ func main() {
 	mission := trace.FlightSoftware(rng, dur, mc.Cores)
 	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
 
+	// Downlink: radiation events and ILD verdicts go to the ground as
+	// priority-0 frames, product summaries as housekeeping; the same ARQ
+	// path the downlink campaign stresses, pointed at a real server.
+	var feed *downlink.Feed
+	if *dlAddr != "" {
+		var ferr error
+		if feed, ferr = downlink.DialFeed(*dlAddr, 1); ferr != nil {
+			log.Fatal(ferr)
+		}
+		defer feed.Close()
+		fmt.Printf("downlink engaged: %s\n", *dlAddr)
+	}
+	ship := func(vc uint8, now time.Duration, msg string) {
+		if feed == nil {
+			return
+		}
+		if err := feed.Enqueue(vc, []byte(msg), now); err != nil {
+			log.Fatalf("downlink: %v", err)
+		}
+	}
+
 	var (
 		nextEvent                   = 0
 		selsSurvived, seusOutvoted  int
@@ -85,6 +108,7 @@ func main() {
 				if err := m.InjectSEL(ev.Amps); err != nil {
 					log.Fatal(err)
 				}
+				ship(0, tel.T, fmt.Sprintf("sel_strike t=%v amps=%.3f", tel.T, ev.Amps))
 			default:
 				pendingSEUs++ // strikes the payload during its next run
 			}
@@ -93,6 +117,7 @@ func main() {
 		if det.Observe(tel) {
 			fmt.Printf("[%10s] ILD: latchup detected (residual %.3f A) — power cycling\n",
 				tel.T.Round(time.Second), det.Residual())
+			ship(0, tel.T, fmt.Sprintf("sel_detected t=%v residual=%.3f", tel.T, det.Residual()))
 			m.PowerCycle()
 			det.Reset()
 			selsSurvived++
@@ -116,8 +141,26 @@ func main() {
 			if !ok {
 				corruptProducts++
 			}
+			ship(1, tel.T, fmt.Sprintf("product t=%v ok=%v corrected=%d", tel.T, ok, seusOutvoted))
+		}
+
+		// The contact-window feed drains continuously: one ARQ tick per
+		// telemetry sample keeps the flight recorder small.
+		if feed != nil {
+			if err := feed.Tick(tel.T); err != nil {
+				log.Fatalf("downlink: %v", err)
+			}
 		}
 	})
+
+	if feed != nil {
+		end := m.Clock().Now()
+		if _, err := feed.Drain(end, end+10*time.Minute, time.Second); err != nil {
+			log.Fatalf("downlink: %v", err)
+		}
+		ds := feed.Stats()
+		fmt.Printf("downlink: %d frames acknowledged by the ground station\n", ds.Acked)
+	}
 
 	fmt.Println()
 	fmt.Printf("mission complete: %v simulated\n", m.Clock().Now().Round(time.Minute))

@@ -10,6 +10,7 @@ import (
 func TestSimclockTime(t *testing.T) {
 	radlinttest.Run(t, radlinttest.TestData(t), simclocktime.Analyzer,
 		"radshield/internal/demo",
+		"radshield/internal/downlinkdemo",
 		"radshield/internal/guarddemo",
 		"radshield/internal/simclock",
 		"radshield/pkg/free",

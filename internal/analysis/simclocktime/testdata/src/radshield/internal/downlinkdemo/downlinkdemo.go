@@ -1,0 +1,39 @@
+// Package downlinkdemo is a simclocktime fixture shaped like the
+// downlink transmitter: retransmission deadlines and beacon cadence
+// must come from the explicit simulated timestamps the caller feeds
+// in, never the host clock — an ARQ machine that reads time.Now
+// retransmits differently on every replay and can never be driven
+// through a power-cycle boundary deterministically.
+package downlinkdemo
+
+import "time"
+
+// pending is a stand-in for one in-flight frame.
+type pending struct {
+	sentAt   time.Duration
+	attempts int
+}
+
+// RetransmitWrong arms the retransmission timer off the wall clock —
+// flagged: replaying the same link trace tomorrow fires different
+// timeouts.
+func RetransmitWrong(p pending, rto time.Duration) bool {
+	return time.Now().UnixNano() > int64(p.sentAt+rto) // want `time\.Now reads the host clock`
+}
+
+// BackoffWrong sleeps between retransmission attempts.
+func BackoffWrong(rto time.Duration) {
+	time.Sleep(rto) // want `time\.Sleep reads the host clock`
+}
+
+// RetransmitRight is the sanctioned pattern: the timeout verdict is
+// pure arithmetic on the simulated clock the tick loop passes in.
+func RetransmitRight(p pending, now, rto time.Duration) bool {
+	return now-p.sentAt >= rto<<p.attempts
+}
+
+// BeaconDue paces heartbeats the same way — by comparing explicit
+// simulated timestamps, so a beacon trace replays bit-identically.
+func BeaconDue(lastBeacon, now, every time.Duration) bool {
+	return now-lastBeacon >= every
+}

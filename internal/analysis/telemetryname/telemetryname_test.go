@@ -9,6 +9,7 @@ import (
 
 func TestTelemetryName(t *testing.T) {
 	radlinttest.Run(t, radlinttest.TestData(t), telemetryname.Analyzer,
+		"radshield/internal/downlinkdemo",
 		"radshield/internal/teldemo",
 	)
 }

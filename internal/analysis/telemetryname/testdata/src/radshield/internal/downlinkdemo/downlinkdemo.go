@@ -1,0 +1,26 @@
+// Package downlinkdemo is a telemetryname fixture for the comms
+// subsystem's metric families: downlink_* on the flight side and
+// groundstation_* on the ground side, per the TELEMETRY.md catalog.
+package downlinkdemo
+
+import "radshield/internal/telemetry"
+
+// framesSent mirrors the real instruments' constant-name indirection.
+const framesSent = "downlink_frames_sent_total"
+
+// Register exercises conformant and non-conformant downlink names.
+func Register(reg *telemetry.Registry, linkName string) {
+	reg.Counter(framesSent, "frames")
+	reg.Counter("downlink_retransmits_total", "frames")
+	reg.Counter("downlink_beacons_total", "frames")
+	reg.Gauge("downlink_pending_frames", "frames")
+	reg.Counter("groundstation_frames_delivered_total", "frames")
+	reg.Counter("groundstation_frames_skipped_total", "frames")
+	reg.Histogram("groundstation_ingest_latency_seconds", "seconds", telemetry.LatencyBuckets())
+
+	reg.Counter("downlink_Frames_total", "frames")        // want `metric name "downlink_Frames_total" violates the TELEMETRY\.md convention`
+	reg.Gauge("downlink__pending", "frames")              // want `metric name "downlink__pending" violates the TELEMETRY\.md convention`
+	reg.Counter("downlink."+"frames", "frames")           // want `metric name "downlink\.frames" violates the TELEMETRY\.md convention`
+	reg.Counter("downlink_"+linkName+"_total", "frames")  // want `dynamic metric name passed to Registry\.Counter`
+	reg.Gauge("groundstation_"+linkName+"_seq", "frames") // want `dynamic metric name passed to Registry\.Gauge`
+}

@@ -282,3 +282,50 @@ func BenchmarkCachedRead(b *testing.B) {
 		_ = c.Read(uint64(i%1024)*64, buf)
 	}
 }
+
+// ECC-protected mode: the cache+ECC interaction (absorbed strikes,
+// protection toggling) is cache behaviour, so its tests live here
+// rather than in a separate file that suggested a different package.
+func TestECCProtectedCacheAbsorbsFlips(t *testing.T) {
+	d := mem.NewDRAM(4096, false)
+	d.Write(0, []byte{0x5A})
+	c := New(d, 8, 2)
+	c.SetECCProtected(true)
+	buf := make([]byte, 1)
+	c.Read(0, buf)
+	if !c.FlipBit(0, 3) {
+		t.Fatal("strike on resident line not acknowledged")
+	}
+	c.Read(0, buf)
+	if buf[0] != 0x5A {
+		t.Fatalf("ECC cache leaked corruption: %#x", buf[0])
+	}
+	st := c.Stats()
+	if st.FlipsAbsorbed != 1 || st.FlipsInjected != 0 {
+		t.Fatalf("stats = %+v, want 1 absorbed, 0 injected", st)
+	}
+	// Non-resident strikes still miss.
+	if c.FlipBit(2048, 0) {
+		t.Fatal("non-resident strike acknowledged on ECC cache")
+	}
+	// Turning protection off restores the raw behaviour.
+	c.SetECCProtected(false)
+	if !c.FlipBit(0, 3) {
+		t.Fatal("unprotected strike missed")
+	}
+	c.Read(0, buf)
+	if buf[0] == 0x5A {
+		t.Fatal("unprotected strike had no effect")
+	}
+}
+
+func TestSizeAccessors(t *testing.T) {
+	d := mem.NewDRAM(4096, false)
+	c := New(d, 8, 2)
+	if got := c.SizeBytes(); got != 8*2*LineSize {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+	if got := c.Size(); got != 4096 {
+		t.Fatalf("Size = %d (must mirror backing device)", got)
+	}
+}

@@ -1,0 +1,134 @@
+package downlink
+
+import (
+	"fmt"
+	"time"
+)
+
+// Record is one payload held by the flight recorder until the ground
+// acknowledges it.
+type Record struct {
+	VC       uint8
+	Seq      uint32
+	Payload  []byte
+	Enqueued time.Duration // simulated enqueue time
+}
+
+// Recorder is the store-and-forward flight-recorder ring: a bounded,
+// priority-partitioned buffer that owns every payload from enqueue to
+// acknowledgement. It models NVRAM — a power cycle resets the
+// transmitter's volatile ARQ state but never the recorder — so events
+// captured mid-blackout survive to the next contact window.
+//
+// Capacity is a total record count. When full, Enqueue evicts the
+// oldest record of the lowest-priority non-empty channel (the highest
+// VC number), even if unacknowledged: bulk telemetry is sacrificed
+// first and priority-0 events are the last to go. Evictions are
+// counted and reported so silent loss is impossible.
+//
+// Recorder is not safe for concurrent use; the Transmitter serializes
+// access.
+type Recorder struct {
+	capacity int
+	perVC    [NumVC][]Record // unacked records in seq order
+	nextSeq  [NumVC]uint32
+	count    int
+	evicted  uint64
+	ins      *Instruments
+}
+
+// NewRecorder returns a ring holding up to capacity records in total.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("downlink: recorder capacity %d must be ≥ 1", capacity)
+	}
+	return &Recorder{capacity: capacity}, nil
+}
+
+// setInstruments attaches the transmitter's metric handles.
+func (r *Recorder) setInstruments(ins *Instruments) { r.ins = ins }
+
+// Enqueue stores payload on vc, assigning the channel's next sequence
+// number. A full ring evicts before storing; the evicted record (if
+// any) is returned so callers can log the loss.
+func (r *Recorder) Enqueue(vc uint8, payload []byte, now time.Duration) (Record, *Record, error) {
+	if vc >= NumVC {
+		return Record{}, nil, fmt.Errorf("%w: %d", ErrBadVC, vc)
+	}
+	if len(payload) > MaxPayload {
+		return Record{}, nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(payload))
+	}
+	var evicted *Record
+	if r.count >= r.capacity {
+		ev := r.evictOldestLowest()
+		evicted = &ev
+	}
+	rec := Record{
+		VC:       vc,
+		Seq:      r.nextSeq[vc],
+		Payload:  append([]byte(nil), payload...),
+		Enqueued: now,
+	}
+	r.nextSeq[vc]++
+	r.perVC[vc] = append(r.perVC[vc], rec)
+	r.count++
+	r.ins.ringDepth(r.count)
+	return rec, evicted, nil
+}
+
+// evictOldestLowest removes the oldest record from the lowest-priority
+// non-empty channel. The ring is only ever full when at least one
+// channel has records, so a victim always exists.
+func (r *Recorder) evictOldestLowest() Record {
+	for vc := NumVC - 1; vc >= 0; vc-- {
+		q := r.perVC[vc]
+		if len(q) == 0 {
+			continue
+		}
+		victim := q[0]
+		r.perVC[vc] = q[1:]
+		r.count--
+		r.evicted++
+		r.ins.ringEvicted()
+		return victim
+	}
+	// Unreachable: count >= capacity ≥ 1 implies a non-empty channel.
+	return Record{}
+}
+
+// Ack drops every record on vc with Seq < nextExpected and reports how
+// many were released. Acknowledgement is cumulative (go-back-N).
+func (r *Recorder) Ack(vc uint8, nextExpected uint32) int {
+	if vc >= NumVC {
+		return 0
+	}
+	q := r.perVC[vc]
+	n := 0
+	for n < len(q) && q[n].Seq < nextExpected {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	r.perVC[vc] = q[n:]
+	r.count -= n
+	r.ins.ringDepth(r.count)
+	return n
+}
+
+// Pending returns vc's unacknowledged records in sequence order. The
+// slice aliases the ring; callers must not retain it across Enqueue or
+// Ack.
+func (r *Recorder) Pending(vc uint8) []Record {
+	if vc >= NumVC {
+		return nil
+	}
+	return r.perVC[vc]
+}
+
+// Len returns the total number of unacknowledged records.
+func (r *Recorder) Len() int { return r.count }
+
+// Evicted returns how many unacknowledged records the ring has ever
+// overwritten.
+func (r *Recorder) Evicted() uint64 { return r.evicted }

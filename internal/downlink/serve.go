@@ -1,0 +1,200 @@
+package downlink
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"radshield/internal/sched"
+	"radshield/internal/telemetry"
+)
+
+// Server exposes a Station over TCP: each accepted connection is one
+// spacecraft link's frame stream, handled by its own goroutine
+// pipeline (read → ingest → ACK write-back), with total concurrency
+// bounded by the sched pool width. An HTTP handler serves the
+// aggregated mission state and the telemetry snapshot.
+type Server struct {
+	st  *Station
+	reg *telemetry.Registry
+
+	// sem bounds concurrent link pipelines (sched.Workers sizing).
+	sem chan struct{}
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// ingestSeq is the receive-side clock surrogate for real
+	// transports: campaigns pass simulated time into Station.Ingest
+	// directly, but a TCP server has no simclock, so "now" is a
+	// monotone ingest counter — deterministic, and still orders
+	// last-seen across links.
+	ingestSeq atomic.Int64
+}
+
+// NewServer wraps st. workers bounds the concurrent link pipelines
+// (<= 0: one per CPU, via sched.Workers). reg, when non-nil, is served
+// at /telemetry.
+func NewServer(st *Station, workers int, reg *telemetry.Registry) (*Server, error) {
+	if st == nil {
+		return nil, fmt.Errorf("downlink: nil station")
+	}
+	return &Server{
+		st:    st,
+		reg:   reg,
+		sem:   make(chan struct{}, sched.Workers(workers)),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Station returns the wrapped station.
+func (s *Server) Station() *Station { return s.st }
+
+// Serve accepts link connections on ln until Close. It blocks; run it
+// in a goroutine and call Close to stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		// Close won the race against the Serve goroutine starting; that
+		// is a clean shutdown, not an error.
+		s.mu.Unlock()
+		if ln != nil {
+			ln.Close()
+		}
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.sem <- struct{}{} // pipeline slot
+			defer func() { <-s.sem }()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live link, and waits for the
+// pipelines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// handle runs one link pipeline: frames in, ACKs out.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 4*MaxFrameLen)
+	for {
+		raw, err := ReadFrame(br)
+		if err != nil {
+			return // EOF, closed, or an unrecoverable protocol violation
+		}
+		now := time.Duration(s.ingestSeq.Add(1))
+		acks := s.st.Ingest(raw, now)
+		for _, ack := range acks {
+			if _, err := conn.Write(ack); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// ReadFrame extracts the next frame's raw bytes from a stream,
+// resynchronizing on the magic bytes after line noise. The returned
+// slice still carries the CRC trailer — validation stays in
+// DecodeFrame / Station.Ingest.
+func ReadFrame(br *bufio.Reader) ([]byte, error) {
+	for {
+		hdr, err := br.Peek(HeaderLen)
+		if err != nil {
+			return nil, err
+		}
+		if hdr[0] != magic0 || hdr[1] != magic1 {
+			if _, err := br.Discard(1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		plen := int(binary.LittleEndian.Uint16(hdr[12:]))
+		if plen > MaxPayload {
+			// Corrupt length field: skip the magic and rescan.
+			if _, err := br.Discard(2); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		buf := make([]byte, HeaderLen+plen+TrailerLen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+}
+
+// HTTPHandler serves the ground segment's operator surface:
+//
+//	GET /state      aggregated per-link mission state (JSON)
+//	GET /telemetry  groundstation_* metrics snapshot (when a registry
+//	                was attached)
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/state", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := s.st.StateJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	if s.reg != nil {
+		mux.Handle("/telemetry", s.reg.Handler())
+	}
+	return mux
+}

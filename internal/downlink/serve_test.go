@@ -1,0 +1,174 @@
+package downlink
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer spins up a Server on a loopback listener and returns the
+// dial address plus a shutdown func.
+func startServer(t *testing.T, st *Station, workers int) (string, *Server, func()) {
+	t.Helper()
+	srv, err := NewServer(st, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), srv, func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+}
+
+// TestServerConcurrentLinks streams frames from several simulated
+// spacecraft at once — each its own TCP connection — and verifies every
+// frame lands exactly once with an ACK flowing back. Run under -race
+// this doubles as the station's concurrency test.
+func TestServerConcurrentLinks(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	addr, _, shutdown := startServer(t, st, 4)
+	defer shutdown()
+
+	const links, frames = 5, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, links)
+	for li := 0; li < links; li++ {
+		wg.Add(1)
+		go func(link uint16) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			for seq := uint32(0); seq < frames; seq++ {
+				raw, err := EncodeFrame(Frame{
+					Type: FrameData, Link: link, VC: 0,
+					Seq: seq, Payload: []byte(fmt.Sprintf("link%d-frame%d", link, seq)),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := conn.Write(raw); err != nil {
+					errs <- err
+					return
+				}
+				// Wait for the cumulative ACK so the stream stays in
+				// lockstep (the test's flow control, not the protocol's).
+				ackRaw, err := ReadFrame(br)
+				if err != nil {
+					errs <- fmt.Errorf("link %d ack read: %w", link, err)
+					return
+				}
+				f, _, err := DecodeFrame(ackRaw)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if next, _ := AckValue(f); next != seq+1 {
+					errs <- fmt.Errorf("link %d: ack %d after frame %d", link, next, seq)
+					return
+				}
+			}
+		}(uint16(li + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for li := 1; li <= links; li++ {
+		if got := st.Delivered(uint16(li), 0); got != frames {
+			t.Fatalf("link %d delivered %d, want %d", li, got, frames)
+		}
+	}
+}
+
+// TestServerResyncsAfterGarbage interleaves line noise with valid
+// frames on one stream; ReadFrame must skip the noise and recover every
+// real frame.
+func TestServerResyncsAfterGarbage(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	addr, _, shutdown := startServer(t, st, 1)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for seq := uint32(0); seq < 3; seq++ {
+		conn.Write([]byte(strings.Repeat("\xFF\x00noise", 7)))
+		raw, _ := EncodeFrame(Frame{Type: FrameData, Link: 2, VC: 0, Seq: seq, Payload: []byte("real")})
+		conn.Write(raw)
+		if _, err := ReadFrame(br); err != nil {
+			t.Fatalf("ack %d: %v", seq, err)
+		}
+	}
+	if got := st.Delivered(2, 0); got != 3 {
+		t.Fatalf("delivered %d, want 3", got)
+	}
+}
+
+func TestServerHTTPState(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	st.Ingest(encData(t, 4, 0, 0, "hello ground"), time.Second)
+	srv, err := NewServer(st, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.HTTPHandler())
+	defer hs.Close()
+
+	resp, err := hs.Client().Get(hs.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [4096]byte
+	n, _ := resp.Body.Read(buf[:])
+	body := string(buf[:n])
+	if resp.StatusCode != 200 || !strings.Contains(body, `"link": 4`) {
+		t.Fatalf("GET /state: %d %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "hello ground") {
+		t.Fatalf("recent payload missing from state: %q", body)
+	}
+}
+
+func TestServerCloseIsIdempotent(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	_, srv, shutdown := startServer(t, st, 2)
+	shutdown()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := srv.Serve(nil); err != nil {
+		t.Fatalf("Serve on a closed server should exit cleanly: %v", err)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, 1, nil); err == nil {
+		t.Fatal("nil station accepted")
+	}
+}

@@ -1,0 +1,284 @@
+package downlink
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sink receives every newly delivered (in-order, deduplicated) payload.
+// It runs under the station lock; keep it fast.
+type Sink func(link uint16, vc uint8, seq uint32, payload []byte)
+
+// StationConfig tunes the ground station.
+type StationConfig struct {
+	// KeepPayloads bounds how many recent channel-0 payloads are kept
+	// per link for the aggregated mission state (0 = keep none).
+	KeepPayloads int
+	// Sink, when non-nil, observes every delivery.
+	Sink Sink
+	// Instruments, when non-nil, receives groundstation_* metrics.
+	Instruments *StationInstruments
+}
+
+// DefaultStationConfig keeps the last 64 priority-0 payloads per link.
+func DefaultStationConfig() StationConfig {
+	return StationConfig{KeepPayloads: 64}
+}
+
+// vcRecv is one link × channel's receive state.
+type vcRecv struct {
+	Expected  uint32 `json:"next_expected"`
+	Delivered uint64 `json:"delivered"`
+	Dups      uint64 `json:"duplicates"`
+	OutOfOrd  uint64 `json:"out_of_order"`
+	Skipped   uint64 `json:"skipped"`
+}
+
+// linkState aggregates one spacecraft's downlink.
+type linkState struct {
+	vc       [NumVC]vcRecv
+	rejected uint64
+	beacons  uint64
+	degraded bool
+	backlog  uint32 // last beacon-reported flight-recorder depth
+	lastSeen time.Duration
+	p0       [][]byte // recent channel-0 payloads (bounded)
+}
+
+// LinkReport is one link's row in the aggregated mission state.
+type LinkReport struct {
+	Link     uint16        `json:"link"`
+	VC       [NumVC]vcRecv `json:"vc"`
+	Rejected uint64        `json:"rejected"`
+	Beacons  uint64        `json:"beacons"`
+	Degraded bool          `json:"degraded"`
+	Backlog  uint32        `json:"backlog"`
+	LastSeen time.Duration `json:"last_seen_ns"`
+	RecentP0 []string      `json:"recent_p0,omitempty"`
+}
+
+// Station is the ground side: it ingests raw frame bytes from many
+// spacecraft links, validates, deduplicates and reorders them into
+// per-channel in-order streams, and answers with cumulative ACKs.
+// Station is safe for concurrent use — each TCP connection feeds it
+// from its own goroutine.
+type Station struct {
+	cfg   StationConfig
+	mu    sync.Mutex
+	links map[uint16]*linkState
+	ins   *StationInstruments
+}
+
+// NewStation builds an empty station.
+func NewStation(cfg StationConfig) *Station {
+	if cfg.KeepPayloads < 0 {
+		cfg.KeepPayloads = 0
+	}
+	return &Station{cfg: cfg, links: make(map[uint16]*linkState), ins: cfg.Instruments}
+}
+
+// Ingest parses every frame in raw (frames are self-delimiting) and
+// returns the encoded ACK frames to send back. now is the receiver's
+// clock — simulated time in campaigns, a frame-count surrogate over
+// real transports. Malformed bytes are counted and skipped; the
+// go-back-N contract means a re-ACK of the current expectation always
+// resynchronizes the sender.
+func (s *Station) Ingest(raw []byte, now time.Duration) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var acks [][]byte
+	touched := map[[2]uint32]bool{} // link, vc pairs needing an ACK
+	var order [][2]uint32
+	for len(raw) > 0 {
+		f, n, err := DecodeFrame(raw)
+		if err != nil {
+			if n == 0 {
+				// Unparseable prefix (bad magic / truncated): the rest of
+				// the buffer is garbage — count one rejection and stop.
+				s.reject(raw)
+				break
+			}
+			s.reject(raw)
+			raw = raw[n:]
+			continue
+		}
+		raw = raw[n:]
+		key := [2]uint32{uint32(f.Link), uint32(f.VC)}
+		if s.ingestFrame(f, now) && !touched[key] {
+			touched[key] = true
+			order = append(order, key)
+		}
+	}
+	for _, key := range order {
+		link, vc := uint16(key[0]), uint8(key[1])
+		ls := s.links[link]
+		ack, err := EncodeAck(link, vc, ls.vc[vc].Expected)
+		if err != nil {
+			continue
+		}
+		acks = append(acks, ack)
+		if s.ins != nil {
+			s.ins.AcksSent.Inc()
+		}
+	}
+	return acks
+}
+
+// ingestFrame processes one decoded frame and reports whether its
+// link × channel should be (re-)acknowledged.
+func (s *Station) ingestFrame(f Frame, now time.Duration) bool {
+	ls := s.links[f.Link]
+	if ls == nil {
+		ls = &linkState{}
+		s.links[f.Link] = ls
+		if s.ins != nil {
+			s.ins.Links.Set(float64(len(s.links)))
+		}
+	}
+	ls.lastSeen = now
+	if s.ins != nil {
+		s.ins.FramesReceived.Inc()
+	}
+	switch f.Type {
+	case FrameBeacon:
+		ls.beacons++
+		if deg, backlog, err := BeaconValue(f); err == nil {
+			ls.degraded = deg
+			ls.backlog = backlog
+		}
+		if s.ins != nil {
+			s.ins.BeaconsSeen.Inc()
+		}
+		return false
+	case FrameAck:
+		return false // stations do not receive ACKs
+	}
+	st := &ls.vc[f.VC]
+	if f.Seq > st.Expected && f.Flags&FlagBase != 0 {
+		// The sender's window base is above our expectation: the flight
+		// recorder evicted the missing frames, so no retransmission will
+		// ever fill the gap. Jump forward and account the loss — silent
+		// gaps would read as "nothing happened" in the mission record.
+		gap := uint64(f.Seq - st.Expected)
+		st.Skipped += gap
+		st.Expected = f.Seq
+		if s.ins != nil {
+			s.ins.Skipped.Add(gap)
+		}
+	}
+	switch {
+	case f.Seq == st.Expected:
+		st.Expected++
+		st.Delivered++
+		ls.degraded = false
+		if f.VC == 0 && s.cfg.KeepPayloads > 0 {
+			ls.p0 = append(ls.p0, append([]byte(nil), f.Payload...))
+			if len(ls.p0) > s.cfg.KeepPayloads {
+				ls.p0 = ls.p0[len(ls.p0)-s.cfg.KeepPayloads:]
+			}
+		}
+		if s.ins != nil {
+			s.ins.FramesDelivered.Inc()
+		}
+		if s.cfg.Sink != nil {
+			s.cfg.Sink(f.Link, f.VC, f.Seq, f.Payload)
+		}
+	case f.Seq < st.Expected:
+		// Duplicate of an already-delivered frame (a lost ACK made the
+		// sender repeat itself). Re-ACK so the window advances.
+		st.Dups++
+		if s.ins != nil {
+			s.ins.Duplicates.Inc()
+		}
+	default:
+		// Go-back-N receiver: out-of-order frames are discarded — the
+		// sender will replay them — but the current expectation is
+		// re-ACKed to hurry it along.
+		st.OutOfOrd++
+		if s.ins != nil {
+			s.ins.OutOfOrder.Inc()
+		}
+	}
+	return true
+}
+
+// reject counts a frame that failed decoding. Attribution is best
+// effort: if the header's link-id bytes were readable the rejection is
+// charged to that link (a CRC-failed frame usually still names its
+// sender), otherwise it stays unattributed.
+func (s *Station) reject(raw []byte) {
+	if s.ins != nil {
+		s.ins.Rejected.Inc()
+	}
+	if len(raw) >= 6 {
+		link := uint16(raw[4]) | uint16(raw[5])<<8
+		if ls := s.links[link]; ls != nil {
+			ls.rejected++
+		}
+	}
+}
+
+// Delivered returns one link × channel's delivered in-order frame
+// count.
+func (s *Station) Delivered(link uint16, vc uint8) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := s.links[link]
+	if ls == nil || vc >= NumVC {
+		return 0
+	}
+	return ls.vc[vc].Delivered
+}
+
+// Links returns the known link ids in ascending order.
+func (s *Station) Links() []uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint16, 0, len(s.links))
+	for id := range s.links {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Report renders the aggregated mission state, links in ascending id
+// order so serialization is deterministic.
+func (s *Station) Report() []LinkReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]uint16, 0, len(s.links))
+	for id := range s.links {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]LinkReport, 0, len(ids))
+	for _, id := range ids {
+		ls := s.links[id]
+		r := LinkReport{
+			Link: id, VC: ls.vc, Rejected: ls.rejected,
+			Beacons: ls.beacons, Degraded: ls.degraded, Backlog: ls.backlog,
+			LastSeen: ls.lastSeen,
+		}
+		for _, p := range ls.p0 {
+			r.RecentP0 = append(r.RecentP0, string(p))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// StateJSON serializes the aggregated mission state.
+func (s *Station) StateJSON() ([]byte, error) {
+	rep := s.Report()
+	b, err := json.MarshalIndent(struct {
+		Links []LinkReport `json:"links"`
+	}{Links: rep}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("downlink: state: %w", err)
+	}
+	return b, nil
+}

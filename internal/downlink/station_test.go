@@ -1,0 +1,197 @@
+package downlink
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"radshield/internal/telemetry"
+)
+
+func encData(t *testing.T, link uint16, vc uint8, seq uint32, payload string) []byte {
+	t.Helper()
+	raw, err := EncodeFrame(Frame{Type: FrameData, Link: link, VC: vc, Seq: seq, Payload: []byte(payload)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestStationInOrderDelivery(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	acks := st.Ingest(encData(t, 1, 0, 0, "a"), time.Second)
+	if len(acks) != 1 {
+		t.Fatalf("acks = %d", len(acks))
+	}
+	f, _, err := DecodeFrame(acks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := AckValue(f)
+	if err != nil || next != 1 || f.VC != 0 || f.Link != 1 {
+		t.Fatalf("ack %+v next=%d err=%v", f, next, err)
+	}
+	if st.Delivered(1, 0) != 1 {
+		t.Fatal("frame not delivered")
+	}
+}
+
+func TestStationBatchedIngestAcksOncePerChannel(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	var buf []byte
+	for seq := uint32(0); seq < 3; seq++ {
+		buf = append(buf, encData(t, 1, 0, seq, "x")...)
+	}
+	buf = append(buf, encData(t, 1, 2, 0, "y")...)
+	acks := st.Ingest(buf, 0)
+	if len(acks) != 2 {
+		t.Fatalf("acks = %d, want one per touched channel", len(acks))
+	}
+	f0, _, _ := DecodeFrame(acks[0])
+	if n, _ := AckValue(f0); f0.VC != 0 || n != 3 {
+		t.Fatalf("first ack %+v: cumulative ACK should cover the batch", f0)
+	}
+}
+
+func TestStationDedupAndOutOfOrder(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	st.Ingest(encData(t, 1, 0, 0, "a"), 0)
+
+	// Duplicate: re-ACKed, not redelivered.
+	acks := st.Ingest(encData(t, 1, 0, 0, "a"), 0)
+	if len(acks) != 1 {
+		t.Fatal("duplicate not re-ACKed")
+	}
+	if st.Delivered(1, 0) != 1 {
+		t.Fatal("duplicate delivered twice")
+	}
+
+	// Out-of-order (no base flag): discarded, expectation re-ACKed.
+	acks = st.Ingest(encData(t, 1, 0, 5, "future"), 0)
+	f, _, _ := DecodeFrame(acks[0])
+	if n, _ := AckValue(f); n != 1 {
+		t.Fatalf("out-of-order re-ACK = %d, want 1", n)
+	}
+	rep := st.Report()
+	if rep[0].VC[0].Dups != 1 || rep[0].VC[0].OutOfOrd != 1 {
+		t.Fatalf("counters %+v", rep[0].VC[0])
+	}
+}
+
+func TestStationBaseFlagSkipsUnrecoverableGap(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	st.Ingest(encData(t, 1, 3, 0, "a"), 0)
+	// Sender's recorder evicted seqs 1-4: the new base arrives flagged.
+	raw, err := EncodeFrame(Frame{Type: FrameData, Link: 1, VC: 3, Flags: FlagBase, Seq: 5, Payload: []byte("f")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acks := st.Ingest(raw, 0)
+	f, _, _ := DecodeFrame(acks[0])
+	if n, _ := AckValue(f); n != 6 {
+		t.Fatalf("post-skip ACK = %d, want 6", n)
+	}
+	rep := st.Report()
+	if rep[0].VC[3].Skipped != 4 || rep[0].VC[3].Delivered != 2 {
+		t.Fatalf("skip accounting %+v", rep[0].VC[3])
+	}
+}
+
+func TestStationIgnoresAcksAndReadsBeacons(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	ack, _ := EncodeAck(1, 0, 7)
+	if got := st.Ingest(ack, 0); got != nil {
+		t.Fatal("station ACKed an ACK")
+	}
+	b, _ := EncodeBeacon(1, 0, true, 42)
+	if got := st.Ingest(b, 0); got != nil {
+		t.Fatal("station ACKed a beacon")
+	}
+	rep := st.Report()
+	if len(rep) != 1 || !rep[0].Degraded || rep[0].Backlog != 42 || rep[0].Beacons != 1 {
+		t.Fatalf("beacon state %+v", rep)
+	}
+	// A delivered data frame clears the degraded latch.
+	st.Ingest(encData(t, 1, 0, 0, "alive"), 0)
+	if st.Report()[0].Degraded {
+		t.Fatal("degraded latch not cleared by data")
+	}
+}
+
+func TestStationRejectAttribution(t *testing.T) {
+	reg := telemetry.NewRegistry(0)
+	cfg := DefaultStationConfig()
+	cfg.Instruments = NewStationInstruments(reg)
+	st := NewStation(cfg)
+	st.Ingest(encData(t, 9, 0, 0, "establish"), 0)
+
+	// Corrupt a payload bit: CRC fails but the header still names link 9.
+	bad := encData(t, 9, 0, 1, "corrupt-me")
+	bad[HeaderLen] ^= 0x01
+	st.Ingest(bad, 0)
+	rep := st.Report()
+	if rep[0].Rejected != 1 {
+		t.Fatalf("rejection not attributed: %+v", rep[0])
+	}
+	if cfg.Instruments.Rejected.Value() != 1 {
+		t.Fatal("global rejected counter not bumped")
+	}
+
+	// Garbage prefix: unattributable, counted globally, ingest stops.
+	st.Ingest([]byte("not a frame at all........................."), 0)
+	if cfg.Instruments.Rejected.Value() != 2 {
+		t.Fatal("garbage not counted")
+	}
+}
+
+func TestStationKeepPayloadsBound(t *testing.T) {
+	cfg := DefaultStationConfig()
+	cfg.KeepPayloads = 2
+	st := NewStation(cfg)
+	for seq := uint32(0); seq < 5; seq++ {
+		st.Ingest(encData(t, 1, 0, seq, strings.Repeat("p", int(seq)+1)), 0)
+	}
+	rep := st.Report()
+	if len(rep[0].RecentP0) != 2 {
+		t.Fatalf("kept %d payloads, want 2", len(rep[0].RecentP0))
+	}
+	if rep[0].RecentP0[1] != "ppppp" {
+		t.Fatalf("kept wrong tail: %q", rep[0].RecentP0)
+	}
+}
+
+func TestStationStateJSONDeterministic(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	// Touch links in a scrambled order; serialization must sort them.
+	for _, link := range []uint16{7, 2, 9, 1} {
+		st.Ingest(encData(t, link, 0, 0, "x"), 0)
+	}
+	b1, err := st.StateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := st.StateJSON()
+	if string(b1) != string(b2) {
+		t.Fatal("StateJSON not stable")
+	}
+	var parsed struct {
+		Links []struct {
+			Link uint16 `json:"link"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(b1, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Links) != 4 {
+		t.Fatalf("links = %d", len(parsed.Links))
+	}
+	for i := 1; i < len(parsed.Links); i++ {
+		if parsed.Links[i-1].Link >= parsed.Links[i].Link {
+			t.Fatalf("links unsorted: %+v", parsed.Links)
+		}
+	}
+	if got := st.Links(); len(got) != 4 || got[0] != 1 || got[3] != 9 {
+		t.Fatalf("Links() = %v", got)
+	}
+}

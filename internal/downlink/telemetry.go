@@ -1,0 +1,192 @@
+package downlink
+
+import (
+	"time"
+
+	"radshield/internal/telemetry"
+)
+
+// Instruments bundles the flight side's metric handles (transmitter +
+// recorder + link loss model). Construct with NewInstruments and pass
+// through TxConfig; nil disables instrumentation. TELEMETRY.md
+// catalogs every name.
+type Instruments struct {
+	reg *telemetry.Registry
+
+	FramesSent    *telemetry.Counter
+	BytesSent     *telemetry.Counter
+	Retransmits   *telemetry.Counter
+	FramesAcked   *telemetry.Counter
+	Beacons       *telemetry.Counter
+	RingDepth     *telemetry.Gauge
+	RingEvicted   *telemetry.Counter
+	BeaconMode    *telemetry.Gauge
+	LinkDropped   *telemetry.Counter
+	LinkCorrupted *telemetry.Counter
+	LinkReordered *telemetry.Counter
+	BlackoutLost  *telemetry.Counter
+}
+
+// NewInstruments registers the downlink metric set on reg. A nil
+// registry yields nil (instrumentation disabled).
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		reg:           reg,
+		FramesSent:    reg.Counter("downlink_frames_sent_total", "frames"),
+		BytesSent:     reg.Counter("downlink_bytes_sent_total", "bytes"),
+		Retransmits:   reg.Counter("downlink_frames_retransmitted_total", "frames"),
+		FramesAcked:   reg.Counter("downlink_frames_acked_total", "frames"),
+		Beacons:       reg.Counter("downlink_beacons_sent_total", "frames"),
+		RingDepth:     reg.Gauge("downlink_ring_depth", "records"),
+		RingEvicted:   reg.Counter("downlink_ring_evicted_total", "records"),
+		BeaconMode:    reg.Gauge("downlink_beacon_mode", "bool"),
+		LinkDropped:   reg.Counter("downlink_link_dropped_total", "frames"),
+		LinkCorrupted: reg.Counter("downlink_link_corrupted_total", "frames"),
+		LinkReordered: reg.Counter("downlink_link_reordered_total", "frames"),
+		BlackoutLost:  reg.Counter("downlink_blackout_lost_total", "frames"),
+	}
+}
+
+func (ins *Instruments) frameSent(n int, retransmit bool) {
+	if ins == nil {
+		return
+	}
+	ins.FramesSent.Inc()
+	ins.BytesSent.Add(uint64(n))
+	if retransmit {
+		ins.Retransmits.Inc()
+	}
+}
+
+func (ins *Instruments) framesAcked(n int) {
+	if ins == nil || n <= 0 {
+		return
+	}
+	ins.FramesAcked.Add(uint64(n))
+}
+
+func (ins *Instruments) beaconSent() {
+	if ins == nil {
+		return
+	}
+	ins.Beacons.Inc()
+}
+
+func (ins *Instruments) ringDepth(n int) {
+	if ins == nil {
+		return
+	}
+	ins.RingDepth.Set(float64(n))
+}
+
+func (ins *Instruments) ringEvicted() {
+	if ins == nil {
+		return
+	}
+	ins.RingEvicted.Inc()
+}
+
+// beaconModeChange records a degradation transition with a structured
+// event, timestamped in simulated mission time.
+func (ins *Instruments) beaconModeChange(t time.Duration, on bool, reason string) {
+	if ins == nil {
+		return
+	}
+	v := 0.0
+	if on {
+		v = 1
+	}
+	ins.BeaconMode.Set(v)
+	ins.reg.Emit(telemetry.Event{
+		T:    t,
+		Kind: telemetry.KindBeaconMode,
+		Fields: map[string]any{
+			"on":     on,
+			"reason": reason,
+		},
+	})
+}
+
+// linkWindow records a scheduled-window transition with a structured
+// event (fields per TELEMETRY.md's event catalog).
+func (ins *Instruments) linkWindow(t time.Duration, window string, open bool) {
+	if ins == nil {
+		return
+	}
+	phase := "clear"
+	if open {
+		phase = "onset"
+	}
+	ins.reg.Emit(telemetry.Event{
+		T:    t,
+		Kind: telemetry.KindLinkFault,
+		Fields: map[string]any{
+			"window": window,
+			"phase":  phase,
+		},
+	})
+}
+
+func (ins *Instruments) linkDropped() {
+	if ins == nil {
+		return
+	}
+	ins.LinkDropped.Inc()
+}
+
+func (ins *Instruments) linkCorrupted() {
+	if ins == nil {
+		return
+	}
+	ins.LinkCorrupted.Inc()
+}
+
+func (ins *Instruments) linkReordered() {
+	if ins == nil {
+		return
+	}
+	ins.LinkReordered.Inc()
+}
+
+func (ins *Instruments) linkBlackoutLost() {
+	if ins == nil {
+		return
+	}
+	ins.BlackoutLost.Inc()
+}
+
+// StationInstruments bundles the ground side's metric handles.
+// TELEMETRY.md catalogs every name.
+type StationInstruments struct {
+	FramesReceived  *telemetry.Counter
+	FramesDelivered *telemetry.Counter
+	Duplicates      *telemetry.Counter
+	OutOfOrder      *telemetry.Counter
+	Rejected        *telemetry.Counter
+	Skipped         *telemetry.Counter
+	AcksSent        *telemetry.Counter
+	BeaconsSeen     *telemetry.Counter
+	Links           *telemetry.Gauge
+}
+
+// NewStationInstruments registers the ground-station metric set on
+// reg. A nil registry yields nil.
+func NewStationInstruments(reg *telemetry.Registry) *StationInstruments {
+	if reg == nil {
+		return nil
+	}
+	return &StationInstruments{
+		FramesReceived:  reg.Counter("groundstation_frames_received_total", "frames"),
+		FramesDelivered: reg.Counter("groundstation_frames_delivered_total", "frames"),
+		Duplicates:      reg.Counter("groundstation_frames_duplicate_total", "frames"),
+		OutOfOrder:      reg.Counter("groundstation_frames_out_of_order_total", "frames"),
+		Rejected:        reg.Counter("groundstation_frames_rejected_total", "frames"),
+		Skipped:         reg.Counter("groundstation_frames_skipped_total", "frames"),
+		AcksSent:        reg.Counter("groundstation_acks_sent_total", "frames"),
+		BeaconsSeen:     reg.Counter("groundstation_beacons_total", "frames"),
+		Links:           reg.Gauge("groundstation_links", "links"),
+	}
+}

@@ -1,0 +1,75 @@
+package guard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSupervisorOnModeChange drives the ladder down (stuck sensor) and
+// back up (clean readings) and checks the registered callback sees both
+// moves with the right rungs and reasons — the hook the downlink
+// transmitter hangs its beacon-mode switch on.
+func TestSupervisorOnModeChange(t *testing.T) {
+	cfg := fastSupervisorConfig()
+	s := newSupervisor(t, cfg)
+
+	type move struct {
+		from, to Mode
+		reason   string
+	}
+	var moves []move
+	s.OnModeChange(func(_ time.Duration, from, to Mode, reason string) {
+		moves = append(moves, move{from, to, reason})
+	})
+
+	now := time.Duration(0)
+	step := func(raw float64) Decision {
+		d := s.Observe(tel(now, raw))
+		now += time.Millisecond
+		return d
+	}
+	vstep := func(i int) {
+		s.Observe(variedTel(now, i))
+		now += time.Millisecond
+	}
+
+	// Warm up healthy, then freeze the sensor until a demotion lands.
+	for i := 0; i < 20; i++ {
+		vstep(i)
+	}
+	bound := cfg.Health.StuckAfter + cfg.BadAfter
+	for i := 0; i < bound; i++ {
+		if d := step(1.5503); d.Demoted {
+			break
+		}
+	}
+	if len(moves) != 1 {
+		t.Fatalf("callback saw %d moves after demotion, want 1", len(moves))
+	}
+	if moves[0].from != ModeLinearModel || moves[0].to != ModeStaticThreshold || moves[0].reason != "stuck" {
+		t.Fatalf("demotion callback %+v", moves[0])
+	}
+
+	// Clean samples promote back; the callback reports the recovery.
+	for i := 0; i < cfg.GoodAfter+5 && len(moves) < 2; i++ {
+		vstep(i)
+	}
+	if len(moves) != 2 {
+		t.Fatalf("callback saw %d moves after recovery, want 2", len(moves))
+	}
+	if moves[1].from != ModeStaticThreshold || moves[1].to != ModeLinearModel || moves[1].reason != "recovered" {
+		t.Fatalf("promotion callback %+v", moves[1])
+	}
+
+	// nil detaches: a second demotion must not grow the log.
+	s.OnModeChange(nil)
+	for i := 0; i < bound && s.Mode() == ModeLinearModel; i++ {
+		step(1.5503)
+	}
+	if s.Mode() == ModeLinearModel {
+		t.Fatal("second stuck run never demoted")
+	}
+	if len(moves) != 2 {
+		t.Fatalf("detached callback still invoked: %d moves", len(moves))
+	}
+}

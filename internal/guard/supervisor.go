@@ -102,7 +102,8 @@ type Supervisor struct {
 
 	demotions, promotions, blindCycles int
 
-	ins *Instruments
+	ins        *Instruments
+	modeChange func(t time.Duration, from, to Mode, reason string)
 }
 
 // NewSupervisor validates cfg and wraps the trained detector.
@@ -138,6 +139,16 @@ func (s *Supervisor) SetInstruments(ins *Instruments) {
 
 // Mode returns the current ladder rung.
 func (s *Supervisor) Mode() Mode { return s.mode }
+
+// OnModeChange registers fn to run synchronously on every ladder move,
+// after the Supervisor's own state has settled. It is how downstream
+// subsystems follow the degradation ladder without polling — the
+// downlink transmitter, for example, drops to beacon mode whenever the
+// supervisor steps below the linear model. One callback; registering
+// again replaces it, nil detaches.
+func (s *Supervisor) OnModeChange(fn func(t time.Duration, from, to Mode, reason string)) {
+	s.modeChange = fn
+}
 
 // Demotions, Promotions and BlindCycles count ladder moves and
 // precautionary cycles since construction.
@@ -270,6 +281,9 @@ func (s *Supervisor) demote(t time.Duration, reason string) {
 	s.static.Reset()
 	s.prevFired = false
 	s.ins.guardModeChange(t, from, s.mode, reason)
+	if s.modeChange != nil {
+		s.modeChange(t, from, s.mode, reason)
+	}
 }
 
 // promote moves one rung up.
@@ -281,4 +295,7 @@ func (s *Supervisor) promote(t time.Duration) {
 	s.static.Reset()
 	s.prevFired = false
 	s.ins.guardModeChange(t, from, s.mode, "recovered")
+	if s.modeChange != nil {
+		s.modeChange(t, from, s.mode, "recovered")
+	}
 }

@@ -69,6 +69,13 @@ const (
 	// scheme (TMR → DMR+checksum → serial, or back on recovery). Fields:
 	// from, to, executor.
 	KindRedundancyMode Kind = "redundancy_mode_change"
+	// KindBeaconMode: the downlink transmitter entered or left degraded
+	// beacon mode (see internal/downlink). Fields: on, reason.
+	KindBeaconMode Kind = "beacon_mode_change"
+	// KindLinkFault: a scheduled downlink impairment or blackout window
+	// opened or closed. Fields: window ("fault" or "blackout"), phase
+	// ("onset" or "clear").
+	KindLinkFault Kind = "link_fault"
 )
 
 // Event is one structured observation. T is simulated time (offset from
@@ -136,6 +143,30 @@ func (r *Ring) Events() []Event {
 		return out
 	}
 	return append(out, r.buf...)
+}
+
+// Since returns the buffered events with sequence number ≥ seq,
+// oldest-first. It is the incremental-drain primitive the downlink
+// transmitter uses: a caller remembering the last sequence it framed
+// gets exactly the new events on the next pass, and can detect ring
+// overwrite by comparing the first returned sequence against its
+// cursor. Pass 0 for everything buffered.
+func (r *Ring) Since(seq uint64) []Event {
+	all := r.Events()
+	// Events are sequence-ordered; binary search for the cursor.
+	lo, hi := 0, len(all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if all[mid].Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(all) {
+		return nil
+	}
+	return all[lo:]
 }
 
 // Len returns how many events are currently buffered.

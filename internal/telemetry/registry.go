@@ -133,6 +133,15 @@ func (r *Registry) Events() []Event {
 	return r.events.Events()
 }
 
+// EventsSince returns the buffered events with sequence ≥ seq (nil on
+// a nil registry). See Ring.Since for the incremental-drain contract.
+func (r *Registry) EventsSince(seq uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events.Since(seq)
+}
+
 // checkFreeLocked panics when name is already taken by another metric
 // type. r.mu must be held.
 func (r *Registry) checkFreeLocked(name, kind string) {

@@ -1,0 +1,58 @@
+package telemetry
+
+import "testing"
+
+func TestRingSince(t *testing.T) {
+	ring := NewRing(4)
+	for i := 0; i < 6; i++ { // seqs 0..5; 0 and 1 overwritten
+		ring.Append(Event{Kind: Kind(rune('a' + i))})
+	}
+	if got := ring.Since(4); len(got) != 2 || got[0].Seq != 4 || got[1].Seq != 5 {
+		t.Fatalf("Since(4) = %+v, want seqs 4,5", got)
+	}
+	if got := ring.Since(6); got != nil {
+		t.Fatalf("Since past the end = %+v, want nil", got)
+	}
+	// A cursor pointing at overwritten history returns everything left;
+	// the caller detects the loss because the first seq is above the
+	// cursor.
+	got := ring.Since(0)
+	if len(got) != 4 || got[0].Seq != 2 {
+		t.Fatalf("Since(0) after overwrite = %+v, want seqs 2..5", got)
+	}
+}
+
+func TestRingSinceIncrementalDrain(t *testing.T) {
+	ring := NewRing(8)
+	cursor := uint64(0)
+	var drained []uint64
+	for round := 0; round < 3; round++ {
+		ring.Append(Event{Kind: "x"})
+		ring.Append(Event{Kind: "y"})
+		for _, ev := range ring.Since(cursor) {
+			drained = append(drained, ev.Seq)
+			cursor = ev.Seq + 1
+		}
+	}
+	if len(drained) != 6 {
+		t.Fatalf("drained %d events, want 6", len(drained))
+	}
+	for i, seq := range drained {
+		if seq != uint64(i) {
+			t.Fatalf("drained[%d] = %d: incremental drain repeated or skipped", i, seq)
+		}
+	}
+}
+
+func TestEventsSinceNilRegistry(t *testing.T) {
+	var reg *Registry
+	if got := reg.EventsSince(0); got != nil {
+		t.Fatalf("nil registry EventsSince = %v", got)
+	}
+	reg = NewRegistry(4)
+	reg.Emit(Event{Kind: "a"})
+	reg.Emit(Event{Kind: "b"})
+	if got := reg.EventsSince(1); len(got) != 1 || got[0].Kind != "b" {
+		t.Fatalf("EventsSince(1) = %+v", got)
+	}
+}
