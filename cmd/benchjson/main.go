@@ -11,6 +11,17 @@
 // reads the host clock (simulation code and tooling share the
 // simclocktime discipline), so its output is a pure function of its
 // input and flags.
+//
+// With -compare it additionally gates the fresh results against a
+// committed baseline record (see PERFORMANCE.md):
+//
+//	benchjson -in bench.out -compare BENCH_abc1234.json -tolerance 0.10 \
+//	    -floors "MissionSurvivalParallel/workers=4:speedup:1.0"
+//
+// ns/op is only compared when the baseline was recorded on the same CPU
+// model — absolute nanoseconds are meaningless across machines — while
+// -floors gates dimensionless metrics (speedup, survival rates) that
+// transfer between hosts. Any violation exits nonzero.
 package main
 
 import (
@@ -47,10 +58,13 @@ type Record struct {
 
 func main() {
 	var (
-		sha   = flag.String("sha", "", "git commit SHA recorded in the output")
-		stamp = flag.String("stamp", "", "RFC 3339 timestamp recorded in the output (benchjson never reads the clock itself)")
-		in    = flag.String("in", "", "read benchmark text from this file instead of stdin")
-		out   = flag.String("out", "", "write JSON to this file instead of stdout")
+		sha       = flag.String("sha", "", "git commit SHA recorded in the output")
+		stamp     = flag.String("stamp", "", "RFC 3339 timestamp recorded in the output (benchjson never reads the clock itself)")
+		in        = flag.String("in", "", "read benchmark text from this file instead of stdin")
+		out       = flag.String("out", "", "write JSON to this file instead of stdout")
+		compareTo = flag.String("compare", "", "gate results against this baseline BENCH_<sha>.json; exit 1 on regression")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/op increase over the baseline (same-CPU comparisons only)")
+		floorSpec = flag.String("floors", "", "comma-separated metric floors as bench:metric:min, e.g. 'MissionSurvivalParallel/workers=4:speedup:1.0'")
 	)
 	flag.Parse()
 
@@ -84,6 +98,126 @@ func main() {
 	if err := enc.Encode(rec); err != nil {
 		fatal(err)
 	}
+
+	if *compareTo != "" {
+		base, err := readRecord(*compareTo)
+		if err != nil {
+			fatal(err)
+		}
+		floors, err := parseFloors(*floorSpec)
+		if err != nil {
+			fatal(err)
+		}
+		violations, notes := compare(rec, base, *tolerance, floors)
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "benchjson: note: %s\n", n)
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "benchjson: regression: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks pass against baseline %s\n", len(base.Benchmarks), *compareTo)
+	}
+}
+
+// readRecord loads a previously-written BENCH_<sha>.json.
+func readRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// floor is one machine-independent metric gate: the named benchmark's
+// metric must be at least min in the fresh record. "ns/op" may be used
+// as the metric name to floor the primary timing column (rarely useful;
+// floors exist for dimensionless metrics like speedup).
+type floor struct {
+	bench, unit string
+	min         float64
+}
+
+// parseFloors parses a comma-separated "bench:metric:min" list. Colons
+// are safe separators: benchmark names contain slashes and equals signs
+// ("MissionSurvivalParallel/workers=4") but never colons.
+func parseFloors(s string) ([]floor, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var floors []floor
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("floor %q: want bench:metric:min", entry)
+		}
+		min, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("floor %q: bad minimum: %v", entry, err)
+		}
+		floors = append(floors, floor{bench: parts[0], unit: parts[1], min: min})
+	}
+	return floors, nil
+}
+
+// compare gates cur against a baseline record. It returns human-readable
+// violations (each one fails the build) and informational notes.
+//
+// Two classes of gate:
+//
+//   - ns/op regression beyond tol, checked only when both records name
+//     the same CPU model. The committed baseline typically comes from a
+//     developer machine while CI runs elsewhere; comparing absolute
+//     nanoseconds across different silicon produces only noise, so
+//     cross-CPU runs skip this gate (with a note) instead of flaking.
+//   - Metric floors, always checked: dimensionless metrics like the
+//     campaign speedup are ratios of two measurements from the same
+//     host, so they transfer across machines.
+//
+// A benchmark present in the baseline but absent from the fresh run is a
+// violation: silently dropping a gated benchmark must not pass the gate.
+func compare(cur, base *Record, tol float64, floors []floor) (violations, notes []string) {
+	sameCPU := cur.CPU != "" && cur.CPU == base.CPU
+	if !sameCPU {
+		notes = append(notes, fmt.Sprintf("cpu %q differs from baseline %q: ns/op not compared, metric floors still apply", cur.CPU, base.CPU))
+	}
+	for _, name := range sortedNames(base) {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: in baseline but missing from this run", name))
+			continue
+		}
+		if sameCPU && b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			violations = append(violations, fmt.Sprintf("%s: %.0f ns/op is %.1f%% over baseline %.0f ns/op (tolerance %.0f%%)",
+				name, c.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, b.NsPerOp, tol*100))
+		}
+	}
+	for _, f := range floors {
+		c, ok := cur.Benchmarks[f.bench]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("floor %s:%s: benchmark missing from this run", f.bench, f.unit))
+			continue
+		}
+		v, ok := c.Metrics[f.unit]
+		if f.unit == "ns/op" {
+			v, ok = c.NsPerOp, true
+		}
+		if !ok {
+			violations = append(violations, fmt.Sprintf("floor %s:%s: metric missing from this run", f.bench, f.unit))
+			continue
+		}
+		if v < f.min {
+			violations = append(violations, fmt.Sprintf("%s: %s = %.4g, below floor %.4g", f.bench, f.unit, v, f.min))
+		}
+	}
+	return violations, notes
 }
 
 func fatal(err error) {

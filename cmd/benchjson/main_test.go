@@ -58,6 +58,74 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+// rec builds a single-benchmark record for compare tests.
+func rec(cpu string, ns float64, metrics map[string]float64) *Record {
+	return &Record{CPU: cpu, Benchmarks: map[string]Result{
+		"MissionSurvivalParallel/workers=4": {Iterations: 1, NsPerOp: ns, Metrics: metrics},
+	}}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	base := rec("xeon", 1000, nil)
+
+	v, _ := compare(rec("xeon", 1050, nil), base, 0.10, nil)
+	if len(v) != 0 {
+		t.Errorf("5%% slower within 10%% tolerance, got violations %v", v)
+	}
+	v, _ = compare(rec("xeon", 1200, nil), base, 0.10, nil)
+	if len(v) != 1 {
+		t.Errorf("20%% slower past 10%% tolerance: violations = %v, want 1", v)
+	}
+
+	// Different CPU model: ns/op must not be compared (a note, not a
+	// violation), or cross-machine baselines would flake permanently.
+	v, notes := compare(rec("epyc", 5000, nil), base, 0.10, nil)
+	if len(v) != 0 {
+		t.Errorf("cross-CPU ns/op compared: violations = %v", v)
+	}
+	if len(notes) != 1 {
+		t.Errorf("cross-CPU note missing: notes = %v", notes)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := rec("xeon", 1000, nil)
+	cur := &Record{CPU: "xeon", Benchmarks: map[string]Result{"Other": {Iterations: 1, NsPerOp: 1}}}
+	v, _ := compare(cur, base, 0.10, nil)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Errorf("dropped benchmark not flagged: %v", v)
+	}
+}
+
+func TestCompareFloors(t *testing.T) {
+	base := rec("xeon", 1000, nil)
+	floors, err := parseFloors(" MissionSurvivalParallel/workers=4:speedup:1.5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Floors apply even when the CPU differs: speedup is a same-host ratio.
+	v, _ := compare(rec("epyc", 5000, map[string]float64{"speedup": 2.1}), base, 0.10, floors)
+	if len(v) != 0 {
+		t.Errorf("speedup 2.1 over floor 1.5: violations = %v", v)
+	}
+	v, _ = compare(rec("epyc", 5000, map[string]float64{"speedup": 0.9}), base, 0.10, floors)
+	if len(v) != 1 || !strings.Contains(v[0], "below floor") {
+		t.Errorf("speedup 0.9 under floor 1.5: violations = %v", v)
+	}
+	v, _ = compare(rec("epyc", 5000, nil), base, 0.10, floors)
+	if len(v) != 1 || !strings.Contains(v[0], "metric missing") {
+		t.Errorf("absent floored metric: violations = %v", v)
+	}
+
+	if _, err := parseFloors("bad-entry"); err == nil {
+		t.Error("malformed floor accepted")
+	}
+	if _, err := parseFloors("a:b:notanumber"); err == nil {
+		t.Error("non-numeric floor accepted")
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok\n")); err == nil {
 		t.Fatal("want error on input with no benchmark lines")

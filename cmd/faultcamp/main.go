@@ -26,6 +26,7 @@ import (
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
 	"radshield/internal/power"
+	"radshield/internal/profiling"
 )
 
 // ship streams a campaign verdict to the ground station when -downlink
@@ -60,10 +61,22 @@ func main() {
 		guard   = flag.Bool("guard", false, "inject faults into Radshield's own sensor and replicas instead of the workload")
 		dlAddr  = flag.String("downlink", "", "stream campaign verdicts to a groundstation at this TCP address (see cmd/groundstation)")
 		dlLink  = flag.Int("link-id", 3, "spacecraft link id for -downlink")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file (see PERFORMANCE.md)")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (see PERFORMANCE.md)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcamp: ")
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	finishProfiles := func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *dlAddr != "" {
 		var err error
@@ -76,6 +89,7 @@ func main() {
 
 	if *guard {
 		runGuardCampaign(*seed, *workers)
+		finishProfiles()
 		return
 	}
 
@@ -103,6 +117,7 @@ func main() {
 	ship(1, fmt.Sprintf("table7 runs=%d unprotected_sdc=%d protected_sdc=0", *runs, unprotectedSDC))
 	ship(0, "campaign_complete campaign=table7 verdict=protected")
 	drainFeed()
+	finishProfiles()
 }
 
 // drainFeed flushes any unacknowledged frames before exit.

@@ -25,6 +25,7 @@ import (
 	"radshield/internal/emr"
 	"radshield/internal/experiments"
 	"radshield/internal/ild"
+	"radshield/internal/profiling"
 	"radshield/internal/simclock"
 	"radshield/internal/telemetry"
 )
@@ -306,6 +307,8 @@ func main() {
 		wall    = flag.Bool("wallclock", false, "time experiments with the host clock (real-hardware mode) instead of reporting simulated mission time")
 		dlAddr  = flag.String("downlink", "", "stream experiment completions to a groundstation at this TCP address (see cmd/groundstation)")
 		dlLink  = flag.Int("link-id", 2, "spacecraft link id for -downlink")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file (see PERFORMANCE.md)")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (see PERFORMANCE.md)")
 	)
 	flag.Parse()
 
@@ -320,6 +323,12 @@ func main() {
 			fmt.Printf("  %-18s %s\n", name, registry[name].desc)
 		}
 		return
+	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "radbench: %v\n", err)
+		os.Exit(1)
 	}
 
 	var reg *telemetry.Registry
@@ -448,5 +457,16 @@ func main() {
 		if *telOut != "-" {
 			fmt.Printf("telemetry snapshot written to %s\n", *telOut)
 		}
+	}
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "radbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *cpuProf != "" {
+		fmt.Printf("CPU profile written to %s\n", *cpuProf)
+	}
+	if *memProf != "" {
+		fmt.Printf("heap profile written to %s\n", *memProf)
 	}
 }

@@ -88,11 +88,18 @@ func MissionSurvival(c MissionConfig) (protected, unprotected MissionTally, tbl 
 	}
 	pairs, err := sched.Map(c.Missions, c.Workers, func(i int) (missionPair, error) {
 		seed := c.Seed + int64(i)*17
-		p, err := flyOneMission(env, c, seed, true, golden)
+		// One RNG stream builds the event schedule and the flight-software
+		// trace once per pair; both arms replay them read-only. (Each arm
+		// used to rebuild identical copies from the shared seed — the
+		// campaign's largest per-trial constructions, doubled for nothing.)
+		rng := rand.New(rand.NewSource(seed))
+		events := env.Schedule(rng, c.Duration)
+		mission := trace.FlightSoftware(rng, c.Duration, machine.DefaultConfig().Cores)
+		p, err := flyOneMission(c, seed, true, golden, events, mission)
 		if err != nil {
 			return missionPair{}, err
 		}
-		u, err := flyOneMission(env, c, seed, false, golden)
+		u, err := flyOneMission(c, seed, false, golden, events, mission)
 		if err != nil {
 			return missionPair{}, err
 		}
@@ -145,10 +152,11 @@ func accumulate(t *MissionTally, r missionResult) {
 func missionGolden() ([][]byte, error) {
 	cfg := emr.DefaultConfig()
 	cfg.Scheme = fault.SchemeNone
-	rt, err := emr.New(cfg)
+	rt, err := getRuntime(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer putRuntime(cfg, rt)
 	spec, err := workloads.ImageProcessing().Build(rt, 32<<10, 2026)
 	if err != nil {
 		return nil, err
@@ -160,11 +168,11 @@ func missionGolden() ([][]byte, error) {
 	return res.Outputs, nil
 }
 
-// flyOneMission simulates one mission arm.
-func flyOneMission(env fault.Environment, c MissionConfig, seed int64, shielded bool, golden [][]byte) (missionResult, error) {
+// flyOneMission simulates one mission arm. events and mission are the
+// pair-shared scaffolding, consumed read-only (the shielded arm derives
+// its own bubble-injected copy).
+func flyOneMission(c MissionConfig, seed int64, shielded bool, golden [][]byte, events []fault.Event, mission *trace.Trace) (missionResult, error) {
 	var out missionResult
-	rng := rand.New(rand.NewSource(seed))
-	events := env.Schedule(rng, c.Duration)
 
 	selCfg := DefaultSELConfig()
 	selCfg.Seed = seed
@@ -181,7 +189,6 @@ func flyOneMission(env fault.Environment, c MissionConfig, seed int64, shielded 
 	mc.SampleEvery = selCfg.SampleEvery
 	mc.SensorSeed = seed + 1
 	m := machine.New(mc)
-	mission := trace.FlightSoftware(rng, c.Duration, mc.Cores)
 	if shielded {
 		mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
 	}
@@ -236,10 +243,11 @@ func flyOneMission(env fault.Environment, c MissionConfig, seed int64, shielded 
 func missionPayload(scheme fault.Scheme, seed int64, seus int, golden [][]byte) (ok bool, corrected int, err error) {
 	cfg := emr.DefaultConfig()
 	cfg.Scheme = scheme
-	rt, err := emr.New(cfg)
+	rt, err := getRuntime(cfg)
 	if err != nil {
 		return false, 0, err
 	}
+	defer putRuntime(cfg, rt)
 	spec, err := workloads.ImageProcessing().Build(rt, 32<<10, 2026)
 	if err != nil {
 		return false, 0, err

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"sync"
+
+	"radshield/internal/emr"
+)
+
+// Campaigns burn through emr.Runtime devices: every payload contact and
+// SEU trial used to build a fresh runtime, and a runtime carries well
+// over 100 MB of DRAM, storage, and ECC check arrays. Under the parallel
+// campaign scheduler that per-trial construction — really the memclr and
+// GC pressure behind it — was a bottleneck shared by every worker (see
+// PERFORMANCE.md). Runtimes are instead recycled through Runtime.Reset,
+// which restores fresh-equivalent state for a fraction of the cost.
+
+// runtimePool shelves reusable runtimes, one sync.Pool per exact
+// emr.Config: a device may only ever be handed back out for the same
+// configuration it was built with. sync.Pool (rather than a plain free
+// list) lets the GC drop idle devices between campaigns.
+type runtimePool struct {
+	mu    sync.Mutex
+	pools map[emr.Config]*sync.Pool
+}
+
+var emrPool = runtimePool{pools: map[emr.Config]*sync.Pool{}}
+
+func (p *runtimePool) lookup(cfg emr.Config) *sync.Pool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sp, ok := p.pools[cfg]
+	if !ok {
+		sp = &sync.Pool{}
+		p.pools[cfg] = sp
+	}
+	return sp
+}
+
+// getRuntime returns a runtime for cfg, recycling a pooled device when
+// one is on the shelf. The result is indistinguishable from emr.New(cfg)
+// — Runtime.Reset clears memory contents, allocator watermarks, cache
+// lines, and device statistics — so trial outputs are byte-identical
+// whether or not a reuse happened. Reuse effectiveness is visible as
+// emr_pool_hits_total / emr_pool_misses_total when cfg carries a
+// telemetry registry.
+//
+// Configs with a Watcher attached bypass the pool: watchers are
+// per-trial stateful objects, so keyed reuse could never hit (and a
+// non-comparable Watcher must not reach the map key).
+func getRuntime(cfg emr.Config) (*emr.Runtime, error) {
+	if cfg.Watch != nil {
+		return emr.New(cfg)
+	}
+	if rt, _ := emrPool.lookup(cfg).Get().(*emr.Runtime); rt != nil {
+		cfg.Telemetry.Counter("emr_pool_hits_total", "runtimes").Inc()
+		return rt, nil
+	}
+	cfg.Telemetry.Counter("emr_pool_misses_total", "runtimes").Inc()
+	return emr.New(cfg)
+}
+
+// putRuntime resets rt and shelves it for the next getRuntime with the
+// same config. Only call it once every pointer into the device is dead;
+// run Results hold copies of outputs, never aliases into device memory,
+// so returning the runtime after reading a Result is safe.
+func putRuntime(cfg emr.Config, rt *emr.Runtime) {
+	if cfg.Watch != nil {
+		return
+	}
+	rt.Reset()
+	emrPool.lookup(cfg).Put(rt)
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"radshield/internal/emr"
+	"radshield/internal/telemetry"
+	"radshield/internal/workloads"
+)
+
+// TestRuntimeResetEquivalence pins the invariant the pool depends on: a
+// Reset runtime replays a workload byte-identically to its own fresh
+// run — same outputs, same makespan, same vote accounting — so trial
+// results cannot depend on whether getRuntime recycled a device.
+func TestRuntimeResetEquivalence(t *testing.T) {
+	cfg := emr.DefaultConfig()
+	rt, err := emr.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *emr.Result {
+		spec, err := workloads.ImageProcessing().Build(rt, 32<<10, 2026)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	fresh := run()
+	rt.Reset()
+	reused := run()
+
+	if len(fresh.Outputs) != len(reused.Outputs) {
+		t.Fatalf("output counts differ: %d fresh vs %d reused", len(fresh.Outputs), len(reused.Outputs))
+	}
+	for i := range fresh.Outputs {
+		if !bytes.Equal(fresh.Outputs[i], reused.Outputs[i]) {
+			t.Errorf("output %d differs between fresh and reset runs", i)
+		}
+	}
+	if fresh.Report.Makespan != reused.Report.Makespan {
+		t.Errorf("makespan differs: %v fresh vs %v reused (cache state leaked through Reset?)",
+			fresh.Report.Makespan, reused.Report.Makespan)
+	}
+	if fresh.Report.Votes != reused.Report.Votes {
+		t.Errorf("vote accounting differs: %+v fresh vs %+v reused", fresh.Report.Votes, reused.Report.Votes)
+	}
+}
+
+// TestRuntimePoolCounters checks the hit/miss instrumentation: the first
+// getRuntime for a config is a miss, a get after a put is (normally) a
+// hit, and hits hand back a device that behaves like new.
+func TestRuntimePoolCounters(t *testing.T) {
+	reg := telemetry.NewRegistry(telemetry.DefaultEventCap)
+	cfg := emr.DefaultConfig()
+	cfg.DRAMSize = 8 << 20
+	cfg.StorageSize = 8 << 20
+	cfg.Telemetry = reg
+
+	hits := reg.Counter("emr_pool_hits_total", "runtimes")
+	misses := reg.Counter("emr_pool_misses_total", "runtimes")
+
+	rt, err := getRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses.Value() != 1 || hits.Value() != 0 {
+		t.Fatalf("first get: hits=%d misses=%d, want 0/1", hits.Value(), misses.Value())
+	}
+	putRuntime(cfg, rt)
+	rt2, err := getRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer putRuntime(cfg, rt2)
+	// sync.Pool may legally drop the device under GC pressure, so assert
+	// accounting consistency rather than a guaranteed hit.
+	if hits.Value()+misses.Value() != 2 {
+		t.Errorf("after put+get: hits=%d misses=%d, want total 2", hits.Value(), misses.Value())
+	}
+}

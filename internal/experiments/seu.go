@@ -46,10 +46,11 @@ func runScheme(b workloads.Builder, scheme fault.Scheme, frontier emr.Frontier, 
 	}
 	cfg.DRAMSize = 256 << 20
 	cfg.StorageSize = 256 << 20
-	rt, err := emr.New(cfg)
+	rt, err := getRuntime(cfg)
 	if err != nil {
 		return nil, err
 	}
+	defer putRuntime(cfg, rt)
 	spec, err := b.Build(rt, c.Size, c.Seed)
 	if err != nil {
 		return nil, err
@@ -399,10 +400,11 @@ func injectOnce(b workloads.Builder, scheme fault.Scheme, mbu bool, c Table7Conf
 	cfg.Telemetry = c.Telemetry
 	cfg.DRAMSize = 256 << 20
 	cfg.StorageSize = 256 << 20
-	rt, err := emr.New(cfg)
+	rt, err := getRuntime(cfg)
 	if err != nil {
 		return 0, err
 	}
+	defer putRuntime(cfg, rt)
 	spec, err := b.Build(rt, c.Size, c.Seed)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,57 @@
+//go:build !race
+
+// Allocation-regression test for the detector hot path: Observe runs
+// once per telemetry sample for entire simulated missions, so a single
+// allocation here multiplies into millions per campaign (feature
+// extraction alone was once 12% of all campaign objects, see
+// PERFORMANCE.md). Excluded under -race: race instrumentation allocates
+// on its own.
+
+package ild
+
+import (
+	"testing"
+	"time"
+
+	"radshield/internal/linmodel"
+	"radshield/internal/machine"
+)
+
+func TestAllocsObserve(t *testing.T) {
+	cores := 2
+	model := &linmodel.Model{Weights: make([]float64, FeatureDim(cores)), Intercept: 1.5}
+	det, err := NewDetector(model, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	quiet := machine.Telemetry{
+		CurrentA: 1.52,
+		RawA:     1.6,
+		PerCore: []machine.CoreTelemetry{
+			{InstrPerSec: 1e6, BusCyclesPerSec: 2e6, FreqHz: 6e8, CacheHitRate: 0.9},
+			{InstrPerSec: 1e6, BusCyclesPerSec: 2e6, FreqHz: 6e8, CacheHitRate: 0.9},
+		},
+	}
+	busy := quiet
+	busy.PerCore = []machine.CoreTelemetry{
+		{InstrPerSec: 4e8, BusCyclesPerSec: 8e8, FreqHz: 1.4e9, CacheHitRate: 0.95},
+		{InstrPerSec: 4e8, BusCyclesPerSec: 8e8, FreqHz: 1.4e9, CacheHitRate: 0.95},
+	}
+
+	det.Observe(quiet) // first sample establishes the feature scratch buffer
+
+	tick := DefaultConfig().SampleEvery
+	now := time.Duration(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		// Alternate quiescent and loaded samples so both Observe branches
+		// (measure, and reset-on-load) stay on the pinned zero-alloc path.
+		now += tick
+		quiet.T, busy.T = now, now
+		det.Observe(quiet)
+		det.Observe(busy)
+	})
+	if avg != 0 {
+		t.Errorf("Observe allocates %.3f objects per sample pair, want 0", avg)
+	}
+}

@@ -69,6 +69,10 @@ type Detector struct {
 	// sensor (see internal/power) must not poison the averaging window:
 	// one NaN in a running mean sticks forever.
 	badSamples int
+	// feat is the reusable feature-vector scratch buffer; Observe runs
+	// once per telemetry sample for entire missions, so it must not
+	// allocate (see the allocation-regression tests in alloc_test.go).
+	feat []float64
 }
 
 // SetInstruments attaches telemetry instruments (nil detaches them).
@@ -171,7 +175,8 @@ func (d *Detector) Observe(tel machine.Telemetry) bool {
 		d.ins.observe(tel.T, false, 0, false)
 		return false
 	}
-	diff := tel.CurrentA - d.model.Predict(Features(tel))
+	d.feat = AppendFeatures(d.feat[:0], tel)
+	diff := tel.CurrentA - d.model.Predict(d.feat)
 	d.window.Add(diff)
 	// Drift adaptation: only small residuals train the intercept, so a
 	// latchup's step change is never learned away.

@@ -39,9 +39,16 @@ func FeatureDim(cores int) int { return cores*FeaturesPerCore + extraFeatures }
 // Rates are scaled to keep the normal-equation system well conditioned
 // (instruction rates are ~1e9 while ratios are ~1e-2).
 func Features(tel machine.Telemetry) []float64 {
-	out := make([]float64, 0, FeatureDim(len(tel.PerCore)))
+	return AppendFeatures(make([]float64, 0, FeatureDim(len(tel.PerCore))), tel)
+}
+
+// AppendFeatures appends the feature vector for tel to dst and returns
+// the extended slice. The detector's per-sample hot path reuses one
+// scratch buffer through this (`d.feat = AppendFeatures(d.feat[:0], tel)`)
+// so feature extraction allocates nothing after the first sample.
+func AppendFeatures(dst []float64, tel machine.Telemetry) []float64 {
 	for _, c := range tel.PerCore {
-		out = append(out,
+		dst = append(dst,
 			c.InstrPerSec/1e9,
 			c.BusCyclesPerSec/1e9,
 			c.FreqHz/1e9,
@@ -49,6 +56,5 @@ func Features(tel machine.Telemetry) []float64 {
 			c.CacheHitRate,
 		)
 	}
-	out = append(out, tel.DiskReadPerSec/1e3, tel.DiskWritePerSec/1e3)
-	return out
+	return append(dst, tel.DiskReadPerSec/1e3, tel.DiskWritePerSec/1e3)
 }

@@ -109,6 +109,24 @@ type Machine struct {
 	clock  *simclock.Clock
 	cores  []*cpu.Core
 	sensor *power.Sensor
+	pmodel *power.Model
+
+	// state and modelCurA cache the electrical view of the board. The
+	// board's electrical state only moves when a trace segment or a DVFS
+	// point is applied (ApplySegment, PowerCycle), never during Step or
+	// Sample, so the sampling loop reuses one BoardState and one
+	// precomputed model current instead of rebuilding both on every draw
+	// — the dominant allocation site of every campaign before the
+	// scheduler perf work (see PERFORMANCE.md).
+	state     power.BoardState
+	modelCurA float64
+
+	// telBuf chunk-allocates Telemetry.PerCore slices: samples are handed
+	// out as disjoint sub-slices of a shared block, so callbacks that
+	// retain samples (the Table 2 recorder) stay safe while per-sample
+	// allocation drops to one block per telChunkSamples samples.
+	telBuf []CoreTelemetry
+	telPos int
 
 	diskReadRate  float64 // sectors/s, from the current segment
 	diskWriteRate float64
@@ -156,10 +174,12 @@ func New(cfg Config) *Machine {
 	if cfg.SupplyVoltage <= 0 {
 		cfg.SupplyVoltage = 5.0
 	}
+	model := power.NewModel(cfg.Power)
 	m := &Machine{
 		cfg:          cfg,
 		clock:        simclock.New(),
-		sensor:       power.NewSensor(power.NewModel(cfg.Power), cfg.SensorSeed),
+		sensor:       power.NewSensor(model, cfg.SensorSeed),
+		pmodel:       model,
 		lastCounters: make([]cpu.Counters, cfg.Cores),
 		glitchActive: make([]GlitchKind, cfg.Cores),
 		ins:          newInstruments(cfg.Telemetry),
@@ -167,7 +187,22 @@ func New(cfg Config) *Machine {
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, cpu.NewCore(i, cfg.MinFreqHz))
 	}
+	m.state.Cores = make([]power.CoreState, cfg.Cores)
+	m.refreshElectricalState()
 	return m
+}
+
+// refreshElectricalState recomputes the cached BoardState and model
+// current. Call after any change to core loads, DVFS points, or IO rates
+// (ApplySegment, PowerCycle).
+func (m *Machine) refreshElectricalState() {
+	for i, c := range m.cores {
+		l := c.Load()
+		m.state.Cores[i] = power.CoreState{FreqHz: c.FreqHz(), Util: l.Util, IPC: l.IPC}
+	}
+	m.state.DRAMBytesPerSec = m.dramRate
+	m.state.DiskSectorsPerSec = m.diskReadRate + m.diskWriteRate
+	m.modelCurA = m.pmodel.TrueCurrent(m.state)
 }
 
 // Clock returns the machine's simulated time source.
@@ -234,6 +269,7 @@ func (m *Machine) PowerCycle() {
 		c.SetLoad(cpu.IdleLoad)
 		m.lastCounters[i] = c.Counters()
 	}
+	m.refreshElectricalState()
 }
 
 // ApplySegment installs a trace segment's activity onto the cores and IO
@@ -257,21 +293,16 @@ func (m *Machine) ApplySegment(s trace.Segment) {
 	}
 	m.diskReadRate = s.DiskReadPerSec
 	m.diskWriteRate = s.DiskWritePerSec
+	m.refreshElectricalState()
 }
 
 // BoardState returns the electrical view of the machine for the power
-// model.
+// model. The returned state is an independent copy; the hot sampling
+// loop uses the cached internal view instead.
 func (m *Machine) BoardState() power.BoardState {
-	cores := make([]power.CoreState, len(m.cores))
-	for i, c := range m.cores {
-		l := c.Load()
-		cores[i] = power.CoreState{FreqHz: c.FreqHz(), Util: l.Util, IPC: l.IPC}
-	}
-	return power.BoardState{
-		Cores:             cores,
-		DRAMBytesPerSec:   m.dramRate,
-		DiskSectorsPerSec: m.diskReadRate + m.diskWriteRate,
-	}
+	st := m.state
+	st.Cores = append([]power.CoreState(nil), m.state.Cores...)
+	return st
 }
 
 // Step advances the machine by dt: core counters, disk IO accumulation,
@@ -286,19 +317,19 @@ func (m *Machine) Step(dt time.Duration) {
 	}
 	m.cumDiskR += m.diskReadRate * sec
 	m.cumDiskW += m.diskWriteRate * sec
-	m.energyJ += m.sensor.TrueCurrent(m.BoardState()) * m.cfg.SupplyVoltage * sec
-	m.clock.Advance(dt)
-	m.sensor.AdvanceTo(m.clock.Now()) // activate scheduled sensor faults
+	m.energyJ += m.sensor.TrueCurrentFrom(m.modelCurA) * m.cfg.SupplyVoltage * sec
+	now := m.clock.Advance(dt)
+	m.sensor.AdvanceTo(now) // activate scheduled sensor faults
 	// Orbital thermal cycle: the current baseline drifts sinusoidally
 	// with board temperature, invisibly to the performance counters.
 	if p := m.cfg.Power; p.ThermalDriftA > 0 && p.ThermalDriftPeriodSec > 0 {
-		phase := 2 * math.Pi * m.clock.Now().Seconds() / p.ThermalDriftPeriodSec
+		phase := 2 * math.Pi * now.Seconds() / p.ThermalDriftPeriodSec
 		m.sensor.SetBaselineOffset(p.ThermalDriftA * math.Sin(phase))
 	}
 	if m.selAmps > 0 && m.cfg.SELDamageAfter > 0 &&
-		m.clock.Now()-m.selSince >= m.cfg.SELDamageAfter && !m.damaged {
+		now-m.selSince >= m.cfg.SELDamageAfter && !m.damaged {
 		m.damaged = true
-		m.ins.damage(m.clock.Now())
+		m.ins.damage(now)
 	}
 }
 
@@ -311,7 +342,7 @@ func (m *Machine) Sample() Telemetry {
 	if sec <= 0 {
 		sec = m.cfg.SampleEvery.Seconds() // degenerate: avoid div-by-zero
 	}
-	tel := Telemetry{T: now, PerCore: make([]CoreTelemetry, len(m.cores))}
+	tel := Telemetry{T: now, PerCore: m.nextPerCore()}
 	for i, c := range m.cores {
 		cur := c.Counters()
 		g, glitching := m.activeGlitch(i)
@@ -349,9 +380,8 @@ func (m *Machine) Sample() Telemetry {
 	m.lastDiskR, m.lastDiskW = m.cumDiskR, m.cumDiskW
 	m.lastSample = now
 
-	state := m.BoardState()
-	tel.RawA = m.sensor.Sample(state)
-	tel.CurrentA = m.sensor.SampleFiltered(state, m.cfg.FilterK)
+	tel.RawA = m.sensor.SampleFrom(m.modelCurA)
+	tel.CurrentA = m.sensor.SampleFilteredFrom(m.modelCurA, m.cfg.FilterK)
 
 	fk := power.FaultNone
 	if f, ok := m.sensor.ActiveFault(); ok {
@@ -386,6 +416,27 @@ func (m *Machine) Sample() Telemetry {
 	}
 	m.ins.sample(tel.CurrentA, m.energyJ)
 	return tel
+}
+
+// telChunkSamples is how many samples' worth of per-core telemetry one
+// chunk of Machine.telBuf holds; with the default 4-core board a chunk is
+// 4×256×40 B ≈ 40 KiB.
+const telChunkSamples = 256
+
+// nextPerCore hands out the next per-sample CoreTelemetry slice from the
+// chunk buffer. Each returned slice is full-capacity-clipped and never
+// reused, so samples retained by callbacks (the Table 2 recorder keeps
+// every one) stay immutable; only the amortized chunk allocation is
+// shared.
+func (m *Machine) nextPerCore() []CoreTelemetry {
+	n := len(m.cores)
+	if m.telPos+n > len(m.telBuf) {
+		m.telBuf = make([]CoreTelemetry, n*telChunkSamples)
+		m.telPos = 0
+	}
+	pc := m.telBuf[m.telPos : m.telPos+n : m.telPos+n]
+	m.telPos += n
+	return pc
 }
 
 // SupplyTrips returns how many times the power supply's own over-current

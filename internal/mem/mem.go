@@ -59,10 +59,11 @@ const wordSize = 8 // SECDED granule: 64-bit word + 8 check bits
 // on read; without ECC, injected bit flips silently corrupt data — the
 // paper's unprotected-DRAM configuration (e.g. the Snapdragon 801).
 type DRAM struct {
-	data  []byte
-	check []byte // one check byte per 8-byte word; nil when ECC disabled
-	stats Stats
-	next  uint64 // bump-allocator watermark
+	data    []byte
+	check   []byte // one check byte per 8-byte word; nil when ECC disabled
+	stats   Stats
+	next    uint64 // bump-allocator watermark
+	touched uint64 // dirty high-water mark (writes and flips); bounds Reset's zeroing
 }
 
 // NewDRAM returns a DRAM of the given size (rounded up to a multiple of
@@ -112,16 +113,33 @@ func (d *DRAM) AllocBytes(src []byte) (uint64, error) {
 	return addr, nil
 }
 
-// Reset zeroes the allocator watermark so the arena can be reused between
-// experiment repetitions. Contents and ECC codes are cleared.
+// touch raises the dirty high-water mark to cover [addr, addr+n).
+func (d *DRAM) touch(addr, n uint64) {
+	if end := addr + n; end > d.touched {
+		d.touched = end
+	}
+}
+
+// Reset returns the device to its freshly-constructed state: allocator
+// watermark, contents, ECC codes, and event counters are all cleared, so
+// a reused device is indistinguishable from a new one (the EMR runtime
+// pool depends on this). Only the dirty prefix — bounded by a high-water
+// mark maintained on writes and bit flips — is zeroed, so resetting a
+// 64 MB arena that held a 32 KB dataset costs microseconds, not a full
+// memclr. ECC scrub-on-read corrections rewrite words that were already
+// dirtied by the write or flip that corrupted them, so the mark covers
+// them too (word-granularity rounding handles the partial-word cases).
 func (d *DRAM) Reset() {
-	d.next = 0
-	for i := range d.data {
-		d.data[i] = 0
+	n := (d.touched + wordSize - 1) / wordSize * wordSize
+	if n > d.Size() {
+		n = d.Size()
 	}
-	for i := range d.check {
-		d.check[i] = 0 // Encode(0) == 0
+	clear(d.data[:n])
+	if d.check != nil {
+		clear(d.check[:n/wordSize]) // Encode(0) == 0
 	}
+	d.next, d.touched = 0, 0
+	d.stats = Stats{}
 }
 
 // Read implements Memory. On an ECC device every touched word is decoded:
@@ -159,6 +177,7 @@ func (d *DRAM) Write(addr uint64, src []byte) error {
 	if len(src) == 0 {
 		return nil
 	}
+	d.touch(addr, uint64(len(src)))
 	if d.check == nil {
 		copy(d.data[addr:], src)
 		return nil
@@ -191,6 +210,7 @@ func (d *DRAM) FlipBit(addr uint64, bit uint) error {
 	if err := d.bounds(addr, 1); err != nil {
 		return err
 	}
+	d.touch(addr, 1)
 	d.data[addr] ^= 1 << (bit & 7)
 	d.stats.FlipsInjected++
 	return nil

@@ -145,21 +145,39 @@ func (s *Sensor) SELOffset() float64 { return s.selOffset }
 // TrueCurrent returns the noise-free current including any SEL offset
 // and the present thermal-drift offset.
 func (s *Sensor) TrueCurrent(state BoardState) float64 {
-	return s.model.TrueCurrent(state) + s.selOffset + s.baseOffset
+	return s.TrueCurrentFrom(s.model.TrueCurrent(state))
+}
+
+// TrueCurrentFrom is TrueCurrent with the board-model current already
+// evaluated. The machine's sampling loop computes the model term once per
+// electrical state change (it only moves when a trace segment or DVFS
+// point changes) instead of re-walking the core array on every draw —
+// the measured per-sample hot spot the campaign scheduler work removed
+// (see PERFORMANCE.md).
+func (s *Sensor) TrueCurrentFrom(modelCur float64) float64 {
+	return modelCur + s.selOffset + s.baseOffset
 }
 
 // Sample returns one raw sensor reading: true current + SEL offset +
 // Gaussian noise, possibly landing on a transient spike, then passed
 // through the active sensor-fault model (identity when healthy).
 func (s *Sensor) Sample(state BoardState) float64 {
-	h := s.healthySample(state)
+	return s.SampleFrom(s.model.TrueCurrent(state))
+}
+
+// SampleFrom is Sample with the board-model current precomputed.
+func (s *Sensor) SampleFrom(modelCur float64) float64 {
+	h := s.healthySampleFrom(modelCur)
 	s.analogRaw = h
 	return s.applyFault(h)
 }
 
-// healthySample draws one fault-free raw reading.
-func (s *Sensor) healthySample(state BoardState) float64 {
-	cur := s.TrueCurrent(state) + s.rng.NormFloat64()*s.model.p.NoiseSigmaA
+// healthySampleFrom draws one fault-free raw reading from a precomputed
+// model current. The RNG consumption order (one normal draw, one uniform
+// draw, plus one more uniform on a spike) is part of the repository's
+// determinism contract: experiment goldens replay these exact streams.
+func (s *Sensor) healthySampleFrom(modelCur float64) float64 {
+	cur := s.TrueCurrentFrom(modelCur) + s.rng.NormFloat64()*s.model.p.NoiseSigmaA
 	if s.rng.Float64() < s.model.p.SpikeProb {
 		cur += 0.05 + s.rng.Float64()*(s.model.p.SpikeMaxA-0.05)
 	}
@@ -183,12 +201,18 @@ func (s *Sensor) AnalogRaw() float64 { return s.analogRaw }
 // fault model transforms the filtered result: a stuck or dead ADC
 // corrupts every draw in the window identically.
 func (s *Sensor) SampleFiltered(state BoardState, k int) float64 {
+	return s.SampleFilteredFrom(s.model.TrueCurrent(state), k)
+}
+
+// SampleFilteredFrom is SampleFiltered with the board-model current
+// precomputed.
+func (s *Sensor) SampleFilteredFrom(modelCur float64, k int) float64 {
 	if k < 1 {
 		k = 1
 	}
 	min := math.Inf(1)
 	for i := 0; i < k; i++ {
-		if v := s.healthySample(state); v < min {
+		if v := s.healthySampleFrom(modelCur); v < min {
 			min = v
 		}
 	}

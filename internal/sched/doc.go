@@ -25,8 +25,27 @@
 //     re-raised in the caller's goroutine as a *TrialPanic carrying the
 //     trial index, original value, and worker stack.
 //
+// # Batched dispatch
+//
+// Trials travel to workers as contiguous index spans and results come
+// back one batch per channel message (see batchSpan), so per-trial
+// channel traffic stays flat as campaigns grow to thousands of trials.
+// Batching is pure transport: delivery order, first-error selection, and
+// panic propagation are identical at any batch size, and small campaigns
+// degenerate to one trial per message so failure granularity is
+// unchanged where trials are expensive. A failure abandons the rest of
+// its batch exactly like indices that were never dispatched.
+//
+// The scheduler itself holds no locks around trials and allocates only
+// per batch; what made parallel campaigns slow was allocation inside the
+// trials (GC pressure is shared even when no data is), which is why the
+// per-trial hot paths in machine, power, and ild are pinned by
+// allocation-regression tests — see PERFORMANCE.md for the measured
+// account.
+//
 // With WithTelemetry the pool reports sched_trials_total (completed
-// trials), sched_workers (width of the most recent pool), and
+// trials), sched_workers (width of the most recent pool),
+// sched_batch_size (trials per dispatch span), and
 // sched_queue_wait_events (results that arrived ahead of turn and had to
 // be buffered for in-order delivery) — see TELEMETRY.md.
 package sched

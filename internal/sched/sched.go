@@ -69,11 +69,36 @@ func Map[T any](n, workers int, fn func(i int) (T, error), opts ...Option) ([]T,
 	return out, nil
 }
 
+// span is a half-open range of trial indices dispatched as one unit.
+type span struct{ lo, hi int }
+
+// batchSpan picks the dispatch granularity: small campaigns stay at one
+// trial per message (latency and failure granularity matter more than
+// channel traffic), large campaigns batch so the per-trial channel cost
+// amortizes. Eight batches per worker keeps the pool load-balanced even
+// when trial costs are skewed.
+func batchSpan(n, w int) int {
+	b := n / (w * 8)
+	if b < 1 {
+		b = 1
+	}
+	if b > 64 {
+		b = 64
+	}
+	return b
+}
+
 // Stream is the streaming variant of Map: emit(i, v) is called exactly
 // once per successful trial, strictly in trial order, as soon as every
 // earlier trial has been delivered — trial k+1 may finish first, but its
 // result is buffered until trial k emits. An error from emit stops the
 // campaign like a trial error.
+//
+// Trials are dispatched to workers in contiguous batches (see batchSpan)
+// and results travel back one batch per channel message, so scheduling
+// overhead stays flat as campaigns grow to thousands of trials. Batching
+// is invisible to callers: delivery order, error selection, and panic
+// propagation are identical at any batch size.
 func Stream[T any](n, workers int, fn func(i int) (T, error), emit func(i int, v T) error, opts ...Option) error {
 	if n <= 0 {
 		return nil
@@ -86,26 +111,32 @@ func Stream[T any](n, workers int, fn func(i int) (T, error), emit func(i int, v
 	if w > n {
 		w = n
 	}
+	batch := batchSpan(n, w)
 	var trialsCtr, waitCtr *telemetry.Counter
 	if o.reg != nil {
 		o.reg.Gauge("sched_workers", "workers").Set(float64(w))
+		o.reg.Gauge("sched_batch_size", "trials").Set(float64(batch))
 		trialsCtr = o.reg.Counter("sched_trials_total", "trials")
 		waitCtr = o.reg.Counter("sched_queue_wait_events", "events")
 	}
 
-	idx := make(chan int)
-	results := make(chan result[T], w)
+	spans := make(chan span)
+	results := make(chan []result[T], w)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
 
-	// Dispatcher: feed trial indices until done or a failure halts the
-	// campaign. Unfinished indices are simply never dispatched.
+	// Dispatcher: feed trial-index batches until done or a failure halts
+	// the campaign. Unfinished indices are simply never dispatched.
 	go func() {
-		defer close(idx)
-		for i := 0; i < n; i++ {
+		defer close(spans)
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
 			select {
-			case idx <- i:
+			case spans <- span{lo, hi}:
 			case <-stop:
 				return
 			}
@@ -117,20 +148,35 @@ func Stream[T any](n, workers int, fn func(i int) (T, error), emit func(i int, v
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				res := result[T]{i: i}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							res.pan = &TrialPanic{Trial: i, Value: r, Stack: debug.Stack()}
+			for sp := range spans {
+				buf := make([]result[T], 0, sp.hi-sp.lo)
+				for i := sp.lo; i < sp.hi; i++ {
+					if i > sp.lo {
+						// A failure elsewhere abandons the rest of the
+						// batch, like indices that were never dispatched.
+						select {
+						case <-stop:
+							i = sp.hi
+							continue
+						default:
 						}
+					}
+					res := result[T]{i: i}
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								res.pan = &TrialPanic{Trial: i, Value: r, Stack: debug.Stack()}
+							}
+						}()
+						res.v, res.err = fn(i)
 					}()
-					res.v, res.err = fn(i)
-				}()
-				if res.err != nil || res.pan != nil {
-					halt()
+					buf = append(buf, res)
+					if res.err != nil || res.pan != nil {
+						halt()
+						break
+					}
 				}
-				results <- res
+				results <- buf
 			}
 		}()
 	}
@@ -143,20 +189,15 @@ func Stream[T any](n, workers int, fn func(i int) (T, error), emit func(i int, v
 	// contiguous prefix. The emitted sequence is always 0,1,2,…, so the
 	// first failure seen here is deterministically the lowest-index
 	// failure among the trials that ran.
-	pending := make(map[int]result[T], w)
+	pending := make(map[int]result[T], w*batch)
 	next := 0
 	var firstErr error
 	var firstPan *TrialPanic
-	for res := range results {
-		trialsCtr.Inc()
-		if res.i != next {
-			waitCtr.Inc()
-		}
-		pending[res.i] = res
+	drain := func() {
 		for {
 			r, ok := pending[next]
 			if !ok {
-				break
+				return
 			}
 			delete(pending, next)
 			next++
@@ -173,6 +214,16 @@ func Stream[T any](n, workers int, fn func(i int) (T, error), emit func(i int, v
 					halt()
 				}
 			}
+		}
+	}
+	for buf := range results {
+		trialsCtr.Add(uint64(len(buf)))
+		for _, res := range buf {
+			if res.i != next {
+				waitCtr.Inc()
+			}
+			pending[res.i] = res
+			drain()
 		}
 	}
 	// A failure can be stranded behind a gap of never-dispatched indices

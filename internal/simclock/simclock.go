@@ -3,17 +3,26 @@ package simclock
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a manually-advanced time source. The zero value is ready to use
 // and starts at instant zero. Clock is safe for concurrent use.
+//
+// Now is a single atomic load: the machine simulation reads the clock
+// several times per telemetry sample, and a mutex there was one of the
+// campaign scheduler's measured hot spots (see PERFORMANCE.md). Advance
+// takes the waiter lock only when callbacks are actually scheduled, so
+// the common waiter-free simulation loop advances with one atomic add.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64 // simulated offset in nanoseconds
 
-	// waiters are callbacks scheduled with After, keyed by deadline.
-	waiters []waiter
+	// mu guards waiters; nwaiters mirrors len(waiters) so Advance can
+	// skip the lock entirely while no callbacks are scheduled.
+	mu       sync.Mutex
+	waiters  []waiter
+	nwaiters atomic.Int32
 }
 
 type waiter struct {
@@ -27,35 +36,36 @@ func New() *Clock { return &Clock{} }
 // Now reports the current simulated instant as an offset from simulation
 // start.
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
-// Advance moves simulated time forward by d and fires, in deadline order,
-// every callback whose deadline has been reached. Advance panics if d is
-// negative: the simulation may never move backwards.
-func (c *Clock) Advance(d time.Duration) {
+// Advance moves simulated time forward by d, fires, in deadline order,
+// every callback whose deadline has been reached, and returns the new
+// simulated instant. Advance panics if d is negative: the simulation may
+// never move backwards.
+func (c *Clock) Advance(d time.Duration) time.Duration {
 	if d < 0 {
 		//radlint:allow nopanic simulated time may never move backwards; continuing would corrupt every run
 		panic(fmt.Sprintf("simclock: Advance(%v): negative duration", d))
 	}
+	if c.nwaiters.Load() == 0 {
+		// Waiter-free fast path: the simulation driver's per-step cost.
+		return time.Duration(c.now.Add(int64(d)))
+	}
 	c.mu.Lock()
-	c.now += d
-	fired := c.takeExpiredLocked()
-	now := c.now
+	now := time.Duration(c.now.Add(int64(d)))
+	fired := c.takeExpiredLocked(now)
 	c.mu.Unlock()
 	for _, w := range fired {
 		w.fn(now)
 	}
+	return now
 }
 
 // AdvanceTo moves simulated time to the absolute instant t. It panics if t
 // is in the past.
 func (c *Clock) AdvanceTo(t time.Duration) {
-	c.mu.Lock()
-	cur := c.now
-	c.mu.Unlock()
+	cur := c.Now()
 	if t < cur {
 		//radlint:allow nopanic simulated time may never move backwards; continuing would corrupt every run
 		panic(fmt.Sprintf("simclock: AdvanceTo(%v): before current time %v", t, cur))
@@ -71,21 +81,23 @@ func (c *Clock) After(d time.Duration, fn func(now time.Duration)) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.waiters = append(c.waiters, waiter{deadline: c.now + d, fn: fn})
+	c.waiters = append(c.waiters, waiter{deadline: c.Now() + d, fn: fn})
+	c.nwaiters.Store(int32(len(c.waiters)))
 }
 
 // takeExpiredLocked removes and returns all waiters whose deadline has
 // passed, sorted by deadline so callbacks observe a monotone order.
-func (c *Clock) takeExpiredLocked() []waiter {
+func (c *Clock) takeExpiredLocked(now time.Duration) []waiter {
 	var fired, keep []waiter
 	for _, w := range c.waiters {
-		if w.deadline <= c.now {
+		if w.deadline <= now {
 			fired = append(fired, w)
 		} else {
 			keep = append(keep, w)
 		}
 	}
 	c.waiters = keep
+	c.nwaiters.Store(int32(len(c.waiters)))
 	// Insertion sort: waiter counts are tiny and usually already ordered.
 	for i := 1; i < len(fired); i++ {
 		for j := i; j > 0 && fired[j].deadline < fired[j-1].deadline; j-- {

@@ -1,0 +1,49 @@
+//go:build !race
+
+// Allocation-regression tests for the telemetry record path. Instruments
+// are updated inside per-sample loops (machine sampling, ILD observation,
+// EMR accounting), so a single allocation per update multiplies into
+// millions per campaign. Handle lookup (Registry.Counter and friends) may
+// allocate — callers hoist handles out of their loops — but recording
+// through a handle must not.
+//
+// Excluded under -race: race instrumentation allocates on its own.
+
+package telemetry
+
+import "testing"
+
+func TestAllocsRecordPath(t *testing.T) {
+	reg := NewRegistry(DefaultEventCap)
+	ctr := reg.Counter("alloc_test_total", "events")
+	g := reg.Gauge("alloc_test_gauge", "units")
+	h := reg.Histogram("alloc_test_hist", "seconds", []float64{0.1, 1, 10})
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { ctr.Inc() }},
+		{"Counter.Add", func() { ctr.Add(3) }},
+		{"Gauge.Set", func() { g.Set(4.2) }},
+		{"Histogram.Observe", func() { h.Observe(0.5) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(1000, tc.fn); avg != 0 {
+			t.Errorf("%s allocates %.3f objects/op, want 0", tc.name, avg)
+		}
+	}
+
+	// Nil-safe handles (disabled telemetry) must also be free: the hot
+	// paths call them unconditionally.
+	var nilCtr *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	if avg := testing.AllocsPerRun(1000, func() {
+		nilCtr.Inc()
+		nilG.Set(1)
+		nilH.Observe(1)
+	}); avg != 0 {
+		t.Errorf("nil handles allocate %.3f objects/op, want 0", avg)
+	}
+}
