@@ -346,6 +346,7 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/telemetry", reg.Handler())
 		mux.Handle("/debug/vars", http.DefaultServeMux)
+		//radlint:allow schedonly telemetry HTTP server serves external observers over real sockets and never touches campaign state or output
 		go func() {
 			if err := http.ListenAndServe(*telHTTP, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "radbench: telemetry-http: %v\n", err)

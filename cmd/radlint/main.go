@@ -1,5 +1,5 @@
 // Command radlint is Radshield's domain-specific static analysis
-// suite: a multichecker running the five analyzers that keep the
+// suite: a multichecker running the nine analyzers that keep the
 // paper's reproducibility and robustness invariants honest (see
 // LINTING.md for the catalog and rationale).
 //
@@ -9,7 +9,8 @@
 //	radlint -list                   # describe the analyzers
 //	radlint -doc nopanic            # full doc for one analyzer
 //	radlint -analyzers nopanic ./...
-//	radlint -json ./...             # machine-readable findings
+//	radlint -json ./...             # machine-readable findings + suppressions
+//	radlint -timing ./...           # per-analyzer wall time on stderr
 //
 // Exit status: 0 when clean, 1 when findings remain after
 // //radlint:allow suppression, 2 on usage or load errors.
@@ -19,14 +20,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"radshield/internal/analysis/armpurity"
 	"radshield/internal/analysis/emrpurity"
+	"radshield/internal/analysis/maporder"
 	"radshield/internal/analysis/nopanic"
 	"radshield/internal/analysis/radlint"
+	"radshield/internal/analysis/schedonly"
 	"radshield/internal/analysis/seededrand"
 	"radshield/internal/analysis/simclocktime"
+	"radshield/internal/analysis/telemetrydoc"
 	"radshield/internal/analysis/telemetryname"
 )
 
@@ -35,20 +41,26 @@ var suite = []*radlint.Analyzer{
 	simclocktime.Analyzer,
 	seededrand.Analyzer,
 	telemetryname.Analyzer,
+	telemetrydoc.Analyzer,
 	emrpurity.Analyzer,
+	armpurity.Analyzer,
+	maporder.Analyzer,
+	schedonly.Analyzer,
 	nopanic.Analyzer,
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("radlint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
 	var (
 		list    = flags.Bool("list", false, "describe the analyzers and exit")
 		only    = flags.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
-		jsonOut = flags.Bool("json", false, "emit findings as JSON instead of text")
+		jsonOut = flags.Bool("json", false, "emit findings and honored suppressions as JSON instead of text")
+		timing  = flags.Bool("timing", false, "print per-analyzer wall time to stderr")
 		docFor  = flags.String("doc", "", "print the full doc for the named analyzer and exit")
 	)
 	flags.Usage = func() {
@@ -61,7 +73,7 @@ func run(args []string) int {
 
 	if *list {
 		for _, a := range suite {
-			fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "  %-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -69,17 +81,17 @@ func run(args []string) int {
 	if *docFor != "" {
 		for _, a := range suite {
 			if a.Name == *docFor {
-				fmt.Printf("%s\n\t%s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n\t"))
+				fmt.Fprintf(stdout, "%s\n\t%s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n\t"))
 				return 0
 			}
 		}
-		fmt.Fprintf(os.Stderr, "radlint: unknown analyzer %q (try -list)\n", *docFor)
+		fmt.Fprintf(stderr, "radlint: unknown analyzer %q (try -list)\n", *docFor)
 		return 2
 	}
 
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+		fmt.Fprintf(stderr, "radlint: %v\n", err)
 		return 2
 	}
 
@@ -91,30 +103,40 @@ func run(args []string) int {
 	loader := &radlint.Loader{}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+		fmt.Fprintf(stderr, "radlint: %v\n", err)
 		return 2
 	}
 
-	diags, err := radlint.Run(analyzers, pkgs)
+	res, err := radlint.Run(analyzers, pkgs, &radlint.Options{
+		Universe: loader.Universe(),
+		RepoRoot: loader.Root(),
+	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+		fmt.Fprintf(stderr, "radlint: %v\n", err)
 		return 2
 	}
+
+	if *timing {
+		for _, tm := range res.Timings {
+			fmt.Fprintf(stderr, "radlint: timing %-14s %s\n", tm.Analyzer, tm.Elapsed)
+		}
+	}
+
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findingsJSON(diags)); err != nil {
-			fmt.Fprintf(os.Stderr, "radlint: %v\n", err)
+		if err := enc.Encode(reportJSON(res)); err != nil {
+			fmt.Fprintf(stderr, "radlint: %v\n", err)
 			return 2
 		}
 	} else {
-		for _, d := range diags {
-			fmt.Println(d)
+		for _, d := range res.Findings {
+			fmt.Fprintln(stdout, d)
 		}
 	}
-	if len(diags) > 0 {
+	if len(res.Findings) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "radlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(stderr, "radlint: %d finding(s) in %d package(s)\n", len(res.Findings), len(pkgs))
 		}
 		return 1
 	}
@@ -151,10 +173,30 @@ type finding struct {
 	Message  string `json:"message"`
 }
 
-func findingsJSON(diags []radlint.Diagnostic) []finding {
-	out := make([]finding, 0, len(diags))
-	for _, d := range diags {
-		out = append(out, finding{
+// suppression is the JSON shape of one honored //radlint:allow:
+// where, which analyzer was silenced, and the written-down reason.
+type suppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Findings     []finding     `json:"findings"`
+	Suppressions []suppression `json:"suppressions"`
+}
+
+func reportJSON(res *radlint.Result) report {
+	r := report{
+		Findings:     make([]finding, 0, len(res.Findings)),
+		Suppressions: make([]suppression, 0, len(res.Suppressed)),
+	}
+	for _, d := range res.Findings {
+		r.Findings = append(r.Findings, finding{
 			File:     d.Pos.Filename,
 			Line:     d.Pos.Line,
 			Column:   d.Pos.Column,
@@ -162,5 +204,15 @@ func findingsJSON(diags []radlint.Diagnostic) []finding {
 			Message:  d.Message,
 		})
 	}
-	return out
+	for _, s := range res.Suppressed {
+		r.Suppressions = append(r.Suppressions, suppression{
+			File:     s.Pos.Filename,
+			Line:     s.Pos.Line,
+			Column:   s.Pos.Column,
+			Analyzer: s.Analyzer,
+			Message:  s.Message,
+			Reason:   s.Reason,
+		})
+	}
+	return r
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuiteRegistration is the meta-test over the analyzer catalog:
+// every registered analyzer documents itself (non-empty Doc), shows up
+// in -list output, and has its own heading in LINTING.md. A new
+// analyzer cannot ship half-registered.
+func TestSuiteRegistration(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("radlint -list exited %d, stderr: %s", code, stderr.String())
+	}
+	listing := stdout.String()
+
+	linting, err := os.ReadFile(filepath.Join("..", "..", "LINTING.md"))
+	if err != nil {
+		t.Fatalf("reading LINTING.md: %v", err)
+	}
+
+	seen := map[string]bool{}
+	for _, a := range suite {
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %q has an empty Doc", a.Name)
+		}
+		if !strings.Contains(listing, a.Name) {
+			t.Errorf("analyzer %q missing from -list output", a.Name)
+		}
+		if !strings.Contains(string(linting), "### "+a.Name+" ") {
+			t.Errorf("analyzer %q has no '### %s — ...' heading in LINTING.md", a.Name, a.Name)
+		}
+	}
+}
+
+// TestDocFlag exercises the -doc path for every analyzer.
+func TestDocFlag(t *testing.T) {
+	for _, a := range suite {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-doc", a.Name}, &stdout, &stderr); code != 0 {
+			t.Fatalf("radlint -doc %s exited %d", a.Name, code)
+		}
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-doc %s output does not mention the analyzer", a.Name)
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks the usage-error exit code.
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "nosuch") {
+		t.Errorf("stderr does not name the unknown analyzer: %s", stderr.String())
+	}
+}

@@ -1,0 +1,29 @@
+package armpurity_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/armpurity"
+	"radshield/internal/analysis/radlint/radlinttest"
+)
+
+// TestArmPurity drives the cross-package fixture: the entry-point
+// package is analyzed, with the impurities two packages below it
+// (campdemo/experiments → campdemo/mid → campdemo/leaf) resolved
+// through the purity engine's whole-program facts.
+func TestArmPurity(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), armpurity.Analyzer,
+		"radshield/internal/campdemo/experiments",
+	)
+}
+
+// TestArmPurityHelpersClean asserts the analyzer stays silent on the
+// helper packages themselves: mid and leaf define no campaign entry
+// points and submit no scheduler jobs, so taints are reported only
+// where the contract binds.
+func TestArmPurityHelpersClean(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), armpurity.Analyzer,
+		"radshield/internal/campdemo/mid",
+		"radshield/internal/campdemo/leaf",
+	)
+}

@@ -1,0 +1,66 @@
+// Package leaf is the bottom of the armpurity fixture call chain: it
+// holds the primitive impurities (and one provably-immutable table)
+// that must surface two packages up, at the campaign entry points.
+package leaf
+
+import "time"
+
+// gains is package-level but never written after its declaration:
+// configuration, not state. Reading it is deterministic.
+var gains = []float64{0.25, 0.5, 1.0, 2.0}
+
+// runs is mutable package-level state.
+var runs int
+
+// Tick reads the wall clock — the canonical nondeterminism.
+func Tick() int64 {
+	return time.Now().UnixNano()
+}
+
+// Bump mutates package state.
+func Bump() {
+	runs++
+}
+
+// Gain reads the immutable table — deterministic.
+func Gain(i int) float64 {
+	return gains[i%len(gains)]
+}
+
+// scratch is genuinely mutable, but declared observably deterministic:
+// the recycled buffers are wiped before reuse, so reads through the
+// shelf cannot distinguish two runs.
+//
+//radlint:pure buffers are zeroed before reuse; whether a Borrow recycles or allocates is invisible in outputs
+var scratch [][]byte
+
+// Borrow hands out a zeroed buffer, recycling through the declared-pure
+// shelf. Deterministic by declaration.
+func Borrow() []byte {
+	if n := len(scratch); n > 0 {
+		b := scratch[n-1]
+		scratch = scratch[:n-1]
+		clear(b)
+		return b
+	}
+	return make([]byte, 64)
+}
+
+// Stamp reads the wall clock but is declared pure with a written
+// reason, so callers summarize it as deterministic.
+//
+//radlint:pure fixture exercises the function-level pure declaration
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+// hits carries a bare directive with no justification: inert, so hits
+// remains mutable state and Hit still taints its callers.
+//
+//radlint:pure
+var hits int
+
+// Hit mutates package state behind the inert directive.
+func Hit() {
+	hits++
+}

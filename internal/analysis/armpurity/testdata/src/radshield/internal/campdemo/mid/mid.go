@@ -1,0 +1,31 @@
+// Package mid is the middle of the armpurity fixture call chain: it
+// contains no impurity of its own, so a per-package analysis would
+// call it clean — only cross-package facts carry leaf's taints through.
+package mid
+
+import (
+	"math/rand"
+
+	"radshield/internal/campdemo/leaf"
+)
+
+// Sim is impure only transitively, via leaf.Tick.
+func Sim(steps int) int64 {
+	var acc int64
+	for i := 0; i < steps; i++ {
+		acc += leaf.Tick()
+	}
+	return acc
+}
+
+// Pure is the sanctioned pattern: explicit seed, injected generator,
+// immutable package data.
+func Pure(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() * leaf.Gain(3)
+}
+
+// Count is impure transitively via leaf.Bump's state write.
+func Count() {
+	leaf.Bump()
+}

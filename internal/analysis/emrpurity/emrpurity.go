@@ -11,24 +11,21 @@
 // the paper's Table 7 outcome taxonomy stops meaning anything.
 //
 // The analyzer finds every function value assigned to emr.Spec's Job
-// field (composite literal or assignment) and inspects its body — and,
-// transitively, the bodies of same-package functions it calls — for:
-//
-//   - references to package-level variables (error-typed sentinels are
-//     exempt: comparing against io.EOF-style values is conventional
-//     and immutable in practice);
-//   - writes to variables captured from an enclosing function;
-//   - calls to wall-clock time functions or the global math/rand
-//     generator.
-//
-// Cross-package callees are not inspected (their source is not loaded
-// in this pass); keeping jobs self-contained is part of the contract.
+// field (composite literal or assignment) and asks the shared purity
+// engine (internal/analysis/purity) for its whole-program summary:
+// the job and everything it transitively calls — same-package helpers
+// and cross-package callees alike, resolved through export-data facts
+// — must be free of wall-clock reads, global randomness, mutable
+// package-level state, and writes to captured variables. Diagnostics
+// carry the call chain from the job down to the primitive
+// nondeterminism.
 package emrpurity
 
 import (
 	"go/ast"
 	"go/types"
 
+	"radshield/internal/analysis/purity"
 	"radshield/internal/analysis/radlint"
 )
 
@@ -36,7 +33,8 @@ import (
 var Analyzer = &radlint.Analyzer{
 	Name: "emrpurity",
 	Doc: "functions handed to the EMR replica runner must be deterministic: " +
-		"no mutable package-level state, no wall clock, no global rand",
+		"no mutable package-level state, no wall clock, no global rand — " +
+		"proven transitively across package boundaries by the purity engine",
 	Run: run,
 }
 
@@ -46,20 +44,19 @@ const (
 )
 
 func run(pass *radlint.Pass) error {
-	c := &checker{
-		pass:    pass,
-		decls:   map[*types.Func]*ast.FuncDecl{},
-		visited: map[*types.Func]bool{},
+	facts := purity.Of(pass)
+	self := pass.PackageFor(pass.Pkg.Path())
+	if self == nil {
+		return nil // package not in universe (cannot happen via Run)
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				c.decls[fn] = fd
-			}
+	check := func(expr ast.Expr) {
+		sum, desc, ok := facts.Expr(self, expr)
+		if !ok || sum.Pure(purity.Deterministic) {
+			return
+		}
+		for _, c := range sum.CausesFor(purity.Deterministic) {
+			pass.Reportf(expr.Pos(),
+				"emr job %s is not replica-deterministic: %s", desc, c.Describe())
 		}
 	}
 	for _, f := range pass.Files {
@@ -75,7 +72,7 @@ func run(pass *radlint.Pass) error {
 						continue
 					}
 					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Job" {
-						c.checkJobValue(kv.Value)
+						check(kv.Value)
 					}
 				}
 			case *ast.AssignStmt:
@@ -95,7 +92,7 @@ func run(pass *radlint.Pass) error {
 					if !ok || field.Name() != "Job" || !isEMRSpec(selection.Recv()) {
 						continue
 					}
-					c.checkJobValue(n.Rhs[i])
+					check(n.Rhs[i])
 				}
 			}
 			return true
@@ -118,123 +115,4 @@ func isEMRSpec(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == specTypeObj && obj.Pkg() != nil && obj.Pkg().Path() == emrPkgPath
-}
-
-type checker struct {
-	pass    *radlint.Pass
-	decls   map[*types.Func]*ast.FuncDecl
-	visited map[*types.Func]bool
-}
-
-// checkJobValue resolves the expression assigned as a Job to a function
-// body in this package and inspects it. Function values that cross a
-// package boundary cannot be inspected here and are skipped.
-func (c *checker) checkJobValue(expr ast.Expr) {
-	switch e := ast.Unparen(expr).(type) {
-	case *ast.FuncLit:
-		c.inspectBody("job literal", e.Body, e.Type)
-	case *ast.Ident, *ast.SelectorExpr:
-		var id *ast.Ident
-		if sel, ok := e.(*ast.SelectorExpr); ok {
-			id = sel.Sel
-		} else {
-			id = e.(*ast.Ident)
-		}
-		if fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func); ok {
-			c.checkNamed(fn)
-		}
-	}
-}
-
-func (c *checker) checkNamed(fn *types.Func) {
-	if c.visited[fn] {
-		return
-	}
-	c.visited[fn] = true
-	if fd := c.decls[fn]; fd != nil && fd.Body != nil {
-		c.inspectBody(fn.Name(), fd.Body, fd.Type)
-	}
-}
-
-// inspectBody walks one function body looking for impurities. desc
-// names the job (or job-reachable helper) in diagnostics.
-func (c *checker) inspectBody(desc string, body *ast.BlockStmt, ftype *ast.FuncType) {
-	info := c.pass.TypesInfo
-	local := func(obj types.Object) bool {
-		pos := obj.Pos()
-		if ftype != nil && ftype.Pos() <= pos && pos < body.Pos() {
-			return true // parameter or named result
-		}
-		return body.Pos() <= pos && pos < body.End()
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.Ident:
-			obj := info.Uses[n]
-			if obj == nil {
-				return true
-			}
-			if v, ok := obj.(*types.Var); ok && isPackageLevel(v) && !isErrorSentinel(v) && !isStateless(v) {
-				c.pass.Reportf(n.Pos(),
-					"emr job %s references package-level variable %s: replicas must not capture mutable shared state",
-					desc, v.Name())
-				return true
-			}
-			if radlint.IsWallClockFunc(obj) {
-				c.pass.Reportf(n.Pos(),
-					"emr job %s calls time.%s: replica execution must be deterministic", desc, n.Name)
-				return true
-			}
-			if radlint.IsGlobalRandFunc(obj) {
-				c.pass.Reportf(n.Pos(),
-					"emr job %s calls global rand.%s: replica execution must be deterministic", desc, n.Name)
-				return true
-			}
-			if fn, ok := obj.(*types.Func); ok && fn.Pkg() == c.pass.Pkg {
-				c.checkNamed(fn) // follow same-package helpers
-			}
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				c.checkWrite(desc, lhs, local)
-			}
-		case *ast.IncDecStmt:
-			c.checkWrite(desc, n.X, local)
-		}
-		return true
-	})
-}
-
-// checkWrite flags writes to variables captured from an enclosing
-// function (package-level writes are already flagged as uses).
-func (c *checker) checkWrite(desc string, lhs ast.Expr, local func(types.Object) bool) {
-	id, ok := ast.Unparen(lhs).(*ast.Ident)
-	if !ok {
-		return
-	}
-	v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
-	if !ok || v.IsField() || isPackageLevel(v) || local(v) {
-		return
-	}
-	c.pass.Reportf(id.Pos(),
-		"emr job %s writes to captured variable %s: replicas must not mutate shared state",
-		desc, v.Name())
-}
-
-// isPackageLevel reports whether v is declared at some package's scope.
-func isPackageLevel(v *types.Var) bool {
-	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
-}
-
-// isErrorSentinel reports whether v is an error-typed package variable
-// (io.EOF style), conventionally immutable and safe to compare against.
-func isErrorSentinel(v *types.Var) bool {
-	return types.Implements(v.Type(), types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
-}
-
-// isStateless reports whether v's type is a zero-field struct: values
-// like binary.BigEndian are namespaces for methods, carry no state, and
-// cannot make replicas diverge.
-func isStateless(v *types.Var) bool {
-	s, ok := v.Type().Underlying().(*types.Struct)
-	return ok && s.NumFields() == 0
 }

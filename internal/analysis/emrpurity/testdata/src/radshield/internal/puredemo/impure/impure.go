@@ -1,0 +1,11 @@
+// Package impure is an emrpurity fixture dependency: its impurity is
+// only visible to cross-package purity facts.
+package impure
+
+import "time"
+
+// Stamp appends a wall-clock timestamp — nondeterministic across
+// replicas.
+func Stamp(b []byte) []byte {
+	return append(b, []byte(time.Now().String())...)
+}

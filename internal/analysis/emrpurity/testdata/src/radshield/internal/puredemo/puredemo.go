@@ -1,5 +1,7 @@
 // Package puredemo is an emrpurity fixture: job functions handed to
-// the EMR replica runner, pure and impure.
+// the EMR replica runner, pure and impure. Findings are reported at
+// the site where the job is handed over, with the call chain from the
+// job down to the primitive nondeterminism.
 package puredemo
 
 import (
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"radshield/internal/emr"
+	"radshield/internal/puredemo/impure"
 )
 
 // hits is mutable package-level state no replica may touch.
@@ -18,7 +21,12 @@ var hits int
 // immutable, so jobs may compare against it.
 var errCorrupt = errors.New("puredemo: corrupt input")
 
-// PureSpec builds a spec whose job touches nothing but its inputs.
+// xorTable is package-level but written by nothing after its
+// declaration: configuration, not state, so jobs may read it.
+var xorTable = [4]byte{0x1d, 0x2e, 0x3f, 0x40}
+
+// PureSpec builds a spec whose job touches nothing but its inputs and
+// immutable package data.
 func PureSpec() emr.Spec {
 	return emr.Spec{
 		Name: "pure",
@@ -27,8 +35,8 @@ func PureSpec() emr.Spec {
 				return nil, errCorrupt
 			}
 			sum := byte(0)
-			for _, b := range inputs[0] {
-				sum ^= b
+			for i, b := range inputs[0] {
+				sum ^= b ^ xorTable[i%len(xorTable)]
 			}
 			return []byte{sum}, nil
 		},
@@ -38,8 +46,8 @@ func PureSpec() emr.Spec {
 // CountingSpec captures package state — healthy replicas disagree.
 func CountingSpec() emr.Spec {
 	return emr.Spec{
-		Job: func(inputs [][]byte) ([]byte, error) {
-			hits++ // want `emr job job literal references package-level variable hits`
+		Job: func(inputs [][]byte) ([]byte, error) { // want `emr job function literal is not replica-deterministic: package-level variable puredemo\.hits \(write of package-level state\)`
+			hits++
 			return nil, nil
 		},
 	}
@@ -48,8 +56,8 @@ func CountingSpec() emr.Spec {
 // ClockSpec stamps outputs with the wall clock.
 func ClockSpec() emr.Spec {
 	return emr.Spec{
-		Job: func(inputs [][]byte) ([]byte, error) {
-			t := time.Now() // want `emr job job literal calls time\.Now`
+		Job: func(inputs [][]byte) ([]byte, error) { // want `emr job function literal is not replica-deterministic: time\.Now \(wall-clock read\)`
+			t := time.Now()
 			return []byte(t.String()), nil
 		},
 	}
@@ -57,26 +65,38 @@ func ClockSpec() emr.Spec {
 
 // randomJob draws from the global generator.
 func randomJob(inputs [][]byte) ([]byte, error) {
-	return []byte{byte(rand.Intn(256))}, nil // want `emr job randomJob calls global rand\.Intn`
+	return []byte{byte(rand.Intn(256))}, nil
 }
 
-// NamedSpec hands a named package function to the runner; its body is
-// inspected wherever it is declared.
+// NamedSpec hands a named package function to the runner; the purity
+// engine summarizes its body wherever it is declared.
 func NamedSpec() emr.Spec {
-	return emr.Spec{Job: randomJob}
+	return emr.Spec{Job: randomJob} // want `emr job randomJob is not replica-deterministic: rand\.Intn \(global randomness\)`
 }
 
 // bumpHits is a helper reached transitively from a job.
 func bumpHits() {
-	hits++ // want `emr job bumpHits references package-level variable hits`
+	hits++
 }
 
-// TransitiveSpec shows same-package callees are followed.
+// TransitiveSpec shows same-package callees are followed; the chain
+// names the helper carrying the impurity.
 func TransitiveSpec() emr.Spec {
 	return emr.Spec{
-		Job: func(inputs [][]byte) ([]byte, error) {
+		Job: func(inputs [][]byte) ([]byte, error) { // want `emr job function literal is not replica-deterministic: package-level variable puredemo\.hits \(write of package-level state\) via puredemo\.bumpHits`
 			bumpHits()
 			return nil, nil
+		},
+	}
+}
+
+// CrossPackageSpec calls into a sibling fixture package whose impurity
+// is invisible to a per-package walk: the cross-package facts carry it
+// back to this job.
+func CrossPackageSpec() emr.Spec {
+	return emr.Spec{
+		Job: func(inputs [][]byte) ([]byte, error) { // want `emr job function literal is not replica-deterministic: time\.Now \(wall-clock read\) via impure\.Stamp`
+			return impure.Stamp(inputs[0]), nil
 		},
 	}
 }
@@ -85,8 +105,8 @@ func TransitiveSpec() emr.Spec {
 func CaptureSpec() emr.Spec {
 	count := 0
 	return emr.Spec{
-		Job: func(inputs [][]byte) ([]byte, error) {
-			count++ // want `emr job job literal writes to captured variable count`
+		Job: func(inputs [][]byte) ([]byte, error) { // want `emr job function literal is not replica-deterministic: captured variable count \(write to captured variable\)`
+			count++
 			return []byte{byte(count)}, nil
 		},
 	}
@@ -96,7 +116,7 @@ func CaptureSpec() emr.Spec {
 func AssignedSpec() emr.Spec {
 	var spec emr.Spec
 	spec.Name = "assigned"
-	spec.Job = randomJob // body already reported at its declaration
+	spec.Job = randomJob // want `emr job randomJob is not replica-deterministic: rand\.Intn \(global randomness\)`
 	return spec
 }
 

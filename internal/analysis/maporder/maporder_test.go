@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/maporder"
+	"radshield/internal/analysis/radlint/radlinttest"
+)
+
+func TestMapOrder(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), maporder.Analyzer,
+		"radshield/internal/mapdemo",
+	)
+}

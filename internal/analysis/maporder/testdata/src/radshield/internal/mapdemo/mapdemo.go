@@ -1,0 +1,148 @@
+// Package mapdemo is the maporder fixture: map iterations that feed
+// output (flagged) and the commutative or sorted idioms (clean).
+package mapdemo
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+
+	"radshield/internal/telemetry"
+)
+
+// RenderUnsorted appends rows straight out of map order — the bytes
+// differ between two identical runs.
+func RenderUnsorted(scores map[string]int) []string {
+	var rows []string
+	for name, s := range scores {
+		rows = append(rows, fmt.Sprintf("%s=%d", name, s)) // want `range over map scores appends in iteration order without a later sort`
+	}
+	return rows
+}
+
+// RenderSortedKeys is the sanctioned idiom: collect the keys, sort,
+// iterate the sorted slice. The collection append is recognized as
+// clean because keys is sorted after the loop.
+func RenderSortedKeys(scores map[string]int) []string {
+	keys := make([]string, 0, len(scores))
+	for name := range scores {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	rows := make([]string, 0, len(keys))
+	for _, name := range keys {
+		rows = append(rows, fmt.Sprintf("%s=%d", name, scores[name]))
+	}
+	return rows
+}
+
+// RenderSortAfter collects rows in map order but sorts the result
+// before it can reach output — equally deterministic, equally clean.
+func RenderSortAfter(scores map[string]int) []string {
+	var rows []string
+	for name, s := range scores {
+		rows = append(rows, fmt.Sprintf("%s=%d", name, s))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// SlicesSorted uses the slices package sorter; same idiom, same
+// exemption.
+func SlicesSorted(scores map[string]int) []string {
+	var keys []string
+	for name := range scores {
+		keys = append(keys, name)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// PrintDirect streams rows in map order.
+func PrintDirect(scores map[string]int) {
+	for name, s := range scores {
+		fmt.Printf("%s=%d\n", name, s) // want `range over map scores feeds fmt\.Printf`
+	}
+}
+
+// BuildString writes to a builder in map order.
+func BuildString(scores map[string]int) string {
+	var b strings.Builder
+	for name := range scores {
+		b.WriteString(name) // want `range over map scores feeds an output writer \(Builder\)\.WriteString`
+	}
+	return b.String()
+}
+
+// SendKeys emits keys on a channel in map order.
+func SendKeys(scores map[string]int, ch chan<- string) {
+	for name := range scores {
+		ch <- name // want `range over map scores sends on a channel`
+	}
+}
+
+// GaugeLastWriteWins sets a gauge per key: the surviving value is
+// whichever key iterated last.
+func GaugeLastWriteWins(reg *telemetry.Registry, scores map[string]int) {
+	g := reg.Gauge("mapdemo_last", "score")
+	for _, s := range scores {
+		g.Set(float64(s)) // want `range over map scores feeds order-sensitive telemetry \(telemetry\.Gauge\)\.Set`
+	}
+}
+
+// report holds two output fields to exercise field-level sort
+// matching.
+type report struct {
+	Names []string
+	Rows  []string
+}
+
+// FieldSorted appends to a struct field and sorts that same field —
+// the idiom holds at field granularity.
+func FieldSorted(scores map[string]int) report {
+	var rep report
+	for name := range scores {
+		rep.Names = append(rep.Names, name)
+	}
+	sort.Strings(rep.Names)
+	return rep
+}
+
+// FieldMismatch sorts a *different* field of the same struct: the
+// appended field still leaves in map order, so it is flagged.
+func FieldMismatch(scores map[string]int) report {
+	var rep report
+	for name := range scores {
+		rep.Rows = append(rep.Rows, name) // want `range over map scores appends in iteration order without a later sort`
+	}
+	sort.Strings(rep.Names)
+	return rep
+}
+
+// CountClean accumulates integers — commutative, order cannot be
+// observed.
+func CountClean(scores map[string]int) int {
+	total := 0
+	for _, s := range scores {
+		total += s
+	}
+	return total
+}
+
+// InvertClean builds another map — also order-free.
+func InvertClean(scores map[string]int) map[int]string {
+	inv := make(map[int]string, len(scores))
+	for name, s := range scores {
+		inv[s] = name
+	}
+	return inv
+}
+
+// CounterClean bumps a commutative counter per entry: exempt.
+func CounterClean(reg *telemetry.Registry, scores map[string]int) {
+	c := reg.Counter("mapdemo_total", "entries")
+	for _, s := range scores {
+		c.Add(uint64(s))
+	}
+}

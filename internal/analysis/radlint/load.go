@@ -43,14 +43,37 @@ type Package struct {
 // from source in isolation — the standard-library equivalent of
 // golang.org/x/tools/go/packages in LoadAllSyntax mode for the targets
 // and LoadTypes mode for their dependencies.
+//
+// One Loader lists export data and type-checks each package exactly
+// once per process, no matter how many analyzers later run over the
+// result: the analyzer suite shares the Loader's output rather than
+// reloading per analyzer.
 type Loader struct {
 	// Dir is the working directory for go list; it must be inside the
 	// module. Empty means the current directory.
 	Dir string
 
-	fset    *token.FileSet
-	exports map[string]string // import path → export data file
-	imp     types.Importer
+	// FixtureDir, when set, is a testdata/src-style root: an import
+	// path that go list cannot resolve is satisfied by type-checking
+	// the sources under FixtureDir/<import path> instead. This is how
+	// radlinttest fixtures exercise cross-package analysis — a fixture
+	// entry package can import sibling fixture packages that exist
+	// nowhere in the module.
+	FixtureDir string
+
+	// RepoRoot overrides repo-root detection (radlinttest points it at
+	// the fixture testdata directory so document-consulting analyzers
+	// read fixture documents). When empty, Load resolves the module
+	// root via go list.
+	RepoRoot string
+
+	fset     *token.FileSet
+	exports  map[string]string // import path → export data file
+	srcPkgs  map[string]*types.Package
+	universe []*Package
+	loading  map[string]bool // fixture import paths currently type-checking (cycle guard)
+	gc       types.Importer
+	repoRoot string
 }
 
 // listedPackage is the subset of `go list -json` output the loader uses.
@@ -74,14 +97,43 @@ func (l *Loader) init() {
 	if l.fset == nil {
 		l.fset = token.NewFileSet()
 		l.exports = map[string]string{}
-		l.imp = &exportImporter{gc: importer.ForCompiler(l.fset, "gc", l.lookup)}
+		l.srcPkgs = map[string]*types.Package{}
+		l.loading = map[string]bool{}
+		l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
 	}
+}
+
+// Universe returns every package this Loader has type-checked from
+// source — Load/LoadDir targets plus fixture dependencies — for use as
+// the cross-package analysis universe.
+func (l *Loader) Universe() []*Package {
+	return l.universe
+}
+
+// Root returns the repository root for document-consulting analyzers:
+// the RepoRoot override if set, else the module root resolved from the
+// first Load, else the loader's working directory.
+func (l *Loader) Root() string {
+	if l.RepoRoot != "" {
+		return l.RepoRoot
+	}
+	if l.repoRoot != "" {
+		return l.repoRoot
+	}
+	if l.Dir != "" {
+		return l.Dir
+	}
+	dir, _ := os.Getwd()
+	return dir
 }
 
 // Load lists, parses, and type-checks every package matching the
 // patterns (e.g. "./..."). Test-only and empty packages are skipped.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	l.init()
+	if l.repoRoot == "" {
+		l.repoRoot = l.moduleRoot()
+	}
 	listed, err := l.goList(append([]string{"-deps", "-export"}, patterns...))
 	if err != nil {
 		return nil, err
@@ -107,8 +159,8 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 // LoadDir loads a single package from the .go files directly inside
 // dir, assigning it the given import path. This is the fixture-loading
 // mode used by radlinttest: the directory need not be a real package in
-// the module, but its imports must resolve (standard library or
-// packages of this module).
+// the module, but its imports must resolve (standard library, packages
+// of this module, or — with FixtureDir set — sibling fixture packages).
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	l.init()
 	entries, err := os.ReadDir(dir)
@@ -168,7 +220,7 @@ func (l *Loader) typecheck(path, dir string, sources, testSources []string) (*Pa
 	}
 	var typeErrs []error
 	cfg := &types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
@@ -176,20 +228,24 @@ func (l *Loader) typecheck(path, dir string, sources, testSources []string) (*Pa
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("type errors: %v", typeErrs[0])
 	}
-	return &Package{
+	pkg := &Package{
 		Path:      path,
 		Fset:      l.fset,
 		Files:     files,
 		AllFiles:  append(append([]*ast.File(nil), files...), testFiles...),
 		Types:     tpkg,
 		TypesInfo: info,
-	}, nil
+	}
+	l.srcPkgs[path] = tpkg
+	l.universe = append(l.universe, pkg)
+	return pkg, nil
 }
 
-// resolveImports ensures export data is known for every import of the
-// given files, fetching any missing paths with one go list call. Load
-// pre-populates the map via -deps, so this only does work in fixture
-// mode.
+// resolveImports ensures every import of the given files can be
+// satisfied: from already-known export data, from a fixture directory
+// (type-checked recursively), or by fetching export data with one go
+// list call. Load pre-populates the export map via -deps, so this only
+// does work in fixture mode.
 func (l *Loader) resolveImports(files []*ast.File) error {
 	var missing []string
 	for _, f := range files {
@@ -198,9 +254,16 @@ func (l *Loader) resolveImports(files []*ast.File) error {
 			if err != nil || ipath == "unsafe" || ipath == "C" {
 				continue
 			}
-			if _, ok := l.exports[ipath]; !ok {
-				missing = append(missing, ipath)
+			if _, ok := l.exports[ipath]; ok {
+				continue
 			}
+			if _, ok := l.srcPkgs[ipath]; ok {
+				continue
+			}
+			if l.loadFixtureImport(ipath) {
+				continue
+			}
+			missing = append(missing, ipath)
 		}
 	}
 	if len(missing) == 0 {
@@ -218,6 +281,26 @@ func (l *Loader) resolveImports(files []*ast.File) error {
 		}
 	}
 	return nil
+}
+
+// loadFixtureImport satisfies an import from the fixture tree when
+// possible, type-checking FixtureDir/<path> from source so its bodies
+// participate in cross-package analysis. Reports whether the path was
+// handled.
+func (l *Loader) loadFixtureImport(ipath string) bool {
+	if l.FixtureDir == "" || l.loading[ipath] {
+		return false
+	}
+	dir := filepath.Join(l.FixtureDir, filepath.FromSlash(ipath))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return false
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+	if _, err := l.LoadDir(dir, ipath); err != nil {
+		return false
+	}
+	return true
 }
 
 // goList runs `go list -json` with the given extra args and decodes the
@@ -248,6 +331,18 @@ func (l *Loader) goList(args []string) ([]*listedPackage, error) {
 	return listed, nil
 }
 
+// moduleRoot resolves the module root directory for RepoRoot-relative
+// documents; empty on failure (analyzers then fall back to Dir).
+func (l *Loader) moduleRoot() string {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = l.Dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // lookup feeds compiled export data to the gc importer.
 func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 	file, ok := l.exports[path]
@@ -257,17 +352,19 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-// exportImporter adapts the gc export-data importer, special-casing
-// "unsafe" (which has no export file).
-type exportImporter struct {
-	gc types.Importer
-}
-
-func (i *exportImporter) Import(path string) (*types.Package, error) {
+// Import implements types.Importer: source-checked packages (targets
+// and fixture dependencies) are served directly so downstream packages
+// type-check against the same *types.Package the analysis universe
+// holds; everything else comes from compiled export data, with
+// "unsafe" special-cased (it has no export file).
+func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	return i.gc.Import(path)
+	if pkg, ok := l.srcPkgs[path]; ok {
+		return pkg, nil
+	}
+	return l.gc.Import(path)
 }
 
 func uniq(sorted []string) []string {

@@ -7,6 +7,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // An Analyzer describes one named analysis and how to run it. The shape
@@ -45,6 +47,22 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Universe holds every package whose source was loaded and
+	// type-checked in this invocation — the analyzed targets plus any
+	// fixture dependency packages. Cross-package analyses (the purity
+	// fact engine) resolve callee bodies through it.
+	Universe []*Package
+
+	// Shared is the invocation-wide memo: expensive whole-program
+	// computations (purity facts, the TELEMETRY.md catalog) are built
+	// once here and reused by every analyzer and every package pass.
+	Shared *Shared
+
+	// RepoRoot is the module root directory (or, under radlinttest,
+	// the fixture testdata root). Analyzers that consult repository
+	// documents (TELEMETRY.md) resolve them against it.
+	RepoRoot string
+
 	diagnostics *[]Diagnostic
 }
 
@@ -55,6 +73,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// PackageFor returns the loaded source package for an import path, or
+// nil when the path was only ever seen as export data. Analyzers use it
+// to decide whether a cross-package callee can be inspected.
+func (p *Pass) PackageFor(path string) *Package {
+	for _, pkg := range p.Universe {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Shared is the cross-analyzer memoization table for one Run. Values
+// are computed at most once per invocation no matter how many analyzers
+// or packages consult them — this is what keeps the whole-program
+// purity analysis from scaling with analyzer count.
+type Shared struct {
+	mu   sync.Mutex
+	vals map[string]any
+	errs map[string]error
+}
+
+// NewShared returns an empty memo table.
+func NewShared() *Shared {
+	return &Shared{vals: map[string]any{}, errs: map[string]error{}}
+}
+
+// Memo returns the value cached under key, computing and caching it
+// (value or error) on first use.
+func (s *Shared) Memo(key string, compute func() (any, error)) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err, ok := s.errs[key]; ok {
+		return nil, err
+	}
+	if v, ok := s.vals[key]; ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		s.errs[key] = err
+		return nil, err
+	}
+	s.vals[key] = v
+	return v, nil
 }
 
 // A Diagnostic is one finding, already resolved to a file position.
@@ -68,13 +133,68 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Run applies every analyzer to every package and returns the surviving
-// findings: deduplicated, allow-comment suppressions applied, sorted by
-// position. The error aggregates analyzer failures, not findings.
-func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+// A Suppression records one finding that fired but was waived by a
+// //radlint:allow comment, together with the written reason. radlint
+// -json reports these so audits can see what was waived, not just what
+// survived.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	Reason   string
+}
+
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s: %s: suppressed: %s (reason: %s)", s.Pos, s.Analyzer, s.Message, s.Reason)
+}
+
+// Timing is the accumulated wall time one analyzer spent across every
+// package in a Run, surfaced by the radlint -timing flag.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// Result is everything one Run produced: the surviving findings, the
+// suppressions that were honored, and per-analyzer timings.
+type Result struct {
+	Findings   []Diagnostic
+	Suppressed []Suppression
+	Timings    []Timing
+}
+
+// Options configures a Run beyond the target packages.
+type Options struct {
+	// Universe is every source-loaded package available for
+	// cross-package analysis; nil means the targets themselves.
+	// Loader.Universe() supplies it, including fixture dependencies.
+	Universe []*Package
+
+	// RepoRoot is the repository root for document-consulting
+	// analyzers; empty disables them gracefully only in tests that opt
+	// out (the Loader always resolves one).
+	RepoRoot string
+}
+
+// Run applies every analyzer to every target package and returns the
+// surviving findings (deduplicated, allow-comment suppressions applied,
+// sorted by position) along with the honored suppressions and timings.
+// The error aggregates analyzer failures, not findings.
+func Run(analyzers []*Analyzer, targets []*Package, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	universe := opts.Universe
+	if universe == nil {
+		universe = targets
+	}
+	shared := NewShared()
+	elapsed := make(map[string]time.Duration, len(analyzers))
+
 	var diags []Diagnostic
+	var suppressed []Suppression
 	var errs []string
-	for _, pkg := range pkgs {
+	for _, pkg := range targets {
 		allow := buildAllowIndex(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -84,33 +204,56 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				AllFiles:    pkg.AllFiles,
 				Pkg:         pkg.Types,
 				TypesInfo:   pkg.TypesInfo,
+				Universe:    universe,
+				Shared:      shared,
+				RepoRoot:    opts.RepoRoot,
 				diagnostics: &diags,
 			}
 			before := len(diags)
-			if err := a.Run(pass); err != nil {
+			//radlint:allow simclocktime analyzer timing measures the linter itself, not simulated state; radlint never runs inside a campaign
+			start := time.Now()
+			err := a.Run(pass)
+			//radlint:allow simclocktime see above: wall time of the analysis process is the measurement, simclock does not apply
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
 				errs = append(errs, fmt.Sprintf("%s: %s: %v", a.Name, pkg.Path, err))
 			}
-			diags = allow.filter(diags, before)
+			diags, suppressed = allow.filter(diags, suppressed, before)
 		}
 	}
-	sort.SliceStable(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	sortDiags(diags)
 	diags = dedup(diags)
-	if len(errs) > 0 {
-		return diags, fmt.Errorf("radlint: %s", strings.Join(errs, "; "))
+	sort.SliceStable(suppressed, func(i, j int) bool {
+		return lessPos(suppressed[i].Pos, suppressed[j].Pos, suppressed[i].Analyzer, suppressed[j].Analyzer)
+	})
+
+	res := &Result{Findings: diags, Suppressed: suppressed}
+	for _, a := range analyzers {
+		res.Timings = append(res.Timings, Timing{Analyzer: a.Name, Elapsed: elapsed[a.Name]})
 	}
-	return diags, nil
+	if len(errs) > 0 {
+		return res, fmt.Errorf("radlint: %s", strings.Join(errs, "; "))
+	}
+	return res, nil
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		return lessPos(diags[i].Pos, diags[j].Pos, diags[i].Analyzer, diags[j].Analyzer)
+	})
+}
+
+func lessPos(a, b token.Position, aname, bname string) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Column != b.Column {
+		return a.Column < b.Column
+	}
+	return aname < bname
 }
 
 func dedup(diags []Diagnostic) []Diagnostic {
@@ -124,8 +267,14 @@ func dedup(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// allowIndex maps filename → line → analyzer names suppressed there.
-type allowIndex map[string]map[int][]string
+// allowEntry is one analyzer name + reason pair from an allow comment.
+type allowEntry struct {
+	name   string
+	reason string
+}
+
+// allowIndex maps filename → line → suppression entries active there.
+type allowIndex map[string]map[int][]allowEntry
 
 // AllowPrefix introduces a suppression comment. The full grammar is
 //
@@ -151,13 +300,14 @@ func buildAllowIndex(pkg *Package) allowIndex {
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
 				names, reason, _ := strings.Cut(rest, " ")
-				if names == "" || strings.TrimSpace(reason) == "" {
+				reason = strings.TrimSpace(reason)
+				if names == "" || reason == "" {
 					continue // no analyzer or no justification: not an allowlisting
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				file := idx[pos.Filename]
 				if file == nil {
-					file = map[int][]string{}
+					file = map[int][]allowEntry{}
 					idx[pos.Filename] = file
 				}
 				for _, name := range strings.Split(names, ",") {
@@ -165,8 +315,8 @@ func buildAllowIndex(pkg *Package) allowIndex {
 					if name == "" {
 						continue
 					}
-					file[pos.Line] = append(file[pos.Line], name)
-					file[pos.Line+1] = append(file[pos.Line+1], name)
+					file[pos.Line] = append(file[pos.Line], allowEntry{name, reason})
+					file[pos.Line+1] = append(file[pos.Line+1], allowEntry{name, reason})
 				}
 			}
 		}
@@ -174,22 +324,30 @@ func buildAllowIndex(pkg *Package) allowIndex {
 	return idx
 }
 
-// filter drops diags[from:] entries suppressed by the index.
-func (idx allowIndex) filter(diags []Diagnostic, from int) []Diagnostic {
+// filter drops diags[from:] entries suppressed by the index, recording
+// each honored suppression (with its reason) in the suppressed list.
+func (idx allowIndex) filter(diags []Diagnostic, suppressed []Suppression, from int) ([]Diagnostic, []Suppression) {
 	out := diags[:from]
 	for _, d := range diags[from:] {
-		if !idx.allows(d) {
-			out = append(out, d)
+		if reason, ok := idx.allows(d); ok {
+			suppressed = append(suppressed, Suppression{
+				Pos:      d.Pos,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Reason:   reason,
+			})
+			continue
 		}
+		out = append(out, d)
 	}
-	return out
+	return out, suppressed
 }
 
-func (idx allowIndex) allows(d Diagnostic) bool {
-	for _, name := range idx[d.Pos.Filename][d.Pos.Line] {
-		if name == d.Analyzer {
-			return true
+func (idx allowIndex) allows(d Diagnostic) (string, bool) {
+	for _, e := range idx[d.Pos.Filename][d.Pos.Line] {
+		if e.name == d.Analyzer {
+			return e.reason, true
 		}
 	}
-	return false
+	return "", false
 }

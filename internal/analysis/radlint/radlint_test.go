@@ -96,18 +96,32 @@ func bad() {}
 			return nil
 		},
 	}
-	diags, err := radlint.Run([]*radlint.Analyzer{flagall}, []*radlint.Package{pkg})
+	res, err := radlint.Run([]*radlint.Analyzer{flagall}, []*radlint.Package{pkg}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var lines []int
-	for _, d := range diags {
+	for _, d := range res.Findings {
 		lines = append(lines, d.Pos.Line)
 	}
 	// Lines 5 and 7 are suppressed; 9 (no reason) and 10 (other
 	// analyzer) survive.
 	if len(lines) != 2 || lines[0] != 9 || lines[1] != 10 {
 		t.Fatalf("surviving finding lines = %v, want [9 10]", lines)
+	}
+	// The two honored suppressions are reported with their reasons.
+	if len(res.Suppressed) != 2 {
+		t.Fatalf("suppressions = %v, want 2", res.Suppressed)
+	}
+	wantReasons := []string{"justified trailing suppression", "justified preceding suppression"}
+	for i, s := range res.Suppressed {
+		if s.Analyzer != "flagall" || s.Reason != wantReasons[i] {
+			t.Errorf("suppression %d = %+v, want reason %q", i, s, wantReasons[i])
+		}
+	}
+	// Timings carry one entry per analyzer.
+	if len(res.Timings) != 1 || res.Timings[0].Analyzer != "flagall" {
+		t.Fatalf("timings = %v", res.Timings)
 	}
 }
 
@@ -132,11 +146,11 @@ func TestDiagnosticOrdering(t *testing.T) {
 			return nil
 		},
 	}
-	diags, err := radlint.Run([]*radlint.Analyzer{backwards}, []*radlint.Package{pkg})
+	res, err := radlint.Run([]*radlint.Analyzer{backwards}, []*radlint.Package{pkg}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 2 || diags[0].Pos.Line > diags[1].Pos.Line {
-		t.Fatalf("diagnostics not position-sorted: %v", diags)
+	if len(res.Findings) != 2 || res.Findings[0].Pos.Line > res.Findings[1].Pos.Line {
+		t.Fatalf("diagnostics not position-sorted: %v", res.Findings)
 	}
 }

@@ -40,17 +40,27 @@ func TestData(t *testing.T) string {
 // annotations.
 func Run(t *testing.T, testdata string, a *radlint.Analyzer, paths ...string) {
 	t.Helper()
-	loader := &radlint.Loader{}
+	loader := &radlint.Loader{
+		// Imports that are not module packages resolve from sibling
+		// fixture directories, so fixtures can exercise cross-package
+		// analysis; documents like TELEMETRY.md resolve from the
+		// fixture testdata root.
+		FixtureDir: filepath.Join(testdata, "src"),
+		RepoRoot:   testdata,
+	}
 	for _, path := range paths {
 		pkg, err := loader.LoadDir(filepath.Join(testdata, "src", filepath.FromSlash(path)), path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := radlint.Run([]*radlint.Analyzer{a}, []*radlint.Package{pkg})
+		res, err := radlint.Run([]*radlint.Analyzer{a}, []*radlint.Package{pkg}, &radlint.Options{
+			Universe: loader.Universe(),
+			RepoRoot: loader.Root(),
+		})
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
-		checkWants(t, pkg, diags)
+		checkWants(t, pkg, res.Findings)
 	}
 }
 

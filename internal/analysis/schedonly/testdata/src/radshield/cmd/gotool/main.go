@@ -1,0 +1,10 @@
+// gotool is an unsanctioned command: its goroutines are flagged.
+package main
+
+func main() {
+	ch := make(chan int)
+	go produce(ch) // want `raw goroutine outside the sanctioned concurrency boundaries`
+	<-ch
+}
+
+func produce(ch chan<- int) { ch <- 1 }

@@ -1,0 +1,10 @@
+// The groundstation command is a sanctioned concurrency boundary: its
+// goroutines serve real sockets, outside campaign output.
+package main
+
+func main() {
+	go serve() // sanctioned package: no finding
+	select {}
+}
+
+func serve() {}

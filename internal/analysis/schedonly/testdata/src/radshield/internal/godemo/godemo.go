@@ -1,0 +1,33 @@
+// Package godemo is the schedonly positive fixture: raw goroutines in
+// an unsanctioned internal package.
+package godemo
+
+import "sync"
+
+// Fire launches a bare goroutine — scheduling nondeterminism the
+// deterministic pool cannot replay.
+func Fire(done chan<- struct{}) {
+	go func() { // want `raw goroutine outside the sanctioned concurrency boundaries`
+		done <- struct{}{}
+	}()
+}
+
+// FanOut launches one goroutine per shard.
+func FanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go work(&wg, i) // want `raw goroutine outside the sanctioned concurrency boundaries`
+	}
+	wg.Wait()
+}
+
+func work(wg *sync.WaitGroup, _ int) { wg.Done() }
+
+// Watchdog is allowed to spawn: it only observes, never touches
+// campaign state, and the justification is written down.
+func Watchdog(stop <-chan struct{}) {
+	go func() { //radlint:allow schedonly watchdog only blocks on stop; it never writes campaign state or output
+		<-stop
+	}()
+}

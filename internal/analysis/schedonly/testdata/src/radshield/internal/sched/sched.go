@@ -1,0 +1,17 @@
+// Package sched stands in for the real deterministic pool: goroutines
+// here ARE the sanctioned concurrency boundary.
+package sched
+
+// Pool spawns workers; sanctioned, so no findings.
+func Pool(n int, fn func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,14 @@
+package telemetrydoc_test
+
+import (
+	"testing"
+
+	"radshield/internal/analysis/radlint/radlinttest"
+	"radshield/internal/analysis/telemetrydoc"
+)
+
+func TestTelemetryDoc(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), telemetrydoc.Analyzer,
+		"radshield/internal/teldocdemo",
+	)
+}

@@ -310,6 +310,7 @@ func (r *Runtime) runEMR(spec *Spec) (*Result, error) {
 				var wg sync.WaitGroup
 				for e := 0; e < ex; e++ {
 					wg.Add(1)
+					//radlint:allow schedonly executors write disjoint position-indexed result slots and join at the WaitGroup barrier before any read, so collection order is defined
 					go func(e int) {
 						defer wg.Done()
 						runOne(e)

@@ -23,6 +23,12 @@ type runtimePool struct {
 	pools map[emr.Config]*sync.Pool
 }
 
+// The pool is mutable package-level state, but observably deterministic
+// state: whether getRuntime recycles a device or builds a fresh one is
+// invisible in trial outputs (Reset restores fresh-equivalent state),
+// so reads through it cannot make two runs diverge.
+//
+//radlint:pure recycling is output-invariant: Runtime.Reset restores fresh-equivalent state, so trial results are byte-identical whether or not a pooled device was reused
 var emrPool = runtimePool{pools: map[emr.Config]*sync.Pool{}}
 
 func (p *runtimePool) lookup(cfg emr.Config) *sync.Pool {

@@ -76,6 +76,13 @@ func (r *Registry) Snapshot() *Snapshot {
 	ring := r.events
 	r.mu.Unlock()
 
+	// Sort each collected family by name before rendering: the maps
+	// iterate in randomized order, and snapshot output is campaign
+	// output — two identical runs must serialize byte-identically.
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
 	for _, c := range counters {
 		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Unit: c.unit, Value: c.Value()})
 	}
@@ -94,9 +101,10 @@ func (r *Registry) Snapshot() *Snapshot {
 			Bounds: h.Bounds(), Buckets: h.BucketCounts(),
 		})
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	// Counters and histograms were rendered from sorted slices; gauges
+	// merge the locked registry gauges with the gauge funcs, so the
+	// combined slice needs one more pass.
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	s.Events = ring.Events()
 	s.EventsDropped = ring.Dropped()
 	return s
