@@ -11,23 +11,60 @@ package radshield
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
+	"radshield/internal/resultcache"
 	"radshield/internal/telemetry"
 )
+
+// benchStore is the shared result-cache store behind
+// `make bench RESULTCACHE=dir` (RADSHIELD_RESULTCACHE in the
+// environment): nil by default, so benchmarks measure real computation
+// unless a cache is explicitly requested. BenchmarkMissionSurvivalParallel
+// never attaches it — its speedup floors measure the scheduler, and a
+// warm cache would collapse every width to replay time.
+var benchStore *resultcache.Store
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("RADSHIELD_RESULTCACHE"); dir != "" {
+		var err error
+		benchStore, err = resultcache.Open(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resultcache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	if benchStore != nil {
+		st := benchStore.Stats()
+		if err := benchStore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "resultcache: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resultcache: %d hits, %d misses (%.1f%% hit rate), %d entries, %d bytes\n",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Entries, st.Bytes)
+	}
+	os.Exit(code)
+}
 
 // benchSEL is the SEL campaign sizing used by benchmarks: longer than
 // the unit tests, still seconds-scale.
 func benchSEL() experiments.SELConfig {
 	c := experiments.DefaultSELConfig()
 	c.Duration = 4 * time.Hour
+	c.Cache = benchStore
 	return c
 }
 
-func benchSEU() experiments.SEUConfig { return experiments.DefaultSEUConfig() }
+func benchSEU() experiments.SEUConfig {
+	c := experiments.DefaultSEUConfig()
+	c.Cache = benchStore
+	return c
+}
 
 func BenchmarkFig2CurrentTrace(b *testing.B) {
 	var res *experiments.Fig2Result
@@ -179,6 +216,7 @@ func BenchmarkFig14Energy(b *testing.B) {
 func BenchmarkTable7FaultInjection(b *testing.B) {
 	cfg := experiments.DefaultTable7Config()
 	cfg.Size = 32 << 10
+	cfg.Cache = benchStore
 	var tallies map[string]*fault.Tally
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -265,6 +303,7 @@ func BenchmarkMissionSurvival(b *testing.B) {
 	cfg := experiments.DefaultMissionConfig()
 	cfg.Missions = 2
 	cfg.Duration = 6 * time.Hour
+	cfg.Cache = benchStore
 	for i := 0; i < b.N; i++ {
 		protected, _, _, err := experiments.MissionSurvival(cfg)
 		if err != nil {
@@ -300,6 +339,56 @@ func BenchmarkMissionSurvivalParallel(b *testing.B) {
 				b.ReportMetric(float64(serial)/float64(perOp), "speedup")
 			}
 		})
+	}
+}
+
+// BenchmarkMissionSurvivalWarmCache measures the result cache's replay
+// speedup: one cold pass populates an isolated per-run store (never the
+// shared RESULTCACHE one, so this benchmark cannot be fooled by a
+// pre-warmed store), then the timed loop re-runs the identical campaign
+// warm. make bench-compare floors the warm-speedup metric at 10×, and
+// the warm rendering must stay byte-identical to the cold one.
+func BenchmarkMissionSurvivalWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	run := func() (string, error) {
+		store, err := resultcache.Open(dir)
+		if err != nil {
+			return "", err
+		}
+		cfg := experiments.DefaultMissionConfig()
+		cfg.Missions = 4
+		cfg.Duration = 4 * time.Hour
+		cfg.Cache = store
+		_, _, tbl, err := experiments.MissionSurvival(cfg)
+		if cerr := store.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	}
+
+	coldStart := time.Now()
+	golden, err := run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warm != golden {
+			b.Fatal("warm-cache rendering differs from cold run")
+		}
+	}
+	warmPerOp := b.Elapsed() / time.Duration(b.N)
+	if warmPerOp > 0 {
+		b.ReportMetric(float64(cold)/float64(warmPerOp), "warm-speedup")
 	}
 }
 

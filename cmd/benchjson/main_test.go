@@ -97,6 +97,29 @@ func TestCompareMissingBenchmark(t *testing.T) {
 	}
 }
 
+// TestCompareFloorMissingBenchmark pins the other missing-benchmark
+// failure path: a floor naming a benchmark absent from the fresh run
+// must fail the gate even when the baseline never recorded it — else
+// deleting a gated benchmark (and its baseline entry together, e.g. by
+// regenerating the baseline) would silently drop the floor.
+func TestCompareFloorMissingBenchmark(t *testing.T) {
+	base := rec("xeon", 1000, nil)
+	floors, err := parseFloors("MissionSurvivalWarmCache:warm-speedup:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := compare(rec("xeon", 1000, nil), base, 0.10, floors)
+	if len(v) != 1 || !strings.Contains(v[0], "benchmark missing") {
+		t.Errorf("floor on absent benchmark: violations = %v, want one 'benchmark missing'", v)
+	}
+	// And the floor passes once the benchmark reports the metric.
+	cur := rec("xeon", 1000, nil)
+	cur.Benchmarks["MissionSurvivalWarmCache"] = Result{Iterations: 1, NsPerOp: 1, Metrics: map[string]float64{"warm-speedup": 900}}
+	if v, _ := compare(cur, base, 0.10, floors); len(v) != 0 {
+		t.Errorf("satisfied floor still violated: %v", v)
+	}
+}
+
 func TestCompareFloors(t *testing.T) {
 	base := rec("xeon", 1000, nil)
 	floors, err := parseFloors(" MissionSurvivalParallel/workers=4:speedup:1.5 ")

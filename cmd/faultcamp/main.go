@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,7 @@ import (
 	"radshield/internal/fault"
 	"radshield/internal/power"
 	"radshield/internal/profiling"
+	"radshield/internal/resultcache"
 )
 
 // ship streams a campaign verdict to the ground station when -downlink
@@ -60,6 +62,7 @@ func main() {
 		workers = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
 		guard   = flag.Bool("guard", false, "inject faults into Radshield's own sensor and replicas instead of the workload")
 		dlAddr  = flag.String("downlink", "", "stream campaign verdicts to a groundstation at this TCP address (see cmd/groundstation)")
+		rcDir   = flag.String("resultcache", "", "replay unchanged campaign arms from this content-addressed cache directory, created if absent (see RESULTCACHE.md)")
 		dlLink  = flag.Int("link-id", 3, "spacecraft link id for -downlink")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file (see PERFORMANCE.md)")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (see PERFORMANCE.md)")
@@ -87,13 +90,39 @@ func main() {
 		fmt.Printf("downlink engaged: link %d to %s\n", *dlLink, *dlAddr)
 	}
 
+	// The result cache replays arms whose (config, seed, code version)
+	// key matches a prior run; a dir locked by another process degrades
+	// to an uncached run rather than blocking the campaign.
+	var store *resultcache.Store
+	if *rcDir != "" {
+		var err error
+		store, err = resultcache.Open(*rcDir)
+		if errors.Is(err, resultcache.ErrLocked) {
+			log.Printf("result cache %s is locked by another process; running uncached", *rcDir)
+		} else if err != nil {
+			log.Fatal(err)
+		}
+	}
+	closeStore := func() {
+		if store == nil {
+			return
+		}
+		st := store.Stats()
+		if err := store.Close(); err != nil {
+			log.Fatalf("result cache: %v", err)
+		}
+		fmt.Printf("resultcache: %d hits, %d misses (%.1f%% hit rate), %d entries, %d bytes in %s\n",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Entries, st.Bytes, *rcDir)
+	}
+
 	if *guard {
-		runGuardCampaign(*seed, *workers)
+		runGuardCampaign(*seed, *workers, store)
+		closeStore()
 		finishProfiles()
 		return
 	}
 
-	cfg := experiments.Table7Config{Runs: *runs, Size: *size, Seed: *seed, Workers: *workers}
+	cfg := experiments.Table7Config{Runs: *runs, Size: *size, Seed: *seed, Workers: *workers, Cache: store}
 	tallies, tbl, err := experiments.Table7(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +146,7 @@ func main() {
 	ship(1, fmt.Sprintf("table7 runs=%d unprotected_sdc=%d protected_sdc=0", *runs, unprotectedSDC))
 	ship(0, "campaign_complete campaign=table7 verdict=protected")
 	drainFeed()
+	closeStore()
 	finishProfiles()
 }
 
@@ -132,10 +162,11 @@ func drainFeed() {
 
 // runGuardCampaign sweeps faults against Radshield's own dependencies
 // and applies the guard layer's safety verdicts.
-func runGuardCampaign(seed int64, workers int) {
+func runGuardCampaign(seed int64, workers int, store *resultcache.Store) {
 	gc := experiments.DefaultGuardCampaignConfig()
 	gc.SEL.Seed = seed
 	gc.SEL.Workers = workers
+	gc.SEL.Cache = store
 	trials, tbl, err := experiments.GuardCampaign(gc)
 	if err != nil {
 		log.Fatal(err)
@@ -145,6 +176,7 @@ func runGuardCampaign(seed int64, workers int) {
 	wc := experiments.DefaultWatchdogCampaignConfig()
 	wc.Seed = seed
 	wc.Workers = workers
+	wc.Cache = store
 	wdTrials, wdTbl, err := experiments.WatchdogCampaign(wc)
 	if err != nil {
 		log.Fatal(err)

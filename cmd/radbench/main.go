@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -26,6 +27,7 @@ import (
 	"radshield/internal/experiments"
 	"radshield/internal/ild"
 	"radshield/internal/profiling"
+	"radshield/internal/resultcache"
 	"radshield/internal/simclock"
 	"radshield/internal/telemetry"
 )
@@ -132,6 +134,7 @@ var registry = map[string]struct {
 		cfg.Size = seu.Size / 2
 		cfg.Workers = seu.Workers
 		cfg.Telemetry = seu.Telemetry
+		cfg.Cache = seu.Cache
 		_, tbl, err := experiments.Table7(cfg)
 		if err != nil {
 			return err
@@ -208,6 +211,7 @@ var registry = map[string]struct {
 		cfg := experiments.DefaultMissionConfig()
 		cfg.Workers = sel.Workers
 		cfg.Telemetry = sel.Telemetry
+		cfg.Cache = sel.Cache
 		_, _, tbl, err := experiments.MissionSurvival(cfg)
 		if err != nil {
 			return err
@@ -223,6 +227,7 @@ var registry = map[string]struct {
 		gc.SEL.Seed = sel.Seed
 		gc.SEL.Workers = sel.Workers
 		gc.SEL.Telemetry = sel.Telemetry
+		gc.SEL.Cache = sel.Cache
 		_, tbl, err := experiments.GuardCampaign(gc)
 		if err != nil {
 			return err
@@ -232,6 +237,7 @@ var registry = map[string]struct {
 		wc.Seed = sel.Seed + 8
 		wc.Workers = sel.Workers
 		wc.Telemetry = sel.Telemetry
+		wc.Cache = sel.Cache
 		_, wdTbl, err := experiments.WatchdogCampaign(wc)
 		if err != nil {
 			return err
@@ -253,6 +259,7 @@ var registry = map[string]struct {
 		dc.Seed = sel.Seed + 23
 		dc.Workers = sel.Workers
 		dc.Telemetry = sel.Telemetry
+		dc.Cache = sel.Cache
 		trials, tbl, err := experiments.DownlinkCampaign(dc)
 		if err != nil {
 			return err
@@ -306,6 +313,7 @@ func main() {
 		telHTTP = flag.String("telemetry-http", "", "serve the telemetry snapshot (and expvar) on this address while running")
 		wall    = flag.Bool("wallclock", false, "time experiments with the host clock (real-hardware mode) instead of reporting simulated mission time")
 		dlAddr  = flag.String("downlink", "", "stream experiment completions to a groundstation at this TCP address (see cmd/groundstation)")
+		rcDir   = flag.String("resultcache", "", "replay unchanged campaign arms from this content-addressed cache directory, created if absent (see RESULTCACHE.md)")
 		dlLink  = flag.Int("link-id", 2, "spacecraft link id for -downlink")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file (see PERFORMANCE.md)")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (see PERFORMANCE.md)")
@@ -386,12 +394,28 @@ func main() {
 		}
 	}
 
+	// The result cache replays arms whose (config, seed, code version)
+	// key matches a prior run; a dir locked by another process degrades
+	// to an uncached run rather than blocking the campaign.
+	var store *resultcache.Store
+	if *rcDir != "" {
+		var err error
+		store, err = resultcache.Open(*rcDir, resultcache.WithTelemetry(reg))
+		if errors.Is(err, resultcache.ErrLocked) {
+			fmt.Fprintf(os.Stderr, "radbench: result cache %s is locked by another process; running uncached\n", *rcDir)
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	sel := experiments.DefaultSELConfig()
 	sel.Duration = time.Duration(*hours * float64(time.Hour))
 	sel.Seed = *seed
 	sel.Workers = *workers
 	sel.Telemetry = reg
-	seu := experiments.SEUConfig{Size: *size, Seed: *seed + 41, Workers: *workers, Telemetry: reg}
+	sel.Cache = store
+	seu := experiments.SEUConfig{Size: *size, Seed: *seed + 41, Workers: *workers, Telemetry: reg, Cache: store}
 
 	var targets []string
 	if *exp == "all" {
@@ -431,6 +455,15 @@ func main() {
 			fmt.Printf("\n")
 		}
 		ship(1, fmt.Sprintf("experiment=%s status=ok campaign_t=%v", name, campaign.Now()))
+	}
+	if store != nil {
+		st := store.Stats()
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: result cache: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resultcache: %d hits, %d misses (%.1f%% hit rate), %d entries, %d bytes in %s\n",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Entries, st.Bytes, *rcDir)
 	}
 	ship(0, fmt.Sprintf("campaign_complete experiments=%d simulated=%v", len(targets), campaign.Now()))
 	if feed != nil {

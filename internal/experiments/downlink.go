@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"radshield/internal/downlink"
+	"radshield/internal/resultcache"
 	"radshield/internal/sched"
 	"radshield/internal/telemetry"
 )
@@ -64,6 +65,9 @@ type DownlinkCampaignConfig struct {
 	// Telemetry, when non-nil, receives the campaign scheduler's
 	// sched_* metrics.
 	Telemetry *telemetry.Registry
+	// Cache, when non-nil, replays trials whose inputs match a prior
+	// run (see internal/resultcache). Must never change results.
+	Cache *resultcache.Store
 }
 
 // DefaultDownlinkCampaignConfig sweeps light and heavy loss, with and
@@ -153,27 +157,42 @@ func DownlinkCampaign(c DownlinkCampaignConfig) ([]DownlinkTrial, *Table, error)
 		return nil, nil, fmt.Errorf("experiments: empty downlink sweep grid")
 	}
 
+	// The trial seed derives from the grid index, so the index is part
+	// of each arm's identity: reordering the grid recomputes, by design.
+	cache := cacheArms(c.Cache, "downlink/v1", len(specs),
+		func(i int, e *resultcache.Enc) {
+			encDownlinkCampaignConfig(e, c)
+			sp := specs[i]
+			e.Float(sp.loss)
+			e.Duration(sp.blackout)
+			e.Int(int64(sp.policy))
+			e.Int(int64(i))
+		},
+		armCodec[DownlinkTrial]{enc: encDownlinkTrial, dec: decDownlinkTrial})
+
 	trials, err := sched.Map(len(specs), c.Workers, func(i int) (DownlinkTrial, error) {
-		sp := specs[i]
-		seed := c.Seed + 4000 + int64(i)*37
-		lossy, err := flyDownlinkArm(c, sp, seed, true)
-		if err != nil {
-			return DownlinkTrial{}, err
-		}
-		clean, err := flyDownlinkArm(c, sp, seed, false)
-		if err != nil {
-			return DownlinkTrial{}, err
-		}
-		return DownlinkTrial{
-			Loss: sp.loss, Blackout: sp.blackout, Policy: sp.policy,
-			P0Enqueued: lossy.p0Enq, P0Delivered: lossy.p0Del,
-			Enqueued: lossy.enq, Delivered: lossy.del,
-			Retransmits: lossy.retx, Timeouts: lossy.timeout,
-			Evicted: lossy.evicted, Skipped: lossy.skipped,
-			Beacons: lossy.beacons, DrainedAt: lossy.drainedAt,
-			CleanDelivered: clean.del, CleanDrainedAt: clean.drainedAt,
-			P0Recovered: lossy.p0Del == lossy.p0Enq && lossy.p0Enq > 0,
-		}, nil
+		return cache.CachedArm(i, func() (DownlinkTrial, error) {
+			sp := specs[i]
+			seed := c.Seed + 4000 + int64(i)*37
+			lossy, err := flyDownlinkArm(c, sp, seed, true)
+			if err != nil {
+				return DownlinkTrial{}, err
+			}
+			clean, err := flyDownlinkArm(c, sp, seed, false)
+			if err != nil {
+				return DownlinkTrial{}, err
+			}
+			return DownlinkTrial{
+				Loss: sp.loss, Blackout: sp.blackout, Policy: sp.policy,
+				P0Enqueued: lossy.p0Enq, P0Delivered: lossy.p0Del,
+				Enqueued: lossy.enq, Delivered: lossy.del,
+				Retransmits: lossy.retx, Timeouts: lossy.timeout,
+				Evicted: lossy.evicted, Skipped: lossy.skipped,
+				Beacons: lossy.beacons, DrainedAt: lossy.drainedAt,
+				CleanDelivered: clean.del, CleanDrainedAt: clean.drainedAt,
+				P0Recovered: lossy.p0Del == lossy.p0Enq && lossy.p0Enq > 0,
+			}, nil
+		})
 	}, sched.WithTelemetry(c.Telemetry))
 	if err != nil {
 		return nil, nil, err
@@ -208,6 +227,69 @@ func DownlinkCampaign(c DownlinkCampaignConfig) ([]DownlinkTrial, *Table, error)
 			drained(tr.DrainedAt), drained(tr.CleanDrainedAt), verdict)
 	}
 	return trials, tbl, nil
+}
+
+// encDownlinkCampaignConfig canonically encodes every campaign
+// parameter a trial's result depends on. Workers, Telemetry and Cache
+// are deliberately absent; the sweep grid slices are absent too because
+// each arm's own grid point (and index) is encoded separately.
+func encDownlinkCampaignConfig(e *resultcache.Enc, c DownlinkCampaignConfig) {
+	e.Duration(c.Mission)
+	e.Duration(c.Drain)
+	e.Duration(c.Step)
+	e.Duration(c.EventEvery)
+	e.Duration(c.HousekeepingEvery)
+	e.Duration(c.BulkEvery)
+	e.Int(int64(c.Link.RateBps))
+	e.Int(int64(c.Link.AckRateBps))
+	e.Duration(c.Link.Latency)
+	e.Int(int64(c.Window))
+	e.Duration(c.RTO)
+	e.Int(int64(c.RingCap))
+	e.Duration(c.PowerCycleAt)
+	e.Duration(c.BeaconFrom)
+	e.Duration(c.BeaconFor)
+	e.Int(c.Seed)
+}
+
+func encDownlinkTrial(e *resultcache.Enc, t DownlinkTrial) {
+	e.Float(t.Loss)
+	e.Duration(t.Blackout)
+	e.Int(int64(t.Policy))
+	e.Uint(t.P0Enqueued)
+	e.Uint(t.P0Delivered)
+	e.Uint(t.Enqueued)
+	e.Uint(t.Delivered)
+	e.Uint(t.Retransmits)
+	e.Uint(t.Timeouts)
+	e.Uint(t.Evicted)
+	e.Uint(t.Skipped)
+	e.Uint(t.Beacons)
+	e.Duration(t.DrainedAt)
+	e.Uint(t.CleanDelivered)
+	e.Duration(t.CleanDrainedAt)
+	e.Bool(t.P0Recovered)
+}
+
+func decDownlinkTrial(d *resultcache.Dec) DownlinkTrial {
+	return DownlinkTrial{
+		Loss:           d.Float(),
+		Blackout:       d.Duration(),
+		Policy:         downlink.Policy(d.Int()),
+		P0Enqueued:     d.Uint(),
+		P0Delivered:    d.Uint(),
+		Enqueued:       d.Uint(),
+		Delivered:      d.Uint(),
+		Retransmits:    d.Uint(),
+		Timeouts:       d.Uint(),
+		Evicted:        d.Uint(),
+		Skipped:        d.Uint(),
+		Beacons:        d.Uint(),
+		DrainedAt:      d.Duration(),
+		CleanDelivered: d.Uint(),
+		CleanDrainedAt: d.Duration(),
+		P0Recovered:    d.Bool(),
+	}
 }
 
 // flyDownlinkArm flies one arm: the flight side enqueues the three

@@ -13,6 +13,7 @@ import (
 	"radshield/internal/linmodel"
 	"radshield/internal/machine"
 	"radshield/internal/power"
+	"radshield/internal/resultcache"
 	"radshield/internal/sched"
 	"radshield/internal/telemetry"
 	"radshield/internal/trace"
@@ -91,6 +92,42 @@ type GuardTrial struct {
 	UnguardedSurvived   bool
 }
 
+func encGuardTrial(e *resultcache.Enc, t GuardTrial) {
+	e.Int(int64(t.Kind))
+	e.Duration(t.Onset)
+	e.Duration(t.FaultDuration)
+	e.Int(int64(t.DetectSamples))
+	e.Duration(t.FalseHealthy)
+	e.Duration(t.DegradedDwell)
+	e.Int(int64(t.BlindCycles))
+	e.Int(int64(t.FinalMode))
+	e.Int(int64(t.MissedSELs))
+	e.Int(int64(t.UnguardedMissedSELs))
+	e.Int(int64(t.PowerCycles))
+	e.Int(int64(t.UnguardedCycles))
+	e.Bool(t.Survived)
+	e.Bool(t.UnguardedSurvived)
+}
+
+func decGuardTrial(d *resultcache.Dec) GuardTrial {
+	return GuardTrial{
+		Kind:                power.FaultKind(d.Int()),
+		Onset:               d.Duration(),
+		FaultDuration:       d.Duration(),
+		DetectSamples:       int(d.Int()),
+		FalseHealthy:        d.Duration(),
+		DegradedDwell:       d.Duration(),
+		BlindCycles:         int(d.Int()),
+		FinalMode:           guard.Mode(d.Int()),
+		MissedSELs:          int(d.Int()),
+		UnguardedMissedSELs: int(d.Int()),
+		PowerCycles:         int(d.Int()),
+		UnguardedCycles:     int(d.Int()),
+		Survived:            d.Bool(),
+		UnguardedSurvived:   d.Bool(),
+	}
+}
+
 // guardArmResult is one arm's raw tallies.
 type guardArmResult struct {
 	detectSamples       int
@@ -114,12 +151,6 @@ type guardTrialSpec struct {
 // renders the comparison table. Trials fan out across the campaign
 // scheduler; output is byte-identical at any worker width.
 func GuardCampaign(c GuardCampaignConfig) ([]GuardTrial, *Table, error) {
-	base, err := TrainILD(c.SEL)
-	if err != nil {
-		return nil, nil, err
-	}
-	model := base.Model()
-
 	var specs []guardTrialSpec
 	for _, k := range c.Kinds {
 		for _, on := range c.Onsets {
@@ -132,28 +163,54 @@ func GuardCampaign(c GuardCampaignConfig) ([]GuardTrial, *Table, error) {
 		return nil, nil, fmt.Errorf("experiments: empty guard sweep grid")
 	}
 
+	// The trial index participates in the key (the trial seed derives
+	// from it), so reordering the sweep grid recomputes — by design.
+	cache := cacheArms(c.SEL.Cache, "guard/v1", len(specs),
+		func(i int, e *resultcache.Enc) {
+			encSELConfig(e, c.SEL)
+			e.Float(c.OffsetA)
+			encSupervisorConfig(e, c.Supervisor)
+			sp := specs[i]
+			e.Int(int64(sp.kind))
+			e.Duration(sp.onset)
+			e.Duration(sp.dur)
+			e.Int(int64(i))
+		},
+		armCodec[GuardTrial]{enc: encGuardTrial, dec: decGuardTrial})
+
+	var model *linmodel.Model
+	if !cache.AllHit() {
+		base, err := TrainILD(c.SEL)
+		if err != nil {
+			return nil, nil, err
+		}
+		model = base.Model()
+	}
+
 	trials, err := sched.Map(len(specs), c.SEL.Workers, func(i int) (GuardTrial, error) {
-		sp := specs[i]
-		seed := c.SEL.Seed + 1000 + int64(i)*29
-		g, err := flyGuardArm(c, sp, model, seed, true)
-		if err != nil {
-			return GuardTrial{}, err
-		}
-		u, err := flyGuardArm(c, sp, model, seed, false)
-		if err != nil {
-			return GuardTrial{}, err
-		}
-		return GuardTrial{
-			Kind: sp.kind, Onset: sp.onset, FaultDuration: sp.dur,
-			DetectSamples: g.detectSamples,
-			FalseHealthy:  time.Duration(g.falseHealthySamples) * c.SEL.SampleEvery,
-			DegradedDwell: time.Duration(g.degradedSamples) * c.SEL.SampleEvery,
-			BlindCycles:   g.blindCycles,
-			FinalMode:     g.finalMode,
-			MissedSELs:    g.missedSELs, UnguardedMissedSELs: u.missedSELs,
-			PowerCycles: g.powerCycles, UnguardedCycles: u.powerCycles,
-			Survived: g.survived, UnguardedSurvived: u.survived,
-		}, nil
+		return cache.CachedArm(i, func() (GuardTrial, error) {
+			sp := specs[i]
+			seed := c.SEL.Seed + 1000 + int64(i)*29
+			g, err := flyGuardArm(c, sp, model, seed, true)
+			if err != nil {
+				return GuardTrial{}, err
+			}
+			u, err := flyGuardArm(c, sp, model, seed, false)
+			if err != nil {
+				return GuardTrial{}, err
+			}
+			return GuardTrial{
+				Kind: sp.kind, Onset: sp.onset, FaultDuration: sp.dur,
+				DetectSamples: g.detectSamples,
+				FalseHealthy:  time.Duration(g.falseHealthySamples) * c.SEL.SampleEvery,
+				DegradedDwell: time.Duration(g.degradedSamples) * c.SEL.SampleEvery,
+				BlindCycles:   g.blindCycles,
+				FinalMode:     g.finalMode,
+				MissedSELs:    g.missedSELs, UnguardedMissedSELs: u.missedSELs,
+				PowerCycles: g.powerCycles, UnguardedCycles: u.powerCycles,
+				Survived: g.survived, UnguardedSurvived: u.survived,
+			}, nil
+		})
 	}, sched.WithTelemetry(c.SEL.Telemetry))
 	if err != nil {
 		return nil, nil, err
@@ -291,6 +348,9 @@ type WatchdogCampaignConfig struct {
 	// Telemetry, when non-nil, receives the campaign scheduler's
 	// sched_* metrics.
 	Telemetry *telemetry.Registry
+	// Cache, when non-nil, replays already-computed trials from the
+	// content-addressed result store (see RESULTCACHE.md).
+	Cache *resultcache.Store
 }
 
 // DefaultWatchdogCampaignConfig sweeps every executor with both failure
@@ -326,6 +386,30 @@ type WatchdogTrial struct {
 // visits for "crash" trials.
 var errInjectedCrash = fmt.Errorf("experiments: injected replica crash")
 
+func encWatchdogTrial(e *resultcache.Enc, t WatchdogTrial) {
+	e.Int(int64(t.Executor))
+	e.Str(t.Cause)
+	e.Int(int64(t.Kills))
+	e.Int(int64(t.Crashes))
+	e.Int(int64(t.Mode))
+	e.Duration(t.Backoff)
+	e.Bool(t.TMROutputs)
+	e.Bool(t.Degraded)
+}
+
+func decWatchdogTrial(d *resultcache.Dec) WatchdogTrial {
+	return WatchdogTrial{
+		Executor:   int(d.Int()),
+		Cause:      d.Str(),
+		Kills:      int(d.Int()),
+		Crashes:    int(d.Int()),
+		Mode:       guard.RedundancyMode(d.Int()),
+		Backoff:    d.Duration(),
+		TMROutputs: d.Bool(),
+		Degraded:   d.Bool(),
+	}
+}
+
 // WatchdogCampaign sweeps persistent per-executor faults against the
 // EMR watchdog and renders the table. Output is byte-identical at any
 // worker width.
@@ -347,79 +431,25 @@ func WatchdogCampaign(c WatchdogCampaignConfig) ([]WatchdogTrial, *Table, error)
 		}
 	}
 
+	cache := cacheArms(c.Cache, "watchdog/v1", len(specs),
+		func(i int, e *resultcache.Enc) {
+			e.Int(int64(c.Datasets))
+			e.Int(int64(c.Chunk))
+			e.Int(c.Seed)
+			e.Duration(c.Watchdog.Deadline)
+			e.Int(int64(c.Watchdog.MaxStrikes))
+			e.Int(int64(c.Watchdog.RetryLimit))
+			e.Duration(c.Watchdog.BackoffBase)
+			e.Duration(c.Stall)
+			e.Int(int64(specs[i].executor))
+			e.Str(specs[i].cause)
+		},
+		armCodec[WatchdogTrial]{enc: encWatchdogTrial, dec: decWatchdogTrial})
+
 	trials, err := sched.Map(len(specs), c.Workers, func(i int) (WatchdogTrial, error) {
-		sp := specs[i]
-		tr := WatchdogTrial{Executor: sp.executor, Cause: sp.cause}
-
-		golden, err := watchdogGolden(c)
-		if err != nil {
-			return tr, err
-		}
-		w, err := guard.NewWatchdog(c.Watchdog)
-		if err != nil {
-			return tr, err
-		}
-
-		// Stage 1: TMR with the bad core. The watchdog kills/strikes it
-		// out; the remaining replicas still vote correct outputs.
-		cfg := emr.DefaultConfig()
-		cfg.Watch = w
-		rt, err := emr.New(cfg)
-		if err != nil {
-			return tr, err
-		}
-		spec, err := watchdogSpec(rt, c)
-		if err != nil {
-			return tr, err
-		}
-		spec.Hook = func(hp *emr.HookPoint) {
-			if hp.Phase == emr.PhaseAfterRead && hp.Executor == sp.executor {
-				if sp.cause == "hang" {
-					hp.Stall = c.Stall
-				} else {
-					hp.Fail = errInjectedCrash
-				}
-			}
-		}
-		res, err := rt.Run(spec)
-		if err != nil {
-			return tr, err
-		}
-		tr.Kills = w.Kills()
-		tr.Crashes = w.Crashes()
-		tr.Mode = w.Mode()
-		tr.TMROutputs = outputsMatch(res.Outputs, golden)
-
-		// Stage 2: retry under the degraded plan after the deterministic
-		// backoff. A checksum-arbiter plan also runs the arbiter pass and
-		// requires it to agree.
-		tr.Backoff, _ = w.Backoff(0)
-		plan := w.Plan()
-		cfg2 := emr.DefaultConfig()
-		cfg2.Scheme = plan.Scheme
-		cfg2.Executors = plan.Executors
-		cfg2.Watch = w
-		rt2, err := emr.New(cfg2)
-		if err != nil {
-			return tr, err
-		}
-		spec2, err := watchdogSpec(rt2, c)
-		if err != nil {
-			return tr, err
-		}
-		res2, err := rt2.Run(spec2)
-		if err != nil {
-			return tr, err
-		}
-		tr.Degraded = outputsMatch(res2.Outputs, golden)
-		if plan.ChecksumArbiter && tr.Degraded {
-			ok, err := watchdogArbiter(c, golden)
-			if err != nil {
-				return tr, err
-			}
-			tr.Degraded = ok
-		}
-		return tr, nil
+		return cache.CachedArm(i, func() (WatchdogTrial, error) {
+			return watchdogTrialArm(c, specs[i].executor, specs[i].cause)
+		})
 	}, sched.WithTelemetry(c.Telemetry))
 	if err != nil {
 		return nil, nil, err
@@ -441,6 +471,85 @@ func WatchdogCampaign(c WatchdogCampaignConfig) ([]WatchdogTrial, *Table, error)
 			tr.Mode.String(), tr.Backoff.String(), okStr(tr.TMROutputs), okStr(tr.Degraded))
 	}
 	return trials, tbl, nil
+}
+
+// watchdogTrialArm flies one (executor, cause) sweep point.
+func watchdogTrialArm(c WatchdogCampaignConfig, executor int, cause string) (WatchdogTrial, error) {
+	sp := struct {
+		executor int
+		cause    string
+	}{executor, cause}
+	tr := WatchdogTrial{Executor: sp.executor, Cause: sp.cause}
+
+	golden, err := watchdogGolden(c)
+	if err != nil {
+		return tr, err
+	}
+	w, err := guard.NewWatchdog(c.Watchdog)
+	if err != nil {
+		return tr, err
+	}
+
+	// Stage 1: TMR with the bad core. The watchdog kills/strikes it
+	// out; the remaining replicas still vote correct outputs.
+	cfg := emr.DefaultConfig()
+	cfg.Watch = w
+	rt, err := emr.New(cfg)
+	if err != nil {
+		return tr, err
+	}
+	spec, err := watchdogSpec(rt, c)
+	if err != nil {
+		return tr, err
+	}
+	spec.Hook = func(hp *emr.HookPoint) {
+		if hp.Phase == emr.PhaseAfterRead && hp.Executor == sp.executor {
+			if sp.cause == "hang" {
+				hp.Stall = c.Stall
+			} else {
+				hp.Fail = errInjectedCrash
+			}
+		}
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		return tr, err
+	}
+	tr.Kills = w.Kills()
+	tr.Crashes = w.Crashes()
+	tr.Mode = w.Mode()
+	tr.TMROutputs = outputsMatch(res.Outputs, golden)
+
+	// Stage 2: retry under the degraded plan after the deterministic
+	// backoff. A checksum-arbiter plan also runs the arbiter pass and
+	// requires it to agree.
+	tr.Backoff, _ = w.Backoff(0)
+	plan := w.Plan()
+	cfg2 := emr.DefaultConfig()
+	cfg2.Scheme = plan.Scheme
+	cfg2.Executors = plan.Executors
+	cfg2.Watch = w
+	rt2, err := emr.New(cfg2)
+	if err != nil {
+		return tr, err
+	}
+	spec2, err := watchdogSpec(rt2, c)
+	if err != nil {
+		return tr, err
+	}
+	res2, err := rt2.Run(spec2)
+	if err != nil {
+		return tr, err
+	}
+	tr.Degraded = outputsMatch(res2.Outputs, golden)
+	if plan.ChecksumArbiter && tr.Degraded {
+		ok, err := watchdogArbiter(c, golden)
+		if err != nil {
+			return tr, err
+		}
+		tr.Degraded = ok
+	}
+	return tr, nil
 }
 
 // watchdogJob digests its inputs deterministically.

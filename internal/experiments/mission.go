@@ -10,6 +10,7 @@ import (
 	"radshield/internal/fault"
 	"radshield/internal/ild"
 	"radshield/internal/machine"
+	"radshield/internal/resultcache"
 	"radshield/internal/sched"
 	"radshield/internal/telemetry"
 	"radshield/internal/trace"
@@ -45,6 +46,11 @@ type MissionConfig struct {
 	// Telemetry, when non-nil, receives the campaign scheduler's
 	// sched_* metrics (see TELEMETRY.md).
 	Telemetry *telemetry.Registry
+
+	// Cache, when non-nil, replays already-flown missions from the
+	// content-addressed result store instead of recomputing them (see
+	// RESULTCACHE.md). Output is byte-identical warm or cold.
+	Cache *resultcache.Store
 }
 
 // DefaultMissionConfig runs compressed 12-hour missions at boosted LEO
@@ -74,36 +80,53 @@ func MissionSurvival(c MissionConfig) (protected, unprotected MissionTally, tbl 
 	env.SELPerYear *= c.RateBoost
 	env.SEUPerDay *= c.RateBoost / 10 // SEUs are already frequent
 
-	golden, err := missionGolden()
-	if err != nil {
-		return protected, unprotected, nil, err
+	// Each mission's key covers everything its pair depends on: the
+	// un-boosted environment, the boost, the mission length, and the
+	// trial-derived seed. Missions count is deliberately absent —
+	// growing the sweep replays the arms already flown.
+	cache := cacheArms(c.Cache, "mission/v1", c.Missions,
+		func(i int, e *resultcache.Enc) {
+			encEnvironment(e, c.Environment)
+			e.Float(c.RateBoost)
+			e.Duration(c.Duration)
+			e.Int(c.Seed)
+			e.Int(int64(i))
+		},
+		armCodec[missionPair]{enc: encMissionPair, dec: decMissionPair})
+
+	// The golden payload run exists only to compare computed arms
+	// against; a fully warm cache skips it.
+	var golden [][]byte
+	if !cache.AllHit() {
+		golden, err = missionGolden()
+		if err != nil {
+			return protected, unprotected, nil, err
+		}
 	}
 
 	// One trial per mission, both arms: the arms share a seed (identical
 	// event schedule) so keeping them in one work item preserves the
 	// paired comparison while the scheduler fans missions across CPUs.
-	type missionPair struct {
-		protected   missionResult
-		unprotected missionResult
-	}
 	pairs, err := sched.Map(c.Missions, c.Workers, func(i int) (missionPair, error) {
-		seed := c.Seed + int64(i)*17
-		// One RNG stream builds the event schedule and the flight-software
-		// trace once per pair; both arms replay them read-only. (Each arm
-		// used to rebuild identical copies from the shared seed — the
-		// campaign's largest per-trial constructions, doubled for nothing.)
-		rng := rand.New(rand.NewSource(seed))
-		events := env.Schedule(rng, c.Duration)
-		mission := trace.FlightSoftware(rng, c.Duration, machine.DefaultConfig().Cores)
-		p, err := flyOneMission(c, seed, true, golden, events, mission)
-		if err != nil {
-			return missionPair{}, err
-		}
-		u, err := flyOneMission(c, seed, false, golden, events, mission)
-		if err != nil {
-			return missionPair{}, err
-		}
-		return missionPair{protected: p, unprotected: u}, nil
+		return cache.CachedArm(i, func() (missionPair, error) {
+			seed := c.Seed + int64(i)*17
+			// One RNG stream builds the event schedule and the flight-software
+			// trace once per pair; both arms replay them read-only. (Each arm
+			// used to rebuild identical copies from the shared seed — the
+			// campaign's largest per-trial constructions, doubled for nothing.)
+			rng := rand.New(rand.NewSource(seed))
+			events := env.Schedule(rng, c.Duration)
+			mission := trace.FlightSoftware(rng, c.Duration, machine.DefaultConfig().Cores)
+			p, err := flyOneMission(c, seed, true, golden, events, mission)
+			if err != nil {
+				return missionPair{}, err
+			}
+			u, err := flyOneMission(c, seed, false, golden, events, mission)
+			if err != nil {
+				return missionPair{}, err
+			}
+			return missionPair{protected: p, unprotected: u}, nil
+		})
 	}, sched.WithTelemetry(c.Telemetry))
 	if err != nil {
 		return protected, unprotected, nil, err
@@ -133,6 +156,39 @@ type missionResult struct {
 	sdc             bool
 	latchupsCleared int
 	seusOutvoted    int
+}
+
+// missionPair carries both arms of one mission trial through the
+// scheduler (and the result cache) together, preserving the paired
+// comparison.
+type missionPair struct {
+	protected   missionResult
+	unprotected missionResult
+}
+
+func encMissionResult(e *resultcache.Enc, r missionResult) {
+	e.Bool(r.damaged)
+	e.Bool(r.sdc)
+	e.Int(int64(r.latchupsCleared))
+	e.Int(int64(r.seusOutvoted))
+}
+
+func decMissionResult(d *resultcache.Dec) missionResult {
+	return missionResult{
+		damaged:         d.Bool(),
+		sdc:             d.Bool(),
+		latchupsCleared: int(d.Int()),
+		seusOutvoted:    int(d.Int()),
+	}
+}
+
+func encMissionPair(e *resultcache.Enc, p missionPair) {
+	encMissionResult(e, p.protected)
+	encMissionResult(e, p.unprotected)
+}
+
+func decMissionPair(d *resultcache.Dec) missionPair {
+	return missionPair{protected: decMissionResult(d), unprotected: decMissionResult(d)}
 }
 
 func accumulate(t *MissionTally, r missionResult) {

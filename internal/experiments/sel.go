@@ -7,7 +7,9 @@ import (
 
 	"radshield/internal/forest"
 	"radshield/internal/ild"
+	"radshield/internal/linmodel"
 	"radshield/internal/machine"
+	"radshield/internal/resultcache"
 	"radshield/internal/sched"
 	"radshield/internal/stats"
 	"radshield/internal/telemetry"
@@ -36,6 +38,11 @@ type SELConfig struct {
 	// Telemetry, when non-nil, receives machine, detector, and campaign
 	// metrics (see TELEMETRY.md). Nil means no instrumentation cost.
 	Telemetry *telemetry.Registry
+
+	// Cache, when non-nil, replays already-computed arms from the
+	// content-addressed result store (see RESULTCACHE.md). Output is
+	// byte-identical warm or cold.
+	Cache *resultcache.Store
 }
 
 // DefaultSELConfig returns a campaign that runs in a few seconds.
@@ -203,6 +210,38 @@ type table2State struct {
 	negSamples int
 }
 
+func encTable2State(e *resultcache.Enc, st table2State) {
+	e.Int(int64(len(st.episodeHit)))
+	for _, h := range st.episodeHit {
+		e.Bool(h)
+	}
+	e.Int(int64(len(st.latencies)))
+	for _, l := range st.latencies {
+		e.Duration(l)
+	}
+	e.Int(int64(st.fpSamples))
+	e.Int(int64(st.negSamples))
+}
+
+func decTable2State(d *resultcache.Dec) table2State {
+	var st table2State
+	for n := d.Int(); n > 0; n-- {
+		st.episodeHit = append(st.episodeHit, d.Bool())
+		if d.Err() != nil {
+			return st // malformed length; sticky error ends the decode
+		}
+	}
+	for n := d.Int(); n > 0; n-- {
+		st.latencies = append(st.latencies, d.Duration())
+		if d.Err() != nil {
+			return st
+		}
+	}
+	st.fpSamples = int(d.Int())
+	st.negSamples = int(d.Int())
+	return st
+}
+
 // replayTable2 walks a monitor over the recorded stream, reproducing the
 // serial harness's per-sample bookkeeping bit for bit. ildInstruments is
 // non-nil only for the ILD trial, which also owns the per-episode
@@ -260,7 +299,10 @@ func replayTable2(rec *table2Recording, mon ild.Monitor, ins *ild.Instruments, e
 // monitors evaluate in parallel yet the rendered table is byte-identical
 // to a workers=1 run.
 func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
-	rec := recordTable2Campaign(c)
+	type monitorSpec struct {
+		name  string
+		build func() (ild.Monitor, error)
+	}
 
 	// Attach instruments to the ILD detector (not the baselines: Table 2
 	// compares detectors, but the telemetry story follows the paper's
@@ -272,10 +314,6 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 		missedCtr = c.Telemetry.Counter("ild_episodes_missed_total", "episodes")
 	}
 
-	type monitorSpec struct {
-		name  string
-		build func() (ild.Monitor, error)
-	}
 	specs := []monitorSpec{
 		{"ILD", func() (ild.Monitor, error) {
 			det, err := TrainILD(c)
@@ -294,15 +332,31 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 		}})
 	}
 
+	cache := cacheArms(c.Cache, "table2/v1", len(specs),
+		func(i int, e *resultcache.Enc) {
+			encSELConfig(e, c)
+			e.Str(specs[i].name)
+		},
+		armCodec[table2State]{enc: encTable2State, dec: decTable2State})
+
+	// The recorded campaign stream is monitor-independent input for the
+	// replay arms; a fully warm cache never replays, so skip recording.
+	var rec *table2Recording
+	if !cache.AllHit() {
+		rec = recordTable2Campaign(c)
+	}
+
 	states, err := sched.Map(len(specs), c.Workers, func(i int) (table2State, error) {
-		mon, err := specs[i].build()
-		if err != nil {
-			return table2State{}, err
-		}
-		if i == 0 { // ILD owns the detector-side telemetry
-			return replayTable2(rec, mon, ins, episodesCtr, missedCtr), nil
-		}
-		return replayTable2(rec, mon, nil, nil, nil), nil
+		return cache.CachedArm(i, func() (table2State, error) {
+			mon, err := specs[i].build()
+			if err != nil {
+				return table2State{}, err
+			}
+			if i == 0 { // ILD owns the detector-side telemetry
+				return replayTable2(rec, mon, ins, episodesCtr, missedCtr), nil
+			}
+			return replayTable2(rec, mon, nil, nil, nil), nil
+		})
 	}, sched.WithTelemetry(c.Telemetry))
 	if err != nil {
 		return nil, nil, err
@@ -355,16 +409,6 @@ func Table2(c SELConfig) ([]DetectorAccuracyResult, *Table, error) {
 // rate per magnitude. The paper's knee is at ≈0.05 A (ILD's threshold is
 // 0.055 A with the rolling-min floor beneath it).
 func Fig10(c SELConfig, episodesPer int) (*Figure, error) {
-	base, err := TrainILD(c)
-	if err != nil {
-		return nil, err
-	}
-	model := base.Model()
-	fig := &Figure{
-		Title:  "Figure 10: misdetection rate vs latchup current",
-		XLabel: "additional latchup current (A)",
-		YLabel: "false negative rate",
-	}
 	// The sweep iterates integer centiamps (1..10 → +0.01..+0.10 A):
 	// floating-point accumulation (amps += 0.01) makes both the level
 	// count and the int64(amps*1000) seed derivation depend on rounding
@@ -372,34 +416,35 @@ func Fig10(c SELConfig, episodesPer int) (*Figure, error) {
 	// exact. Each level is one scheduler trial with its own detector
 	// instance (same trained model) and its own seeded RNG.
 	const levels = 10
-	fnr, err := sched.Map(levels, c.Workers, func(li int) (float64, error) {
-		ca := li + 1
-		amps := float64(ca) / 100
-		det, err := ild.NewDetector(model, c.ildConfig())
+	cache := cacheArms(c.Cache, "fig10/v1", levels,
+		func(li int, e *resultcache.Enc) {
+			encSELConfig(e, c)
+			e.Int(int64(episodesPer))
+			e.Int(int64(li + 1)) // centiamp level
+		},
+		armCodec[float64]{
+			enc: func(e *resultcache.Enc, v float64) { e.Float(v) },
+			dec: func(d *resultcache.Dec) float64 { return d.Float() },
+		})
+
+	// Detector training feeds only computed arms; skip it when warm.
+	var model *linmodel.Model
+	if !cache.AllHit() {
+		base, err := TrainILD(c)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		m := machine.New(c.machineConfig(c.Seed + int64(ca)*10))
-		rng := rand.New(rand.NewSource(c.Seed + 2))
-		missed := 0
-		for ep := 0; ep < episodesPer; ep++ {
-			det.Reset()
-			// One minute latched, one minute clear, all quiescent.
-			injectSEL(m, amps)
-			hit := false
-			m.RunTrace(trace.Quiescent(rng, time.Minute, 10*time.Second), func(tel machine.Telemetry) {
-				if det.Observe(tel) {
-					hit = true
-				}
-			})
-			m.ClearSEL()
-			det.Reset()
-			m.RunTrace(trace.Quiescent(rng, 10*time.Second, 5*time.Second), nil)
-			if !hit {
-				missed++
-			}
-		}
-		return float64(missed) / float64(episodesPer), nil
+		model = base.Model()
+	}
+	fig := &Figure{
+		Title:  "Figure 10: misdetection rate vs latchup current",
+		XLabel: "additional latchup current (A)",
+		YLabel: "false negative rate",
+	}
+	fnr, err := sched.Map(levels, c.Workers, func(li int) (float64, error) {
+		return cache.CachedArm(li, func() (float64, error) {
+			return fig10Level(c, model, li, episodesPer)
+		})
 	}, sched.WithTelemetry(c.Telemetry))
 	if err != nil {
 		return nil, err
@@ -410,6 +455,37 @@ func Fig10(c SELConfig, episodesPer int) (*Figure, error) {
 	}
 	fig.Series = append(fig.Series, s)
 	return fig, nil
+}
+
+// fig10Level computes one magnitude level of the Figure 10 sweep.
+func fig10Level(c SELConfig, model *linmodel.Model, li, episodesPer int) (float64, error) {
+	ca := li + 1
+	amps := float64(ca) / 100
+	det, err := ild.NewDetector(model, c.ildConfig())
+	if err != nil {
+		return 0, err
+	}
+	m := machine.New(c.machineConfig(c.Seed + int64(ca)*10))
+	rng := rand.New(rand.NewSource(c.Seed + 2))
+	missed := 0
+	for ep := 0; ep < episodesPer; ep++ {
+		det.Reset()
+		// One minute latched, one minute clear, all quiescent.
+		injectSEL(m, amps)
+		hit := false
+		m.RunTrace(trace.Quiescent(rng, time.Minute, 10*time.Second), func(tel machine.Telemetry) {
+			if det.Observe(tel) {
+				hit = true
+			}
+		})
+		m.ClearSEL()
+		det.Reset()
+		m.RunTrace(trace.Quiescent(rng, 10*time.Second, 5*time.Second), nil)
+		if !hit {
+			missed++
+		}
+	}
+	return float64(missed) / float64(episodesPer), nil
 }
 
 // Table3 reports ILD's worst-case overhead (paper Table 3): the bubble

@@ -9,6 +9,7 @@ import (
 	"radshield/internal/emr"
 	"radshield/internal/fault"
 	"radshield/internal/ild"
+	"radshield/internal/resultcache"
 	"radshield/internal/sched"
 	"radshield/internal/telemetry"
 	"radshield/internal/workloads"
@@ -29,6 +30,10 @@ type SEUConfig struct {
 	// Telemetry, when non-nil, receives per-run EMR metrics from every
 	// runtime the experiment constructs (see TELEMETRY.md).
 	Telemetry *telemetry.Registry
+
+	// Cache, when non-nil, replays already-computed arms from the
+	// content-addressed result store (see RESULTCACHE.md).
+	Cache *resultcache.Store
 }
 
 // DefaultSEUConfig returns the default workload sizing.
@@ -78,28 +83,52 @@ func Fig11(c SEUConfig) ([]Fig11Row, *Table, error) {
 	// One trial per workload; the three scheme runs inside a trial stay
 	// serial so the normalization denominator rides in the same work item.
 	wls := workloads.All()
+	cache := cacheArms(c.Cache, "fig11/v1", len(wls),
+		func(i int, e *resultcache.Enc) {
+			e.Int(int64(c.Size))
+			e.Int(c.Seed)
+			e.Str(wls[i].Name)
+		},
+		armCodec[Fig11Row]{
+			enc: func(e *resultcache.Enc, r Fig11Row) {
+				e.Str(r.Workload)
+				e.Float(r.Serial3MRRel)
+				e.Float(r.EMRRel)
+				e.Float(r.EMRSlowdownPct)
+			},
+			dec: func(d *resultcache.Dec) Fig11Row {
+				return Fig11Row{
+					Workload:       d.Str(),
+					Serial3MRRel:   d.Float(),
+					EMRRel:         d.Float(),
+					EMRSlowdownPct: d.Float(),
+				}
+			},
+		})
 	rows, err := sched.Map(len(wls), c.Workers, func(i int) (Fig11Row, error) {
-		b := wls[i]
-		base, err := runScheme(b, fault.SchemeUnprotectedParallel, emr.FrontierDRAM, c, nil, nil)
-		if err != nil {
-			return Fig11Row{}, fmt.Errorf("%s/unprotected: %w", b.Name, err)
-		}
-		emrRes, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, nil)
-		if err != nil {
-			return Fig11Row{}, fmt.Errorf("%s/emr: %w", b.Name, err)
-		}
-		ser, err := runScheme(b, fault.SchemeSerial3MR, emr.FrontierDRAM, c, nil, nil)
-		if err != nil {
-			return Fig11Row{}, fmt.Errorf("%s/serial: %w", b.Name, err)
-		}
-		den := float64(base.Report.Makespan)
-		row := Fig11Row{
-			Workload:     b.Name,
-			Serial3MRRel: float64(ser.Report.Makespan) / den,
-			EMRRel:       float64(emrRes.Report.Makespan) / den,
-		}
-		row.EMRSlowdownPct = (row.EMRRel - 1) * 100
-		return row, nil
+		return cache.CachedArm(i, func() (Fig11Row, error) {
+			b := wls[i]
+			base, err := runScheme(b, fault.SchemeUnprotectedParallel, emr.FrontierDRAM, c, nil, nil)
+			if err != nil {
+				return Fig11Row{}, fmt.Errorf("%s/unprotected: %w", b.Name, err)
+			}
+			emrRes, err := runScheme(b, fault.SchemeEMR, emr.FrontierDRAM, c, nil, nil)
+			if err != nil {
+				return Fig11Row{}, fmt.Errorf("%s/emr: %w", b.Name, err)
+			}
+			ser, err := runScheme(b, fault.SchemeSerial3MR, emr.FrontierDRAM, c, nil, nil)
+			if err != nil {
+				return Fig11Row{}, fmt.Errorf("%s/serial: %w", b.Name, err)
+			}
+			den := float64(base.Report.Makespan)
+			row := Fig11Row{
+				Workload:     b.Name,
+				Serial3MRRel: float64(ser.Report.Makespan) / den,
+				EMRRel:       float64(emrRes.Report.Makespan) / den,
+			}
+			row.EMRSlowdownPct = (row.EMRRel - 1) * 100
+			return row, nil
+		})
 	}, sched.WithTelemetry(c.Telemetry))
 	if err != nil {
 		return nil, nil, err
@@ -322,6 +351,10 @@ type Table7Config struct {
 	// Telemetry, when non-nil, counts injected faults per target kind and
 	// emits a fault_injected event for each strike.
 	Telemetry *telemetry.Registry
+
+	// Cache, when non-nil, replays already-classified injection runs
+	// from the content-addressed result store (see RESULTCACHE.md).
+	Cache *resultcache.Store
 }
 
 // DefaultTable7Config matches the paper's 20-run campaign.
@@ -335,11 +368,6 @@ func DefaultTable7Config() Table7Config {
 // compute phase, classified against a golden run.
 func Table7(c Table7Config) (map[string]*fault.Tally, *Table, error) {
 	b := workloads.ImageProcessing()
-	goldenRes, err := runScheme(b, fault.SchemeNone, emr.FrontierDRAM, SEUConfig{Size: c.Size, Seed: c.Seed}, nil, nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	golden := goldenRes.Outputs
 
 	schemes := []struct {
 		name   string
@@ -355,6 +383,35 @@ func Table7(c Table7Config) (map[string]*fault.Tally, *Table, error) {
 		// strikes.
 		{"Checksum", fault.SchemeChecksum, false},
 	}
+
+	// Each injection run's key is (workload size, seed, scheme, mbu,
+	// run index); Runs is deliberately absent so a deeper campaign
+	// replays the runs already classified.
+	cache := cacheArms(c.Cache, "table7/v1", len(schemes)*c.Runs,
+		func(k int, e *resultcache.Enc) {
+			sc, run := schemes[k/c.Runs], k%c.Runs
+			e.Int(int64(c.Size))
+			e.Int(c.Seed)
+			e.Str(sc.name)
+			e.Bool(sc.mbu)
+			e.Int(int64(run))
+		},
+		armCodec[fault.Outcome]{
+			enc: func(e *resultcache.Enc, o fault.Outcome) { e.Int(int64(o)) },
+			dec: func(d *resultcache.Dec) fault.Outcome { return fault.Outcome(d.Int()) },
+		})
+
+	// The golden outputs only classify computed runs; skip the golden
+	// run itself when every arm replays.
+	var golden [][]byte
+	if !cache.AllHit() {
+		goldenRes, err := runScheme(b, fault.SchemeNone, emr.FrontierDRAM, SEUConfig{Size: c.Size, Seed: c.Seed}, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		golden = goldenRes.Outputs
+	}
+
 	tallies := make(map[string]*fault.Tally)
 	tbl := &Table{
 		Title:  "Table 7: fault injection into the image-processing workload",
@@ -365,12 +422,14 @@ func Table7(c Table7Config) (map[string]*fault.Tally, *Table, error) {
 	// share nothing but the read-only golden outputs. Outcomes come back
 	// in matrix order and are tallied serially below.
 	outcomes, err := sched.Map(len(schemes)*c.Runs, c.Workers, func(k int) (fault.Outcome, error) {
-		sc, run := schemes[k/c.Runs], k%c.Runs
-		outcome, err := injectOnce(b, sc.scheme, sc.mbu, c, int64(run), golden)
-		if err != nil {
-			return 0, fmt.Errorf("%s run %d: %w", sc.name, run, err)
-		}
-		return outcome, nil
+		return cache.CachedArm(k, func() (fault.Outcome, error) {
+			sc, run := schemes[k/c.Runs], k%c.Runs
+			outcome, err := injectOnce(b, sc.scheme, sc.mbu, c, int64(run), golden)
+			if err != nil {
+				return 0, fmt.Errorf("%s run %d: %w", sc.name, run, err)
+			}
+			return outcome, nil
+		})
 	}, sched.WithTelemetry(c.Telemetry))
 	if err != nil {
 		return nil, nil, err

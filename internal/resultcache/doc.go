@@ -1,0 +1,65 @@
+// Package resultcache is the content-addressed campaign result store:
+// a compact binary on-disk cache that turns a re-run of an already-flown
+// campaign arm into a replay.
+//
+// # Addressing
+//
+// Every entry is addressed by a 32-byte key,
+//
+//	key = SHA-256(fingerprint ‖ 0x00 ‖ domain ‖ 0x00 ‖ payload)
+//
+// where payload is the canonical deterministic encoding (package codec,
+// [Enc]) of everything the arm's result depends on — the arm
+// configuration, the seed, and the trial identity — and fingerprint is
+// the code-version fingerprint of the running binary ([Fingerprint]):
+// the VCS revision from debug/buildinfo when the build is clean, else a
+// SHA-256 of the executable itself. A rebuilt binary therefore never
+// replays stale arms: its keys simply do not match, and the old entries
+// age out unused.
+//
+// The soundness of replaying a cached result rests on the determinism
+// contract of DESIGN.md §9: a campaign arm is a pure function of
+// (config, seed), machine-checked whole-program by radlint's armpurity
+// analyzer. Only armpurity-proven entry points may consult this store —
+// see RESULTCACHE.md for the full argument and the contract test that
+// enforces cached ⊆ proven.
+//
+// # On-disk format
+//
+// A cache directory holds three files:
+//
+//	cache.data   append-only record log
+//	cache.index  key → (offset, length) table, atomically replaced
+//	cache.lock   advisory flock target (empty)
+//
+// The data file opens with an 8-byte magic header and then holds
+// length-prefixed records, each individually checksummed:
+//
+//	key[32] | payloadLen uint32 LE | crc32(payload) uint32 LE | payload
+//
+// The index file is a sorted table with a trailing CRC-32 over its
+// entire contents, committed by write-to-temp + atomic rename. The
+// index is strictly an optimization: if it is missing, stale, or fails
+// its checksum, [Open] rebuilds it by scanning the data file. Records
+// appended after the last index commit (a crash before [Store.Flush])
+// are recovered by the same tail scan; trailing garbage from a torn
+// write is truncated.
+//
+// Corruption anywhere degrades to a miss, never to a wrong replay:
+// [Store.Get] re-verifies the stored key and per-record CRC on every
+// read, and a mismatch drops the entry so the arm recomputes.
+//
+// # Concurrency
+//
+// A Store is safe for concurrent use by the scheduler's workers
+// (internal/sched); a single mutex guards the in-memory index and the
+// append path — arm compute time dwarfs it. Cross-process safety is
+// advisory file locking on cache.lock: [Open] takes an exclusive
+// non-blocking flock and returns [ErrLocked] when another process holds
+// the directory, so callers degrade to running uncached rather than
+// interleaving appends.
+//
+// A nil *Store is a valid "caching disabled" handle: Get always misses
+// and Put is a no-op, so campaign code never guards against a missing
+// cache.
+package resultcache

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package resultcache
+
+import "os"
+
+// Non-unix platforms get no advisory locking: single-process use stays
+// correct (the in-process mutex covers it); concurrent processes fall
+// outside the supported envelope there. The CI and flight targets are
+// all unix.
+func flockTry(f *os.File) error { return nil }
+
+func flockRelease(f *os.File) error { return nil }
+
+func flockSupported() bool { return false }

@@ -1,0 +1,104 @@
+package resultcache
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The two-process contention test re-execs the test binary: the child
+// (selected by RESULTCACHE_LOCK_CHILD) opens the store and holds it
+// until released, while the parent proves that a concurrent Open from a
+// genuinely different process observes ErrLocked.
+
+const (
+	lockChildEnv = "RESULTCACHE_LOCK_CHILD"
+	readyFile    = "child-ready"
+	releaseFile  = "child-release"
+)
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(lockChildEnv); dir != "" {
+		os.Exit(lockChildMain(dir))
+	}
+	os.Exit(m.Run())
+}
+
+// lockChildMain is the child process body: hold the cache directory's
+// lock, signal readiness, wait for the parent's release.
+func lockChildMain(dir string) int {
+	s, err := Open(dir, WithFingerprint("child"))
+	if err != nil {
+		return 1
+	}
+	defer s.Close()
+	if err := os.WriteFile(filepath.Join(dir, readyFile), nil, 0o644); err != nil {
+		return 1
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(filepath.Join(dir, releaseFile)); err == nil {
+			return 0
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return 2 // parent never released us
+}
+
+func TestTwoProcessLockContention(t *testing.T) {
+	if !flockSupported() {
+		t.Skip("no advisory locking on this platform")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	child := exec.Command(exe, "-test.run=TestTwoProcessLockContention")
+	child.Env = append(os.Environ(), lockChildEnv+"="+dir)
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	defer func() {
+		if !released {
+			os.WriteFile(filepath.Join(dir, releaseFile), nil, 0o644)
+		}
+		child.Wait()
+	}()
+
+	// Wait for the child to hold the lock.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, readyFile)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never signalled ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Contended: our Open must fail fast with ErrLocked, not block.
+	if _, err := Open(dir, WithFingerprint("parent")); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Open while child holds lock = %v, want ErrLocked", err)
+	}
+
+	// Release the child; once it exits the lock must be free again.
+	if err := os.WriteFile(filepath.Join(dir, releaseFile), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	released = true
+	if err := child.Wait(); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	s, err := Open(dir, WithFingerprint("parent"))
+	if err != nil {
+		t.Fatalf("Open after child exit: %v", err)
+	}
+	s.Close()
+}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package resultcache
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockTry takes an exclusive, non-blocking advisory lock on f. It
+// returns ErrLocked when another process already holds the lock —
+// flock(2) is inherited across fork but not duplicated by open, so one
+// cache directory admits one writer process at a time.
+func flockTry(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return ErrLocked
+	}
+	return err
+}
+
+// flockRelease drops the advisory lock. Closing the file would release
+// it too; the explicit unlock keeps Close's ordering obvious.
+func flockRelease(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}
+
+// flockSupported reports whether this platform enforces the advisory
+// lock (tests skip contention checks where it cannot).
+func flockSupported() bool { return true }
