@@ -9,11 +9,18 @@
 // watchdog sweep (hung and crashed replicas against the redundancy
 // ladder).
 //
+// With -oskernel it runs the OS-level failure campaign: kernel panics,
+// hangs, IO-error bursts, scheduler stalls, and NVRAM corruption
+// against the hardware watchdog, the supervisor's hang/heartbeat
+// detection, and the recorder's verified snapshot path. -osfault
+// narrows the class grid.
+//
 // Usage:
 //
 //	faultcamp -runs 100
 //	faultcamp -runs 20 -size 65536 -seed 3
 //	faultcamp -guard
+//	faultcamp -oskernel -osfault panic,fscorrupt
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"radshield/internal/downlink"
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
+	"radshield/internal/machine"
 	"radshield/internal/power"
 	"radshield/internal/profiling"
 	"radshield/internal/resultcache"
@@ -56,20 +64,35 @@ func ship(vc uint8, msg string) {
 
 func main() {
 	var (
-		runs    = flag.Int("runs", 20, "injections per scheme (paper: 20)")
-		size    = flag.Int("size", 64<<10, "workload input size in bytes")
-		seed    = flag.Int64("seed", 7, "campaign seed")
-		workers = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
-		guard   = flag.Bool("guard", false, "inject faults into Radshield's own sensor and replicas instead of the workload")
-		dlAddr  = flag.String("downlink", "", "stream campaign verdicts to a groundstation at this TCP address (see cmd/groundstation)")
-		rcDir   = flag.String("resultcache", "", "replay unchanged campaign arms from this content-addressed cache directory, created if absent (see RESULTCACHE.md)")
-		dlLink  = flag.Int("link-id", 3, "spacecraft link id for -downlink")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file (see PERFORMANCE.md)")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (see PERFORMANCE.md)")
+		runs     = flag.Int("runs", 20, "injections per scheme (paper: 20)")
+		size     = flag.Int("size", 64<<10, "workload input size in bytes")
+		seed     = flag.Int64("seed", 7, "campaign seed")
+		workers  = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
+		guard    = flag.Bool("guard", false, "inject faults into Radshield's own sensor and replicas instead of the workload")
+		oskernel = flag.Bool("oskernel", false, "run the OS-level failure campaign (kernel panics, hangs, IO bursts, scheduler stalls, NVRAM corruption) instead of the workload")
+		osFault  = flag.String("osfault", "", "comma-separated OS fault classes for -oskernel (default all; valid: panic, hang, ioburst, schedstall, fscorrupt)")
+		dlAddr   = flag.String("downlink", "", "stream campaign verdicts to a groundstation at this TCP address (see cmd/groundstation)")
+		rcDir    = flag.String("resultcache", "", "replay unchanged campaign arms from this content-addressed cache directory, created if absent (see RESULTCACHE.md)")
+		dlLink   = flag.Int("link-id", 3, "spacecraft link id for -downlink")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file (see PERFORMANCE.md)")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (see PERFORMANCE.md)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("faultcamp: ")
+
+	// Flag conflicts fail loudly instead of silently picking a campaign.
+	if *guard && *oskernel {
+		log.Fatal("-guard and -oskernel are mutually exclusive; pick one campaign")
+	}
+	if *osFault != "" && !*oskernel {
+		log.Fatal("-osfault only applies to -oskernel (valid classes: panic, hang, ioburst, schedstall, fscorrupt)")
+	}
+	if *osFault != "" {
+		if _, err := experiments.ParseOSFaultClasses(*osFault); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -117,6 +140,12 @@ func main() {
 
 	if *guard {
 		runGuardCampaign(*seed, *workers, store)
+		closeStore()
+		finishProfiles()
+		return
+	}
+	if *oskernel {
+		runOSFaultCampaign(*osFault, *seed, *workers, store)
 		closeStore()
 		finishProfiles()
 		return
@@ -208,5 +237,67 @@ func runGuardCampaign(seed int64, workers int, store *resultcache.Store) {
 	fmt.Println("guard layer held: zero missed SELs behind sensor faults, golden outputs through replica faults")
 	ship(1, fmt.Sprintf("guard trials=%d watchdog_trials=%d", len(trials), len(wdTrials)))
 	ship(0, "campaign_complete campaign=guard verdict=protected")
+	drainFeed()
+}
+
+// runOSFaultCampaign sweeps OS-level failure classes — kernel panics,
+// hangs, IO-error bursts, scheduler stalls, NVRAM corruption — and
+// applies the recovery layer's safety verdicts: every class must be
+// detected in bounded time, the guarded mission must keep the board,
+// and the recorder must never replay corrupt state.
+func runOSFaultCampaign(classes string, seed int64, workers int, store *resultcache.Store) {
+	oc := experiments.DefaultOSFaultCampaignConfig()
+	if classes != "" {
+		picked, err := experiments.ParseOSFaultClasses(classes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oc.Classes = picked
+	}
+	oc.SEL.Seed = seed
+	oc.SEL.Workers = workers
+	oc.SEL.Cache = store
+	trials, tbl, err := experiments.OSFaultCampaign(oc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+
+	var wdResets, recoveries int
+	for _, tr := range trials {
+		wdResets += tr.WatchdogResets
+		recoveries += tr.Recoveries
+		if tr.DetectLatency < 0 {
+			ship(0, fmt.Sprintf("protection_failure campaign=oskernel class=%v cause=undetected", tr.Class))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: %v fault never detected", tr.Class)
+		}
+		if !tr.Survived {
+			ship(0, fmt.Sprintf("protection_failure campaign=oskernel class=%v cause=board_lost", tr.Class))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: guarded mission lost the board under a %v fault", tr.Class)
+		}
+		if tr.MissedSELs > 0 {
+			ship(0, fmt.Sprintf("protection_failure campaign=oskernel class=%v missed_sels=%d", tr.Class, tr.MissedSELs))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: %d SELs missed under a %v fault", tr.MissedSELs, tr.Class)
+		}
+		if !tr.CleanReplay {
+			ship(0, fmt.Sprintf("protection_failure campaign=oskernel class=%v cause=dirty_replay", tr.Class))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: recorder replayed corrupt state under a %v fault", tr.Class)
+		}
+		if tr.Class == machine.OSFaultSchedulerStall && (!tr.TMRGolden || !tr.DegradedGolden) {
+			ship(0, fmt.Sprintf("protection_failure campaign=oskernel class=%v cause=wrong_outputs", tr.Class))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: wrong EMR outputs under a %v fault", tr.Class)
+		}
+	}
+	fmt.Println("recovery layer held: every OS fault detected, board kept, no corrupt replay")
+	// The watchdog_reset / recorder_recovered prefixes feed the ground
+	// station's per-link recovery accounting (cmd/groundstation /state).
+	ship(1, fmt.Sprintf("watchdog_reset count=%d classes=%d", wdResets, len(trials)))
+	ship(1, fmt.Sprintf("recorder_recovered count=%d classes=%d", recoveries, len(trials)))
+	ship(0, "campaign_complete campaign=oskernel verdict=protected")
 	drainFeed()
 }

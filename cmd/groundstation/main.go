@@ -104,5 +104,9 @@ func main() {
 		}
 		fmt.Printf("link %d: %d frames delivered (%d p0), %d duplicates absorbed, %d skipped, %d rejected\n",
 			rep.Link, del, rep.VC[0].Delivered, dup, skip, rep.Rejected)
+		if rep.WatchdogResets > 0 || rep.RecorderRecoveries > 0 {
+			fmt.Printf("link %d: %d watchdog resets, %d recorder recoveries reported\n",
+				rep.Link, rep.WatchdogResets, rep.RecorderRecoveries)
+		}
 	}
 }

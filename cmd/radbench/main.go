@@ -34,6 +34,12 @@ import (
 
 type runner func(sel experiments.SELConfig, seu experiments.SEUConfig) error
 
+// osFaultFlag narrows the oskernel campaign's fault-class grid; it is
+// package-level because the registry closures are built before
+// flag.Parse runs. main validates it against the selected experiments.
+var osFaultFlag = flag.String("osfault", "",
+	"comma-separated OS fault classes for -exp oskernel (default all; valid: panic, hang, ioburst, schedstall, fscorrupt)")
+
 // spanFn reports how much simulated mission time an experiment covers, so
 // the default (simulated) timing mode can advance the campaign clock by
 // it. Entries without a span (static tables, SEU campaigns whose length is
@@ -245,6 +251,27 @@ var registry = map[string]struct {
 		fmt.Println(wdTbl)
 		return nil
 	}},
+	"oskernel": {desc: "OS-fault campaign: kernel panics, hangs, IO bursts, scheduler stalls, NVRAM corruption vs watchdog recovery", span: func(experiments.SELConfig) time.Duration {
+		// 5 fault classes × 2 arms × 30-minute missions.
+		return 10 * 30 * time.Minute
+	}, run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		oc := experiments.DefaultOSFaultCampaignConfig()
+		classes, err := experiments.ParseOSFaultClasses(*osFaultFlag)
+		if err != nil {
+			return err
+		}
+		oc.Classes = classes
+		oc.SEL.Seed = sel.Seed
+		oc.SEL.Workers = sel.Workers
+		oc.SEL.Telemetry = sel.Telemetry
+		oc.SEL.Cache = sel.Cache
+		_, tbl, err := experiments.OSFaultCampaign(oc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
 	"featsel": {desc: "random-forest feature selection for ILD's metric set (§3.1)", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		res := experiments.FeatureSelection(sel)
 		fmt.Println(res.Tbl)
@@ -422,6 +449,25 @@ func main() {
 		targets = names
 	} else {
 		targets = strings.Split(*exp, ",")
+	}
+	// Fail fast on bad OS-fault flag combinations instead of silently
+	// ignoring them: an invalid class id, or -osfault without the one
+	// experiment that reads it.
+	if *osFaultFlag != "" {
+		if _, err := experiments.ParseOSFaultClasses(*osFaultFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "radbench: %v\n", err)
+			os.Exit(2)
+		}
+		runsOSKernel := false
+		for _, t := range targets {
+			if strings.TrimSpace(t) == "oskernel" {
+				runsOSKernel = true
+			}
+		}
+		if !runsOSKernel {
+			fmt.Fprintf(os.Stderr, "radbench: -osfault only applies to -exp oskernel (valid classes: panic, hang, ioburst, schedstall, fscorrupt)\n")
+			os.Exit(2)
+		}
 	}
 	// Experiments run against simulated hardware, so by default radbench
 	// reports simulated mission time from its own campaign clock — a rerun

@@ -1,6 +1,7 @@
 package downlink
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -46,6 +47,11 @@ type linkState struct {
 	backlog  uint32 // last beacon-reported flight-recorder depth
 	lastSeen time.Duration
 	p0       [][]byte // recent channel-0 payloads (bounded)
+	// Recovery accounting: deliveries whose payloads announce a
+	// watchdog reset or a recovered recorder page (the oskernel
+	// campaign's telemetry prefixes).
+	wdResets      uint64
+	recRecoveries uint64
 }
 
 // LinkReport is one link's row in the aggregated mission state.
@@ -57,7 +63,13 @@ type LinkReport struct {
 	Degraded bool          `json:"degraded"`
 	Backlog  uint32        `json:"backlog"`
 	LastSeen time.Duration `json:"last_seen_ns"`
-	RecentP0 []string      `json:"recent_p0,omitempty"`
+	// WatchdogResets and RecorderRecoveries count delivered payloads
+	// carrying the "watchdog_reset " / "recorder_recovered " prefixes
+	// the OS-fault campaign emits, so operators can read a link's
+	// recovery history straight off /state.
+	WatchdogResets     uint64   `json:"watchdog_resets"`
+	RecorderRecoveries uint64   `json:"recorder_recoveries"`
+	RecentP0           []string `json:"recent_p0,omitempty"`
 }
 
 // Station is the ground side: it ingests raw frame bytes from many
@@ -174,6 +186,12 @@ func (s *Station) ingestFrame(f Frame, now time.Duration) bool {
 		st.Expected++
 		st.Delivered++
 		ls.degraded = false
+		if bytes.HasPrefix(f.Payload, []byte("watchdog_reset ")) {
+			ls.wdResets++
+		}
+		if bytes.HasPrefix(f.Payload, []byte("recorder_recovered ")) {
+			ls.recRecoveries++
+		}
 		if f.VC == 0 && s.cfg.KeepPayloads > 0 {
 			ls.p0 = append(ls.p0, append([]byte(nil), f.Payload...))
 			if len(ls.p0) > s.cfg.KeepPayloads {
@@ -261,7 +279,8 @@ func (s *Station) Report() []LinkReport {
 		r := LinkReport{
 			Link: id, VC: ls.vc, Rejected: ls.rejected,
 			Beacons: ls.beacons, Degraded: ls.degraded, Backlog: ls.backlog,
-			LastSeen: ls.lastSeen,
+			LastSeen: ls.lastSeen, WatchdogResets: ls.wdResets,
+			RecorderRecoveries: ls.recRecoveries,
 		}
 		for _, p := range ls.p0 {
 			r.RecentP0 = append(r.RecentP0, string(p))

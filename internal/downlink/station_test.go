@@ -195,3 +195,48 @@ func TestStationStateJSONDeterministic(t *testing.T) {
 		t.Fatalf("Links() = %v", got)
 	}
 }
+
+// TestStationRecoveryCounters: delivered payloads carrying the OS-fault
+// campaign's telemetry prefixes are tallied per link, so /state exposes
+// each spacecraft's watchdog-reset and recorder-recovery history.
+func TestStationRecoveryCounters(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	st.Ingest(encData(t, 3, 1, 0, "watchdog_reset count=2 classes=5"), 0)
+	st.Ingest(encData(t, 3, 1, 1, "recorder_recovered count=14 classes=5"), 0)
+	st.Ingest(encData(t, 3, 1, 2, "watchdog_reset count=1 classes=1"), 0)
+	st.Ingest(encData(t, 3, 0, 0, "campaign_complete campaign=oskernel verdict=protected"), 0)
+	// A duplicate must not double-count.
+	st.Ingest(encData(t, 3, 1, 2, "watchdog_reset count=1 classes=1"), 0)
+	// Near-miss payloads (no trailing space / different link) stay out.
+	st.Ingest(encData(t, 3, 1, 3, "watchdog_resets=9"), 0)
+	st.Ingest(encData(t, 4, 1, 0, "plain telemetry"), 0)
+
+	rep := st.Report()
+	if len(rep) != 2 {
+		t.Fatalf("links = %d, want 2", len(rep))
+	}
+	if rep[0].Link != 3 || rep[0].WatchdogResets != 2 || rep[0].RecorderRecoveries != 1 {
+		t.Fatalf("link 3 counters = %d resets / %d recoveries, want 2/1",
+			rep[0].WatchdogResets, rep[0].RecorderRecoveries)
+	}
+	if rep[1].WatchdogResets != 0 || rep[1].RecorderRecoveries != 0 {
+		t.Fatalf("link 4 inherited recovery counts: %+v", rep[1])
+	}
+
+	b, err := st.StateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Links []struct {
+			WatchdogResets     uint64 `json:"watchdog_resets"`
+			RecorderRecoveries uint64 `json:"recorder_recoveries"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Links[0].WatchdogResets != 2 || parsed.Links[0].RecorderRecoveries != 1 {
+		t.Fatalf("/state counters = %+v, want 2/1", parsed.Links[0])
+	}
+}

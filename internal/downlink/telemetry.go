@@ -25,6 +25,12 @@ type Instruments struct {
 	LinkCorrupted *telemetry.Counter
 	LinkReordered *telemetry.Counter
 	BlackoutLost  *telemetry.Counter
+	// Snapshot counters cover the recorder's NVRAM persistence path:
+	// pages encoded, pages restored intact, and pages rejected as
+	// corrupt (CRC, framing, or semantic validation failure).
+	SnapshotSaved    *telemetry.Counter
+	SnapshotRestored *telemetry.Counter
+	SnapshotCorrupt  *telemetry.Counter
 }
 
 // NewInstruments registers the downlink metric set on reg. A nil
@@ -47,6 +53,10 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 		LinkCorrupted: reg.Counter("downlink_link_corrupted_total", "frames"),
 		LinkReordered: reg.Counter("downlink_link_reordered_total", "frames"),
 		BlackoutLost:  reg.Counter("downlink_blackout_lost_total", "frames"),
+
+		SnapshotSaved:    reg.Counter("recorder_snapshot_saved_total", "snapshots"),
+		SnapshotRestored: reg.Counter("recorder_snapshot_restored_total", "snapshots"),
+		SnapshotCorrupt:  reg.Counter("recorder_snapshot_corrupt_total", "snapshots"),
 	}
 }
 
@@ -87,6 +97,27 @@ func (ins *Instruments) ringEvicted() {
 		return
 	}
 	ins.RingEvicted.Inc()
+}
+
+func (ins *Instruments) snapshotSaved() {
+	if ins == nil {
+		return
+	}
+	ins.SnapshotSaved.Inc()
+}
+
+func (ins *Instruments) snapshotRestored() {
+	if ins == nil {
+		return
+	}
+	ins.SnapshotRestored.Inc()
+}
+
+func (ins *Instruments) snapshotCorrupt() {
+	if ins == nil {
+		return
+	}
+	ins.SnapshotCorrupt.Inc()
 }
 
 // beaconModeChange records a degradation transition with a structured

@@ -150,6 +150,8 @@ func encSupervisorConfig(e *resultcache.Enc, sc guard.SupervisorConfig) {
 	e.Int(int64(sc.RefireLimit))
 	e.Duration(sc.BlindCycleEvery)
 	e.Float(sc.StaticLevelA)
+	e.Int(int64(sc.HangAfter))
+	e.Duration(sc.HeartbeatTimeout)
 }
 
 // encEnvironment canonically encodes a radiation environment for key

@@ -58,8 +58,8 @@ func TestCachedArmSitesAreProven(t *testing.T) {
 			})
 		}
 	}
-	if len(sites) < 9 {
-		t.Fatalf("found %d CachedArm call sites, want at least one per cached campaign (9)", len(sites))
+	if len(sites) < 10 {
+		t.Fatalf("found %d CachedArm call sites, want at least one per cached campaign (10)", len(sites))
 	}
 	for _, site := range sites {
 		covered := false
@@ -181,6 +181,15 @@ var cacheCampaigns = []struct {
 		c := equivDownlink(workers)
 		c.Cache = store
 		_, tbl, err := DownlinkCampaign(c)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	}},
+	{"OSFaultCampaign", false, func(workers int, store *resultcache.Store) (string, error) {
+		c := equivOSFault(workers)
+		c.SEL.Cache = store
+		_, tbl, err := OSFaultCampaign(c)
 		if err != nil {
 			return "", err
 		}

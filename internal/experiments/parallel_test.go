@@ -120,6 +120,16 @@ func TestParallelEquivalenceMissionProfiles(t *testing.T) {
 	})
 }
 
+func TestParallelEquivalenceOSFaultCampaign(t *testing.T) {
+	assertWidthInvariant(t, func(workers int) (string, error) {
+		_, tbl, err := OSFaultCampaign(equivOSFault(workers))
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	})
+}
+
 func TestParallelEquivalenceAblations(t *testing.T) {
 	sel := equivSEL(0) // width set per run below
 	seu := SEUConfig{Size: 32 << 10, Seed: 42}

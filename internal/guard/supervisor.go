@@ -37,12 +37,25 @@ type SupervisorConfig struct {
 	// StaticLevelA is the fixed threshold used on the
 	// ModeStaticThreshold rung.
 	StaticLevelA float64
+	// HangAfter commands a power cycle after this many consecutive
+	// wedged samples: zero instruction progress on every core with an
+	// exactly-repeated current reading. A live board's Gaussian sensor
+	// noise never repeats a reading bit-for-bit, so the conjunction
+	// only holds when the kernel's syscall surface is latched (a hang).
+	// Zero disables hang detection.
+	HangAfter int
+	// HeartbeatTimeout flags samples that arrive further apart than
+	// this gap — the board was silent in between (kernel dead until a
+	// watchdog reset brought it back). Zero disables the check.
+	HeartbeatTimeout time.Duration
 }
 
 // DefaultSupervisorConfig returns the simulated board's operating
 // point: demote within 25 samples of a hard sensor fault, re-promote
 // after half a second of clean readings, blind-cycle every 2 minutes
-// (inside the 3-minute detection requirement).
+// (inside the 3-minute detection requirement). Hang and heartbeat
+// detection default off — campaigns that schedule OS faults enable
+// them explicitly.
 func DefaultSupervisorConfig() SupervisorConfig {
 	return SupervisorConfig{
 		Health:          DefaultHealthConfig(),
@@ -74,6 +87,12 @@ type Decision struct {
 	// been blind long enough that an unseen latchup could be
 	// approaching the damage horizon.
 	BlindCycle bool
+	// HangCycle commands a power cycle because the kernel's counter
+	// surface wedged for HangAfter consecutive samples.
+	HangCycle bool
+	// HeartbeatGap flags that this sample arrived after a silent gap
+	// longer than HeartbeatTimeout (the board was down in between).
+	HeartbeatGap bool
 }
 
 // Supervisor drives ILD's degradation ladder from sensor-health
@@ -100,7 +119,14 @@ type Supervisor struct {
 	blindSince time.Duration
 	blind      bool
 
+	// hang / heartbeat tracking
+	lastSampleT  time.Duration
+	lastCurrentA float64
+	haveSample   bool
+	wedgedStreak int
+
 	demotions, promotions, blindCycles int
+	hangCycles, heartbeatGaps          int
 
 	ins        *Instruments
 	modeChange func(t time.Duration, from, to Mode, reason string)
@@ -123,6 +149,9 @@ func NewSupervisor(det *ild.Detector, cfg SupervisorConfig) (*Supervisor, error)
 	}
 	if cfg.RefireLimit > 0 && cfg.RefireWindow == 0 {
 		return nil, fmt.Errorf("guard: RefireLimit %d needs a positive RefireWindow", cfg.RefireLimit)
+	}
+	if cfg.HangAfter < 0 || cfg.HeartbeatTimeout < 0 {
+		return nil, fmt.Errorf("guard: HangAfter and HeartbeatTimeout must be ≥ 0")
 	}
 	static, err := ild.NewStaticThreshold(cfg.StaticLevelA)
 	if err != nil {
@@ -156,6 +185,12 @@ func (s *Supervisor) Demotions() int   { return s.demotions }
 func (s *Supervisor) Promotions() int  { return s.promotions }
 func (s *Supervisor) BlindCycles() int { return s.blindCycles }
 
+// HangCycles counts power cycles commanded for a wedged counter
+// surface; HeartbeatGaps counts samples that arrived after a silent gap
+// longer than HeartbeatTimeout.
+func (s *Supervisor) HangCycles() int    { return s.hangCycles }
+func (s *Supervisor) HeartbeatGaps() int { return s.heartbeatGaps }
+
 // Detector exposes the wrapped ILD instance (ablation harnesses reach
 // through for residuals).
 func (s *Supervisor) Detector() *ild.Detector { return s.det }
@@ -164,8 +199,31 @@ func (s *Supervisor) Detector() *ild.Detector { return s.det }
 // the ladder if warranted, run the active monitor, and pace blind
 // cycles. Deterministic — state advances only from tel.
 func (s *Supervisor) Observe(tel machine.Telemetry) Decision {
+	// Kernel-liveness checks run before sensor health: they reason about
+	// the sample stream itself, not the values in it.
+	gap := s.cfg.HeartbeatTimeout > 0 && s.haveSample &&
+		tel.T-s.lastSampleT > s.cfg.HeartbeatTimeout
+	if gap {
+		s.heartbeatGaps++
+		s.ins.heartbeatGap(tel.T, tel.T-s.lastSampleT)
+	}
+	// A wedged kernel latches every syscall-backed reading: zero counter
+	// progress and a bit-for-bit repeated current. Live sensor noise
+	// never repeats exactly, so the conjunction is hang-specific. A gap
+	// sample restarts the streak — the board just rebooted.
+	wedged := s.cfg.HangAfter > 0 && s.haveSample && !gap &&
+		tel.TotalInstrPerSec() == 0 && tel.CurrentA == s.lastCurrentA
+	if wedged {
+		s.wedgedStreak++
+	} else {
+		s.wedgedStreak = 0
+	}
+	s.lastSampleT = tel.T
+	s.lastCurrentA = tel.CurrentA
+	s.haveSample = true
+
 	v := s.health.Observe(tel)
-	d := Decision{SensorOK: v.OK, Reason: v.Reason}
+	d := Decision{SensorOK: v.OK, Reason: v.Reason, HeartbeatGap: gap}
 
 	if v.OK {
 		s.goodStreak++
@@ -206,6 +264,13 @@ func (s *Supervisor) Observe(tel machine.Telemetry) Decision {
 		}
 	}
 	s.prevFired = d.Fired
+
+	if s.cfg.HangAfter > 0 && s.wedgedStreak >= s.cfg.HangAfter {
+		s.wedgedStreak = 0
+		s.hangCycles++
+		s.ins.hangCycle(tel.T)
+		d.HangCycle = true
+	}
 
 	d.BlindCycle = s.paceBlindCycles(tel.T, v.OK)
 	return d
@@ -270,6 +335,7 @@ func (s *Supervisor) NotePowerCycle(t time.Duration) {
 	s.det.Reset()
 	s.static.Reset()
 	s.prevFired = false
+	s.wedgedStreak = 0
 }
 
 // demote moves one rung down and resets monitor state for the new rung.

@@ -24,6 +24,11 @@ type Instruments struct {
 	// BlindCycles counts precautionary power cycles commanded while the
 	// board could not observe its own current.
 	BlindCycles *telemetry.Counter
+	// HangCycles counts power cycles commanded for a wedged kernel
+	// counter surface; HeartbeatGaps counts samples that arrived after
+	// a silent gap longer than the heartbeat timeout.
+	HangCycles    *telemetry.Counter
+	HeartbeatGaps *telemetry.Counter
 	// WatchdogStrikes counts killed or crashed executor visits;
 	// WatchdogKills counts the subset killed at the deadline.
 	WatchdogStrikes *telemetry.Counter
@@ -46,6 +51,8 @@ func NewInstruments(reg *telemetry.Registry) *Instruments {
 		Promotions:       reg.Counter("guard_promotions_total", "transitions"),
 		BadSensorSamples: reg.Counter("guard_bad_sensor_samples_total", "samples"),
 		BlindCycles:      reg.Counter("guard_blind_cycles_total", "cycles"),
+		HangCycles:       reg.Counter("guard_hang_cycles_total", "cycles"),
+		HeartbeatGaps:    reg.Counter("guard_heartbeat_gaps_total", "gaps"),
 		WatchdogStrikes:  reg.Counter("guard_watchdog_strikes_total", "visits"),
 		WatchdogKills:    reg.Counter("guard_watchdog_kills_total", "visits"),
 		Redundancy:       reg.Gauge("guard_redundancy_mode", "rung"),
@@ -99,6 +106,31 @@ func (ins *Instruments) blindCycle(t time.Duration) {
 	ins.reg.Emit(telemetry.Event{
 		T:    t,
 		Kind: telemetry.KindBlindCycle,
+	})
+}
+
+// hangCycle records one power cycle commanded for a wedged kernel.
+func (ins *Instruments) hangCycle(t time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.HangCycles.Inc()
+	ins.reg.Emit(telemetry.Event{
+		T:    t,
+		Kind: telemetry.KindHangCycle,
+	})
+}
+
+// heartbeatGap records one silent gap in the telemetry stream.
+func (ins *Instruments) heartbeatGap(t time.Duration, gap time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.HeartbeatGaps.Inc()
+	ins.reg.Emit(telemetry.Event{
+		T:      t,
+		Kind:   telemetry.KindHeartbeatGap,
+		Fields: map[string]any{"gap_ns": int64(gap)},
 	})
 }
 

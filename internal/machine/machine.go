@@ -28,6 +28,12 @@ type Config struct {
 	// SELDamageAfter is how long an uncleared latchup takes to destroy
 	// the chip (paper: ≈5 minutes of localized heating).
 	SELDamageAfter time.Duration
+	// WatchdogTimeout arms a hardware watchdog timer: when the kernel
+	// stops petting it for this long (a scheduled kernel panic or hang —
+	// see osfault.go), the timer power cycles the board on its own.
+	// Zero (the default) leaves the watchdog unfitted, the
+	// pre-Trikarenos COTS baseline.
+	WatchdogTimeout time.Duration
 	// SupplyVoltage is used for energy integration (W = V·I).
 	SupplyVoltage float64
 	// AutoSupplyTrip enables the power supply's own over-current
@@ -132,12 +138,14 @@ type Machine struct {
 	diskWriteRate float64
 	dramRate      float64 // bytes/s aggregate, derived from core loads
 
-	lastCounters []cpu.Counters
-	lastDiskR    float64 // cumulative sectors at last sample
-	lastDiskW    float64
-	cumDiskR     float64
-	cumDiskW     float64
-	lastSample   time.Duration
+	lastCounters  []cpu.Counters
+	lastDiskR     float64 // cumulative sectors at last sample
+	lastDiskW     float64
+	lastDiskRateR float64 // last reported rates; a hung kernel latches these
+	lastDiskRateW float64
+	cumDiskR      float64
+	cumDiskW      float64
+	lastSample    time.Duration
 
 	selAmps     float64
 	selSince    time.Duration
@@ -148,6 +156,17 @@ type Machine struct {
 	grng         *rand.Rand // garbage-rate stream, lazily seeded
 	faultActive  power.FaultKind
 	glitchActive []GlitchKind // per core, for onset/clear events
+
+	// OS-level fault state (see osfault.go).
+	osFaults       []OSFault
+	osSpent        []bool                // power cycle consumed the window
+	osActive       [numOSFaultKinds]bool // per-kind, for onset/clear events
+	lastPet        time.Duration         // last healthy watchdog pet
+	watchdogResets int
+	iorng          *rand.Rand // IO-error stream, lazily seeded
+	ioErrors       int
+	lastRawA       float64 // last reported sensor readings; a hung
+	lastCurA       float64 // kernel's reads latch these
 
 	tripConsecutive int
 	supplyTrips     int
@@ -257,14 +276,27 @@ func (m *Machine) EnergyJoules() float64 { return m.energyJ }
 // of the rail, so a partially-accumulated trip does not survive into the
 // fresh boot. Accumulated damage is permanent.
 func (m *Machine) PowerCycle() {
+	now := m.clock.Now()
 	m.powerCycles++
 	m.ins.powerCycle()
 	if m.selAmps > 0 {
-		m.ins.selClear(m.clock.Now(), "power_cycle")
+		m.ins.selClear(now, "power_cycle")
 	}
 	m.selAmps = 0
 	m.tripConsecutive = 0
 	m.sensor.SetSELOffset(0)
+	// A fresh boot clears whatever kernel-dead state held the board:
+	// the panic/hang window is spent and cannot re-trigger, and the
+	// watchdog pets restart immediately.
+	for i, f := range m.osFaults {
+		if m.osSpent[i] || f.Start > now {
+			continue
+		}
+		if f.Kind == OSFaultKernelPanic || f.Kind == OSFaultKernelHang {
+			m.osSpent[i] = true
+		}
+	}
+	m.lastPet = now
 	for i, c := range m.cores {
 		c.SetLoad(cpu.IdleLoad)
 		m.lastCounters[i] = c.Counters()
@@ -312,14 +344,19 @@ func (m *Machine) Step(dt time.Duration) {
 		return
 	}
 	sec := dt.Seconds()
-	for _, c := range m.cores {
-		c.Step(dt)
+	if !m.osActive[OSFaultKernelPanic] {
+		for _, c := range m.cores {
+			c.Step(dt)
+		}
+		m.cumDiskR += m.diskReadRate * sec
+		m.cumDiskW += m.diskWriteRate * sec
 	}
-	m.cumDiskR += m.diskReadRate * sec
-	m.cumDiskW += m.diskWriteRate * sec
+	// The rail stays powered through a panic: energy keeps integrating
+	// and an uncleared latchup keeps heating toward the damage horizon.
 	m.energyJ += m.sensor.TrueCurrentFrom(m.modelCurA) * m.cfg.SupplyVoltage * sec
 	now := m.clock.Advance(dt)
 	m.sensor.AdvanceTo(now) // activate scheduled sensor faults
+	m.updateOSFaults(now)
 	// Orbital thermal cycle: the current baseline drifts sinusoidally
 	// with board temperature, invisibly to the performance counters.
 	if p := m.cfg.Power; p.ThermalDriftA > 0 && p.ThermalDriftPeriodSec > 0 {
@@ -342,11 +379,12 @@ func (m *Machine) Sample() Telemetry {
 	if sec <= 0 {
 		sec = m.cfg.SampleEvery.Seconds() // degenerate: avoid div-by-zero
 	}
+	hung := m.osActive[OSFaultKernelHang]
 	tel := Telemetry{T: now, PerCore: m.nextPerCore()}
 	for i, c := range m.cores {
 		cur := c.Counters()
 		g, glitching := m.activeGlitch(i)
-		if glitching && g.Kind == GlitchFreeze {
+		if (glitching && g.Kind == GlitchFreeze) || hung {
 			cur = m.lastCounters[i] // wedged register latches the old value
 		}
 		d := cur.Sub(m.lastCounters[i])
@@ -362,7 +400,7 @@ func (m *Machine) Sample() Telemetry {
 		if d.CacheRefs > 0 {
 			ct.CacheHitRate = float64(d.CacheHits) / float64(d.CacheRefs)
 		}
-		if glitching && g.Kind != GlitchFreeze {
+		if glitching && g.Kind != GlitchFreeze && !hung {
 			ct = m.glitchRates(ct, g)
 		}
 		kind := GlitchNone
@@ -375,13 +413,28 @@ func (m *Machine) Sample() Telemetry {
 		}
 		tel.PerCore[i] = ct
 	}
-	tel.DiskReadPerSec = (m.cumDiskR - m.lastDiskR) / sec
-	tel.DiskWritePerSec = (m.cumDiskW - m.lastDiskW) / sec
-	m.lastDiskR, m.lastDiskW = m.cumDiskR, m.cumDiskW
+	if hung {
+		// /proc/diskstats reads stall too: rates latch, and the counter
+		// cursor stays put so the post-hang sample catches up at once.
+		tel.DiskReadPerSec, tel.DiskWritePerSec = m.lastDiskRateR, m.lastDiskRateW
+	} else {
+		tel.DiskReadPerSec = (m.cumDiskR - m.lastDiskR) / sec
+		tel.DiskWritePerSec = (m.cumDiskW - m.lastDiskW) / sec
+		m.lastDiskR, m.lastDiskW = m.cumDiskR, m.cumDiskW
+		m.lastDiskRateR, m.lastDiskRateW = tel.DiskReadPerSec, tel.DiskWritePerSec
+	}
 	m.lastSample = now
 
 	tel.RawA = m.sensor.SampleFrom(m.modelCurA)
 	tel.CurrentA = m.sensor.SampleFilteredFrom(m.modelCurA, m.cfg.FilterK)
+	if hung {
+		// A hung kernel's I2C transactions stall: reads return the last
+		// latched register values. The draws above still burn so the
+		// noise stream stays aligned with the healthy timeline.
+		tel.RawA, tel.CurrentA = m.lastRawA, m.lastCurA
+	} else {
+		m.lastRawA, m.lastCurA = tel.RawA, tel.CurrentA
+	}
 
 	fk := power.FaultNone
 	if f, ok := m.sensor.ActiveFault(); ok {
@@ -465,6 +518,9 @@ func (m *Machine) RunTrace(tr *trace.Trace, onSample func(Telemetry)) int {
 			remaining -= step
 			if pending >= m.cfg.SampleEvery {
 				pending = 0
+				if m.osActive[OSFaultKernelPanic] {
+					continue // a panicked kernel runs no sampler
+				}
 				samples++
 				tel := m.Sample()
 				if onSample != nil {

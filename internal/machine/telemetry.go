@@ -18,6 +18,9 @@ type instruments struct {
 	damaged      *telemetry.Counter // machine_damage_total
 	sensorFaults *telemetry.Counter // machine_sensor_faults_total
 	ctrGlitches  *telemetry.Counter // machine_counter_glitches_total
+	wdResets     *telemetry.Counter // machine_watchdog_resets_total
+	osFaults     *telemetry.Counter // os_fault_injected_total
+	osIOErrors   *telemetry.Counter // os_fault_io_errors_total
 	currentA     *telemetry.Gauge   // machine_current_amps
 	energyJ      *telemetry.Gauge   // machine_energy_joules
 }
@@ -34,6 +37,9 @@ func newInstruments(reg *telemetry.Registry) *instruments {
 		damaged:      reg.Counter("machine_damage_total", "chips"),
 		sensorFaults: reg.Counter("machine_sensor_faults_total", "faults"),
 		ctrGlitches:  reg.Counter("machine_counter_glitches_total", "glitches"),
+		wdResets:     reg.Counter("machine_watchdog_resets_total", "resets"),
+		osFaults:     reg.Counter("os_fault_injected_total", "faults"),
+		osIOErrors:   reg.Counter("os_fault_io_errors_total", "errors"),
 		currentA:     reg.Gauge("machine_current_amps", "amps"),
 		energyJ:      reg.Gauge("machine_energy_joules", "joules"),
 	}
@@ -114,6 +120,39 @@ func (ins *instruments) counterGlitch(t time.Duration, prev, next GlitchKind, co
 		ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindCounterGlitch,
 			Fields: map[string]any{"glitch": next.String(), "core": core, "phase": "onset"}})
 	}
+}
+
+// osFault emits the onset/clear edges of an OS-fault window.
+func (ins *instruments) osFault(t time.Duration, kind OSFaultKind, onset bool) {
+	if ins == nil {
+		return
+	}
+	phase := "clear"
+	if onset {
+		phase = "onset"
+		ins.osFaults.Inc()
+	}
+	ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindOSFault,
+		Fields: map[string]any{"fault": kind.String(), "phase": phase}})
+}
+
+// watchdogReset records the hardware watchdog expiring and power
+// cycling the board.
+func (ins *instruments) watchdogReset(t time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.wdResets.Inc()
+	ins.reg.Emit(telemetry.Event{T: t, Kind: telemetry.KindWatchdogReset})
+}
+
+// osIOError counts one injected IO failure. No event: error bursts are
+// high-rate by design and would flood the ring.
+func (ins *instruments) osIOError() {
+	if ins == nil {
+		return
+	}
+	ins.osIOErrors.Inc()
 }
 
 func (ins *instruments) sample(currentA, energyJ float64) {

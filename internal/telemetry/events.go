@@ -76,6 +76,26 @@ const (
 	// opened or closed. Fields: window ("fault" or "blackout"), phase
 	// ("onset" or "clear").
 	KindLinkFault Kind = "link_fault"
+	// KindOSFault: a scheduled OS-level fault window (kernel panic or
+	// hang, IO error burst, scheduler stall, filesystem corruption)
+	// opened or closed (see machine/osfault.go). Fields: fault, phase
+	// ("onset" or "clear").
+	KindOSFault Kind = "os_fault"
+	// KindWatchdogReset: the hardware watchdog timer expired — the
+	// kernel stopped petting it — and power cycled the board on its
+	// own. No fields; the machine's power-cycle telemetry records the
+	// effect.
+	KindWatchdogReset Kind = "watchdog_reset"
+	// KindHangCycle: the guard supervisor commanded a power cycle
+	// because the kernel's counter surface wedged (zero instruction
+	// progress with an exactly-repeated current reading for HangAfter
+	// consecutive samples). No fields.
+	KindHangCycle Kind = "guard_hang_cycle"
+	// KindHeartbeatGap: consecutive telemetry samples arrived further
+	// apart than the supervisor's HeartbeatTimeout — the board was
+	// silent in between (kernel down until a watchdog reset). Fields:
+	// gap_ns.
+	KindHeartbeatGap Kind = "guard_heartbeat_gap"
 )
 
 // Event is one structured observation. T is simulated time (offset from
