@@ -15,12 +15,18 @@
 // detection, and the recorder's verified snapshot path. -osfault
 // narrows the class grid.
 //
+// With -adaptive it flies the mission-profile catalog twice per profile
+// — an always-max static arm and a closed-loop adaptive arm sharing the
+// same seeded fault stream — and verdicts that adaptation never costs
+// survival or missed latchups (see MISSIONS.md).
+//
 // Usage:
 //
 //	faultcamp -runs 100
 //	faultcamp -runs 20 -size 65536 -seed 3
 //	faultcamp -guard
 //	faultcamp -oskernel -osfault panic,fscorrupt
+//	faultcamp -adaptive
 package main
 
 import (
@@ -70,6 +76,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "campaign scheduler width; 0 = one worker per CPU (output is identical at any width)")
 		guard    = flag.Bool("guard", false, "inject faults into Radshield's own sensor and replicas instead of the workload")
 		oskernel = flag.Bool("oskernel", false, "run the OS-level failure campaign (kernel panics, hangs, IO bursts, scheduler stalls, NVRAM corruption) instead of the workload")
+		adaptive = flag.Bool("adaptive", false, "fly the mission-profile catalog with static-vs-adaptive paired protection arms instead of the workload")
 		osFault  = flag.String("osfault", "", "comma-separated OS fault classes for -oskernel (default all; valid: panic, hang, ioburst, schedstall, fscorrupt)")
 		dlAddr   = flag.String("downlink", "", "stream campaign verdicts to a groundstation at this TCP address (see cmd/groundstation)")
 		rcDir    = flag.String("resultcache", "", "replay unchanged campaign arms from this content-addressed cache directory, created if absent (see RESULTCACHE.md)")
@@ -82,8 +89,14 @@ func main() {
 	log.SetPrefix("faultcamp: ")
 
 	// Flag conflicts fail loudly instead of silently picking a campaign.
-	if *guard && *oskernel {
-		log.Fatal("-guard and -oskernel are mutually exclusive; pick one campaign")
+	picked := 0
+	for _, on := range []bool{*guard, *oskernel, *adaptive} {
+		if on {
+			picked++
+		}
+	}
+	if picked > 1 {
+		log.Fatal("-guard, -oskernel and -adaptive are mutually exclusive; pick one campaign")
 	}
 	if *osFault != "" && !*oskernel {
 		log.Fatal("-osfault only applies to -oskernel (valid classes: panic, hang, ioburst, schedstall, fscorrupt)")
@@ -146,6 +159,12 @@ func main() {
 	}
 	if *oskernel {
 		runOSFaultCampaign(*osFault, *seed, *workers, store)
+		closeStore()
+		finishProfiles()
+		return
+	}
+	if *adaptive {
+		runAdaptiveCampaign(*seed, *workers, store)
 		closeStore()
 		finishProfiles()
 		return
@@ -237,6 +256,48 @@ func runGuardCampaign(seed int64, workers int, store *resultcache.Store) {
 	fmt.Println("guard layer held: zero missed SELs behind sensor faults, golden outputs through replica faults")
 	ship(1, fmt.Sprintf("guard trials=%d watchdog_trials=%d", len(trials), len(wdTrials)))
 	ship(0, "campaign_complete campaign=guard verdict=protected")
+	drainFeed()
+}
+
+// runAdaptiveCampaign flies every catalog mission profile with paired
+// static-max and closed-loop adaptive protection arms sharing one
+// seeded fault stream, then applies the adaptation safety verdicts:
+// relaxing posture in quiet phases may never cost survival, missed
+// latchups, or corrupt downlinked data relative to the always-max arm.
+func runAdaptiveCampaign(seed int64, workers int, store *resultcache.Store) {
+	ac := experiments.DefaultAdaptiveCampaignConfig()
+	ac.SEL.Seed = seed
+	ac.SEL.Workers = workers
+	ac.SEL.Cache = store
+	trials, tbl, err := experiments.AdaptiveCampaign(ac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+
+	var moves int
+	for _, tr := range trials {
+		st, ad := tr.Static, tr.Adaptive
+		if !ad.Survived || ad.Survived != st.Survived {
+			ship(0, fmt.Sprintf("protection_failure campaign=adaptive profile=%s cause=board_lost", tr.Profile))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: adaptive arm lost the board on %s (static survived=%v)", tr.Profile, st.Survived)
+		}
+		if ad.MissedSELs > st.MissedSELs {
+			ship(0, fmt.Sprintf("protection_failure campaign=adaptive profile=%s missed_sels=%d static=%d", tr.Profile, ad.MissedSELs, st.MissedSELs))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: adaptive arm missed %d SELs on %s, static missed %d", ad.MissedSELs, tr.Profile, st.MissedSELs)
+		}
+		if ad.SDC && !st.SDC {
+			ship(0, fmt.Sprintf("protection_failure campaign=adaptive profile=%s cause=sdc", tr.Profile))
+			drainFeed()
+			log.Fatalf("PROTECTION FAILURE: adaptive arm downlinked corrupt data on %s, static did not", tr.Profile)
+		}
+		moves += len(tr.Moves)
+	}
+	fmt.Println("adaptation held: survival and missed-SEL numbers match the always-max arm on every profile")
+	ship(1, fmt.Sprintf("adaptive profiles=%d ladder_moves=%d", len(trials), moves))
+	ship(0, "campaign_complete campaign=adaptive verdict=protected")
 	drainFeed()
 }
 

@@ -108,5 +108,9 @@ func main() {
 			fmt.Printf("link %d: %d watchdog resets, %d recorder recoveries reported\n",
 				rep.Link, rep.WatchdogResets, rep.RecorderRecoveries)
 		}
+		if rep.CurrentPhase != "" || rep.AdaptMode != "" {
+			fmt.Printf("link %d: last mission phase %q, adapt mode %q\n",
+				rep.Link, rep.CurrentPhase, rep.AdaptMode)
+		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"radshield/internal/emr"
 	"radshield/internal/experiments"
 	"radshield/internal/ild"
+	"radshield/internal/mission"
 	"radshield/internal/profiling"
 	"radshield/internal/resultcache"
 	"radshield/internal/simclock"
@@ -252,8 +253,8 @@ var registry = map[string]struct {
 		return nil
 	}},
 	"oskernel": {desc: "OS-fault campaign: kernel panics, hangs, IO bursts, scheduler stalls, NVRAM corruption vs watchdog recovery", span: func(experiments.SELConfig) time.Duration {
-		// 5 fault classes × 2 arms × 30-minute missions.
-		return 10 * 30 * time.Minute
+		// 5 fault classes × 2 onsets × 2 arms × 30-minute missions.
+		return 20 * 30 * time.Minute
 	}, run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		oc := experiments.DefaultOSFaultCampaignConfig()
 		classes, err := experiments.ParseOSFaultClasses(*osFaultFlag)
@@ -272,6 +273,26 @@ var registry = map[string]struct {
 		fmt.Println(tbl)
 		return nil
 	}},
+	"adaptive": {desc: "closed-loop adaptive protection vs always-max static posture across mission profiles", span: func(experiments.SELConfig) time.Duration {
+		// Every catalog profile flies twice: one static arm, one adaptive.
+		var d time.Duration
+		for _, p := range mission.Catalog() {
+			d += 2 * p.Total()
+		}
+		return d
+	}, run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
+		ac := experiments.DefaultAdaptiveCampaignConfig()
+		ac.SEL.Seed = sel.Seed
+		ac.SEL.Workers = sel.Workers
+		ac.SEL.Telemetry = sel.Telemetry
+		ac.SEL.Cache = sel.Cache
+		_, tbl, err := experiments.AdaptiveCampaign(ac)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+		return nil
+	}},
 	"featsel": {desc: "random-forest feature selection for ILD's metric set (§3.1)", span: selSpan(1), run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		res := experiments.FeatureSelection(sel)
 		fmt.Println(res.Tbl)
@@ -279,8 +300,8 @@ var registry = map[string]struct {
 		return nil
 	}},
 	"downlink": {desc: "downlink campaign: loss × blackout × service policy, paired lossy/clean arms", span: func(experiments.SELConfig) time.Duration {
-		// 12 grid points × 2 arms × 20-minute flights.
-		return 24 * 20 * time.Minute
+		// 27 grid points × 2 arms × 20-minute flights.
+		return 54 * 20 * time.Minute
 	}, run: func(sel experiments.SELConfig, _ experiments.SEUConfig) error {
 		dc := experiments.DefaultDownlinkCampaignConfig()
 		dc.Seed = sel.Seed + 23

@@ -1,13 +1,22 @@
-// End-to-end LEO SmallSat mission simulation: both Radshield components
-// working together over a multi-day mission in a realistic radiation
-// environment.
+// End-to-end LEO SmallSat mission simulation: the full Radshield stack
+// flying a typed mission profile with closed-loop adaptive protection.
 //
-//   - The radiation environment (package fault) schedules upsets and
-//     latchups as Poisson arrivals at LEO rates.
-//   - Flight software alternates quiescence and compute bursts; ILD
-//     monitors telemetry continuously and power cycles on latchup.
-//   - At every ground-contact window the payload runs an image-matching
-//     job under EMR; scheduled SEUs strike the shared cache mid-job.
+//   - The mission flies mission.LEOWithSAA(): quiet LEO cruise with two
+//     South-Atlantic-Anomaly crossings, scheduled as piecewise Poisson
+//     arrivals whose rates follow the phase multipliers (MISSIONS.md).
+//   - A mission.Tracker walks the profile on the sim clock; every phase
+//     boundary is announced to the ground as a priority-0 frame.
+//   - An adapt.Controller closes the loop: ILD detections and EMR
+//     disagreements escalate the protection posture through the SAA,
+//     quiet dwell relaxes it back on the far side (ADAPT ladder:
+//     relaxed → nominal → elevated → max).
+//   - ILD monitors telemetry continuously and power cycles on latchup;
+//     at every ground-contact window the payload runs an image-matching
+//     job at the posture's redundancy, with pending SEUs striking the
+//     shared cache mid-job.
+//
+// With -downlink the phase and posture stream to a live groundstation,
+// which surfaces them per link as current_phase / adapt_mode in /state.
 //
 // The mission survives if no latchup persists past the thermal damage
 // horizon and no silently-corrupted product is downlinked.
@@ -20,55 +29,77 @@ import (
 	"math/rand"
 	"time"
 
+	"radshield/internal/adapt"
 	"radshield/internal/downlink"
 	"radshield/internal/emr"
 	"radshield/internal/experiments"
 	"radshield/internal/fault"
+	"radshield/internal/guard"
 	"radshield/internal/ild"
 	"radshield/internal/machine"
+	"radshield/internal/mission"
 	"radshield/internal/trace"
 	"radshield/internal/workloads"
 )
 
 func main() {
 	var (
-		days   = flag.Float64("days", 3, "mission length in simulated days")
 		seed   = flag.Int64("seed", 2026, "mission seed")
-		dlAddr = flag.String("downlink", "", "stream mission events to a live groundstation at this TCP address\n(run `go run ./cmd/groundstation -listen :7007` first, then pass -downlink localhost:7007)")
+		boost  = flag.Float64("boost", 4000, "radiation rate boost so the 2-hour flight sees several events")
+		dlAddr = flag.String("downlink", "", "stream mission events to a live groundstation at this TCP address\n(run `go run ./cmd/groundstation -listen :7007 -http :7008` first, then pass -downlink localhost:7007)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 
-	// Harsher-than-LEO rates so a short demo sees several events.
-	env := fault.LEO
-	env.SELPerYear = 400
-	env.SEUPerDay = 24
-
+	prof := mission.LEOWithSAA().Boosted(*boost)
 	rng := rand.New(rand.NewSource(*seed))
-	dur := time.Duration(*days * 24 * float64(time.Hour))
-	events := env.Schedule(rng, dur)
-	fmt.Printf("mission: %.1f days in %s environment → %d scheduled radiation events\n",
-		*days, env.Name, len(events))
-
-	// Ground segment: train ILD before launch.
-	selCfg := experiments.DefaultSELConfig()
-	selCfg.Seed = *seed
-	det, err := experiments.TrainILD(selCfg)
+	events, err := prof.Schedule(rng)
 	if err != nil {
 		log.Fatal(err)
 	}
+	dur := prof.Total()
+	fmt.Printf("mission: %q, %v across %d phases → %d scheduled radiation events\n",
+		prof.Name, dur, len(prof.Phase), len(events))
+
+	// Ground segment: train ILD before launch. One detector per rung of
+	// the adaptive ladder — the threshold is fixed at construction, so
+	// switching posture means switching detectors over the same model.
+	selCfg := experiments.DefaultSELConfig()
+	selCfg.Seed = *seed
+	base, err := experiments.TrainILD(selCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dets [adapt.NumLevels]*ild.Detector
+	for l := adapt.LevelRelaxed; l <= adapt.LevelMax; l++ {
+		cfg := ild.DefaultConfig()
+		cfg.SampleEvery = selCfg.SampleEvery
+		cfg.DetectionWindow = selCfg.Window
+		cfg.ThresholdA = adapt.PostureFor(l).ILDThresholdA
+		if dets[l], err = ild.NewDetector(base.Model(), cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The closed loop.
+	ctrl, err := adapt.New(adapt.DefaultConfig(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker := mission.NewTracker(prof, nil)
 
 	// Flight segment.
 	mc := machine.DefaultConfig()
 	mc.SampleEvery = selCfg.SampleEvery
 	mc.SensorSeed = *seed + 1
 	m := machine.New(mc)
-	mission := trace.FlightSoftware(rng, dur, mc.Cores)
-	mission = ild.InjectBubbles(mission, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
+	flight := trace.FlightSoftware(rng, dur, mc.Cores)
+	flight = ild.InjectBubbles(flight, ild.BubblePolicy{BubbleLen: 4 * time.Second, Pause: 3 * time.Minute})
 
-	// Downlink: radiation events and ILD verdicts go to the ground as
-	// priority-0 frames, product summaries as housekeeping; the same ARQ
-	// path the downlink campaign stresses, pointed at a real server.
+	// Downlink: phase transitions, posture moves, radiation events and
+	// ILD verdicts go to the ground as priority-0 frames, product
+	// summaries as housekeeping; the same ARQ path the downlink campaign
+	// stresses, pointed at a real server.
 	var feed *downlink.Feed
 	if *dlAddr != "" {
 		var ferr error
@@ -86,18 +117,29 @@ func main() {
 			log.Fatalf("downlink: %v", err)
 		}
 	}
+	// Announce the opening phase and posture so /state is populated from
+	// the first contact, not the first transition.
+	ship(0, 0, fmt.Sprintf("mission_phase %s t=0s", tracker.Phase().Kind))
+	ship(0, 0, fmt.Sprintf("adapt_level %s t=0s", ctrl.Level()))
 
 	var (
 		nextEvent                   = 0
 		selsSurvived, seusOutvoted  int
 		pendingSEUs                 int
-		contactEvery                = 6 * time.Hour
+		contactEvery                = 15 * time.Minute
 		nextContact                 = contactEvery
 		downlinked, corruptProducts int
 		retriedProducts             int
 	)
 
-	m.RunTrace(mission, func(tel machine.Telemetry) {
+	m.RunTrace(flight, func(tel machine.Telemetry) {
+		// Walk the mission profile; announce every boundary.
+		if phase, changed := tracker.Observe(tel.T); changed {
+			fmt.Printf("[%10s] mission: entering %s (SEU ×%g, SEL ×%g)\n",
+				tel.T.Round(time.Second), phase.Kind, phase.SEU, phase.SEL)
+			ship(0, tel.T, fmt.Sprintf("mission_phase %s t=%v", phase.Kind, tel.T))
+		}
+
 		// Deliver scheduled radiation events.
 		for nextEvent < len(events) && events[nextEvent].T <= tel.T {
 			ev := events[nextEvent]
@@ -113,35 +155,48 @@ func main() {
 				pendingSEUs++ // strikes the payload during its next run
 			}
 		}
-		// ILD watches continuously.
-		if det.Observe(tel) {
+
+		// ILD watches continuously at the posture's threshold.
+		level := ctrl.Level()
+		if det := dets[level]; det.Observe(tel) {
 			fmt.Printf("[%10s] ILD: latchup detected (residual %.3f A) — power cycling\n",
 				tel.T.Round(time.Second), det.Residual())
 			ship(0, tel.T, fmt.Sprintf("sel_detected t=%v residual=%.3f", tel.T, det.Residual()))
 			m.PowerCycle()
 			det.Reset()
 			selsSurvived++
+			ctrl.Note(tel.T, adapt.SignalILDDetect)
 		}
-		// Ground contact: run the payload job under EMR. A failed vote is
-		// a *detected* error — the flight software rejects the product
-		// and reruns the job (the upsets were transient), exactly the
-		// recovery 3-MR-class schemes afford. Only an undetected wrong
-		// product would count as corrupt, and EMR's discipline prevents
-		// that.
+
+		// Close the loop: detections escalate through the SAA, quiet
+		// dwell relaxes on the far side.
+		if d := ctrl.Observe(tel.T); d.Changed {
+			fmt.Printf("[%10s] adapt: posture → %s\n", tel.T.Round(time.Second), d.Level)
+			ship(0, tel.T, fmt.Sprintf("adapt_level %s t=%v", d.Level, tel.T))
+			dets[d.Level].Reset()
+		}
+
+		// Ground contact: run the payload job at the posture's
+		// redundancy. A failed vote is a *detected* error — the flight
+		// software rejects the product, tells the controller, and reruns
+		// the job (the upsets were transient). Only an undetected wrong
+		// product would count as corrupt.
 		if tel.T >= nextContact {
 			nextContact += contactEvery
-			ok, corrected := runPayload(*seed+int64(tel.T), pendingSEUs)
+			p := adapt.PostureFor(ctrl.Level())
+			ok, corrected := runPayload(p, *seed+int64(tel.T), pendingSEUs)
 			seusOutvoted += corrected
 			pendingSEUs = 0
 			if !ok {
 				retriedProducts++
-				ok, _ = runPayload(*seed+int64(tel.T)+1, 0)
+				ctrl.Note(tel.T, adapt.SignalEMRMismatch)
+				ok, _ = runPayload(p, *seed+int64(tel.T)+1, 0)
 			}
 			downlinked++
 			if !ok {
 				corruptProducts++
 			}
-			ship(1, tel.T, fmt.Sprintf("product t=%v ok=%v corrected=%d", tel.T, ok, seusOutvoted))
+			ship(1, tel.T, fmt.Sprintf("product t=%v ok=%v corrected=%d posture=%s", tel.T, ok, seusOutvoted, p.Level))
 		}
 
 		// The contact-window feed drains continuously: one ARQ tick per
@@ -168,17 +223,38 @@ func main() {
 		selsSurvived, m.PowerCycles(), m.Damaged())
 	fmt.Printf("  products downlinked: %d, upsets outvoted by EMR: %d, vote-failure retries: %d, corrupt products: %d\n",
 		downlinked, seusOutvoted, retriedProducts, corruptProducts)
+	fmt.Printf("  adaptive posture: %d ladder moves, final %s\n", len(ctrl.Trace()), ctrl.Level())
+	for _, mv := range ctrl.Trace() {
+		fmt.Printf("    [%10s] %s → %s (%s, score %g)\n", mv.T.Round(time.Second), mv.From, mv.To, mv.Reason, mv.Score)
+	}
+	for l := adapt.LevelRelaxed; l <= adapt.LevelMax; l++ {
+		if d := ctrl.Dwell(l); d > 0 {
+			fmt.Printf("    dwell at %s: %v\n", l, d.Round(time.Second))
+		}
+	}
 	if m.Damaged() || corruptProducts > 0 {
 		log.Fatal("MISSION LOST")
 	}
 	fmt.Println("  mission survives — shields up.")
 }
 
-// runPayload executes one EMR-protected localization job, injecting the
-// backlog of scheduled SEUs into the shared cache mid-run. It reports
-// whether the product is trustworthy and how many votes were corrected.
-func runPayload(seed int64, seus int) (ok bool, corrected int) {
+// runPayload executes one localization job at the posture's redundancy
+// (serial+checksum, DMR or TMR), injecting the backlog of scheduled
+// SEUs into the shared cache mid-run. It reports whether the product is
+// trustworthy and how many votes were corrected.
+func runPayload(p adapt.Posture, seed int64, seus int) (ok bool, corrected int) {
 	cfg := emr.DefaultConfig()
+	switch {
+	case p.SerialChecksum:
+		cfg.Scheme = fault.SchemeChecksum
+		cfg.Executors = 1
+	case p.Redundancy == guard.RedundancyDMRChecksum:
+		cfg.Scheme = fault.SchemeEMR
+		cfg.Executors = 2
+	default:
+		cfg.Scheme = fault.SchemeEMR
+		cfg.Executors = 3
+	}
 	rt, err := emr.New(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,78 @@
+package adapt
+
+import (
+	"time"
+
+	"radshield/internal/telemetry"
+)
+
+// Instruments bundles the controller's metric handles. Construct with
+// NewInstruments and pass to New; a nil *Instruments disables
+// instrumentation. TELEMETRY.md documents every name.
+type Instruments struct {
+	reg *telemetry.Registry
+
+	// Level mirrors the controller's posture rung (0 relaxed …
+	// 3 max).
+	Level *telemetry.Gauge
+	// Escalations / Relaxations count ladder moves in each direction
+	// (a panic jump counts as one escalation).
+	Escalations *telemetry.Counter
+	Relaxations *telemetry.Counter
+	// Signals counts every weighted signal the controller ingested.
+	Signals *telemetry.Counter
+}
+
+// NewInstruments registers the adapt metric set on reg. A nil registry
+// yields nil (instrumentation disabled).
+func NewInstruments(reg *telemetry.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		reg:         reg,
+		Level:       reg.Gauge("adapt_level", "rung"),
+		Escalations: reg.Counter("adapt_escalations_total", "transitions"),
+		Relaxations: reg.Counter("adapt_relaxations_total", "transitions"),
+		Signals:     reg.Counter("adapt_signals_total", "signals"),
+	}
+}
+
+// setLevel seeds the gauge at construction time.
+func (ins *Instruments) setLevel(l Level) {
+	if ins == nil {
+		return
+	}
+	ins.Level.Set(float64(l))
+}
+
+// signal counts one ingested signal.
+func (ins *Instruments) signal(Signal) {
+	if ins == nil {
+		return
+	}
+	ins.Signals.Inc()
+}
+
+// levelChange records one ladder move.
+func (ins *Instruments) levelChange(t time.Duration, from, to Level, score float64, reason string) {
+	if ins == nil {
+		return
+	}
+	ins.Level.Set(float64(to))
+	if to > from {
+		ins.Escalations.Inc()
+	} else {
+		ins.Relaxations.Inc()
+	}
+	ins.reg.Emit(telemetry.Event{
+		T:    t,
+		Kind: telemetry.KindAdaptLevel,
+		Fields: map[string]any{
+			"from":   from.String(),
+			"to":     to.String(),
+			"score":  score,
+			"reason": reason,
+		},
+	})
+}

@@ -17,6 +17,16 @@ func TestArmPurity(t *testing.T) {
 	)
 }
 
+// TestArmPurityAdaptive drives the mission/adapt-shaped fixture: a
+// profile event generator, a posture controller and a paired-arm
+// campaign, with the impurities (global schedule draws, wall-clock
+// move stamps, package-level trace state) inside the entry package.
+func TestArmPurityAdaptive(t *testing.T) {
+	radlinttest.Run(t, radlinttest.TestData(t), armpurity.Analyzer,
+		"radshield/internal/adaptcampdemo/experiments",
+	)
+}
+
 // TestArmPurityHelpersClean asserts the analyzer stays silent on the
 // helper packages themselves: mid and leaf define no campaign entry
 // points and submit no scheduler jobs, so taints are reported only

@@ -1,0 +1,101 @@
+// Package experiments is the armpurity fixture shaped like the
+// mission/adapt layer's adaptive campaign: a profile→event-stream
+// generator, a posture controller, and a paired static-vs-adaptive
+// arm. Each way the real campaign could silently lose its
+// (config, seed) → result contract appears here once, next to the
+// sanctioned shape.
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"radshield/internal/sched"
+)
+
+// Phase is one leg of a mission profile: piecewise-constant flux.
+type Phase struct {
+	Dur  time.Duration
+	Rate float64
+}
+
+// Config is the (config, seed) tuple an adaptive campaign must be a
+// function of.
+type Config struct {
+	Seed   int64
+	Phases []Phase
+}
+
+// lastReason is mutable package-level state: a controller trace that
+// outlives the campaign call.
+var lastReason string
+
+// GlobalScheduleCampaign derives the event schedule from the
+// process-global generator — two runs with the same (config, seed)
+// fly different missions.
+func GlobalScheduleCampaign(cfg Config) int {
+	return schedule(cfg.Phases) // want `campaign entry point GlobalScheduleCampaign must be a pure function of \(config, seed\): rand\.Int63n \(global randomness\) via experiments\.schedule`
+}
+
+// schedule draws one arrival per phase from the global source.
+func schedule(phases []Phase) int {
+	n := 0
+	for _, p := range phases {
+		n += int(rand.Int63n(int64(p.Dur) + 1))
+	}
+	return n
+}
+
+// WallTraceCampaign stamps controller moves with the host clock
+// through a method two frames down.
+func WallTraceCampaign(cfg Config) time.Duration {
+	var c controller
+	c.note() // want `campaign entry point WallTraceCampaign must be a pure function of \(config, seed\): time\.Now \(wall-clock read\) via experiments\.controller\.note`
+	return c.lastMove + time.Duration(len(cfg.Phases))
+}
+
+// controller is an adaptive-posture controller whose move timestamps
+// must come from the sim clock, not the host.
+type controller struct {
+	lastMove time.Duration
+}
+
+func (c *controller) note() {
+	c.lastMove = time.Duration(time.Now().UnixNano())
+}
+
+// TraceLeakCampaign records the controller's last escalation reason in
+// package state: the write couples runs to each other.
+func TraceLeakCampaign(cfg Config) int {
+	record("ild_detect") // want `campaign entry point TraceLeakCampaign must be a pure function of \(config, seed\): package-level variable experiments\.lastReason \(write of package-level state\) via experiments\.record`
+	return len(cfg.Phases)
+}
+
+func record(reason string) {
+	lastReason = reason
+}
+
+// AdaptiveDemoCampaign is the sanctioned shape: the schedule and the
+// controller both flow from the explicit seed and sim durations. No
+// finding.
+func AdaptiveDemoCampaign(cfg Config) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var c controller
+	events := 0
+	var t time.Duration
+	for _, p := range cfg.Phases {
+		events += int(rng.Int63n(int64(p.Dur) + 1))
+		t += p.Dur
+		c.lastMove = t
+	}
+	return events + int(c.lastMove/time.Hour)
+}
+
+// PairedArmsCampaign runs static and adaptive arms through the
+// deterministic scheduler, one seeded generator per trial. No finding.
+func PairedArmsCampaign(cfg Config) ([]int, error) {
+	return sched.Map(2*len(cfg.Phases), 1, func(i int) (int, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		return int(rng.Int63n(16)), nil
+	})
+}

@@ -10,6 +10,7 @@ import (
 func TestSeededRand(t *testing.T) {
 	radlinttest.Run(t, radlinttest.TestData(t), seededrand.Analyzer,
 		"radshield/internal/guarddemo",
+		"radshield/internal/missiondemo",
 		"radshield/internal/randdemo",
 	)
 }

@@ -9,6 +9,7 @@ import (
 
 func TestSimclockTime(t *testing.T) {
 	radlinttest.Run(t, radlinttest.TestData(t), simclocktime.Analyzer,
+		"radshield/internal/adaptdemo",
 		"radshield/internal/demo",
 		"radshield/internal/downlinkdemo",
 		"radshield/internal/guarddemo",

@@ -1,0 +1,43 @@
+// Package adaptdemo is a simclocktime fixture shaped like the adaptive
+// protection controller: posture decisions must be clocked by the
+// simulated mission time the caller observes, never the host clock —
+// a wall-clock controller would flap differently on every machine.
+package adaptdemo
+
+import "time"
+
+// Level is a protection posture rung.
+type Level int
+
+// WallClockController timestamps its signal window with the host
+// clock. Every read is flagged.
+type WallClockController struct {
+	level    Level
+	lastMove time.Time
+}
+
+// Note records a detection against host time.
+func (c *WallClockController) Note(hold time.Duration) {
+	if time.Since(c.lastMove) > hold { // want `time\.Since reads the host clock`
+		c.level++
+		c.lastMove = time.Now() // want `time\.Now reads the host clock`
+	}
+}
+
+// SimClockController is the sanctioned shape: the caller passes the
+// simulated mission time with every observation, so decisions replay
+// byte-identically. Durations and comparisons never touch the host
+// clock — no findings.
+type SimClockController struct {
+	level    Level
+	lastMove time.Duration
+}
+
+// Observe advances the controller to sim time t.
+func (c *SimClockController) Observe(t, hold time.Duration) Level {
+	if t-c.lastMove > hold && c.level > 0 {
+		c.level--
+		c.lastMove = t
+	}
+	return c.level
+}

@@ -52,6 +52,10 @@ type linkState struct {
 	// campaign's telemetry prefixes).
 	wdResets      uint64
 	recRecoveries uint64
+	// Mission-state accounting: the last announced mission phase and
+	// adaptive protection level (the mission/adapt telemetry prefixes).
+	phase     string
+	adaptMode string
 }
 
 // LinkReport is one link's row in the aggregated mission state.
@@ -67,9 +71,15 @@ type LinkReport struct {
 	// carrying the "watchdog_reset " / "recorder_recovered " prefixes
 	// the OS-fault campaign emits, so operators can read a link's
 	// recovery history straight off /state.
-	WatchdogResets     uint64   `json:"watchdog_resets"`
-	RecorderRecoveries uint64   `json:"recorder_recoveries"`
-	RecentP0           []string `json:"recent_p0,omitempty"`
+	WatchdogResets     uint64 `json:"watchdog_resets"`
+	RecorderRecoveries uint64 `json:"recorder_recoveries"`
+	// CurrentPhase and AdaptMode track the last delivered
+	// "mission_phase " / "adapt_level " payloads, so operators can read
+	// where each spacecraft is in its mission — and how hard its
+	// protection stack is working — straight off /state.
+	CurrentPhase string   `json:"current_phase,omitempty"`
+	AdaptMode    string   `json:"adapt_mode,omitempty"`
+	RecentP0     []string `json:"recent_p0,omitempty"`
 }
 
 // Station is the ground side: it ingests raw frame bytes from many
@@ -192,6 +202,12 @@ func (s *Station) ingestFrame(f Frame, now time.Duration) bool {
 		if bytes.HasPrefix(f.Payload, []byte("recorder_recovered ")) {
 			ls.recRecoveries++
 		}
+		if v, ok := payloadField(f.Payload, "mission_phase "); ok {
+			ls.phase = v
+		}
+		if v, ok := payloadField(f.Payload, "adapt_level "); ok {
+			ls.adaptMode = v
+		}
 		if f.VC == 0 && s.cfg.KeepPayloads > 0 {
 			ls.p0 = append(ls.p0, append([]byte(nil), f.Payload...))
 			if len(ls.p0) > s.cfg.KeepPayloads {
@@ -221,6 +237,23 @@ func (s *Station) ingestFrame(f Frame, now time.Duration) bool {
 		}
 	}
 	return true
+}
+
+// payloadField extracts the first space-delimited token after a
+// "key " prefix — the value in the flight software's "key value k=v…"
+// telemetry idiom.
+func payloadField(payload []byte, prefix string) (string, bool) {
+	if !bytes.HasPrefix(payload, []byte(prefix)) {
+		return "", false
+	}
+	rest := payload[len(prefix):]
+	if i := bytes.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	if len(rest) == 0 {
+		return "", false
+	}
+	return string(rest), true
 }
 
 // reject counts a frame that failed decoding. Attribution is best
@@ -281,6 +314,7 @@ func (s *Station) Report() []LinkReport {
 			Beacons: ls.beacons, Degraded: ls.degraded, Backlog: ls.backlog,
 			LastSeen: ls.lastSeen, WatchdogResets: ls.wdResets,
 			RecorderRecoveries: ls.recRecoveries,
+			CurrentPhase:       ls.phase, AdaptMode: ls.adaptMode,
 		}
 		for _, p := range ls.p0 {
 			r.RecentP0 = append(r.RecentP0, string(p))

@@ -240,3 +240,49 @@ func TestStationRecoveryCounters(t *testing.T) {
 		t.Fatalf("/state counters = %+v, want 2/1", parsed.Links[0])
 	}
 }
+
+// TestStationMissionState: delivered "mission_phase" / "adapt_level"
+// payloads update the per-link phase and adapt mode, so /state answers
+// "where is this spacecraft and how hard is its protection working"
+// with the latest word from the flight software.
+func TestStationMissionState(t *testing.T) {
+	st := NewStation(DefaultStationConfig())
+	st.Ingest(encData(t, 5, 0, 0, "mission_phase leo_cruise t=0s"), 0)
+	st.Ingest(encData(t, 5, 0, 1, "adapt_level nominal t=0s"), 0)
+	st.Ingest(encData(t, 5, 0, 2, "mission_phase saa_crossing t=30m0s"), 0)
+	st.Ingest(encData(t, 5, 0, 3, "adapt_level elevated t=31m0s"), 0)
+	// Out-of-order (discarded) frames must not advance the state, and
+	// near-miss payloads stay out.
+	st.Ingest(encData(t, 5, 0, 9, "mission_phase geo_cruise t=99m0s"), 0)
+	st.Ingest(encData(t, 5, 0, 4, "mission_phased wrong"), 0)
+	st.Ingest(encData(t, 6, 0, 0, "plain telemetry"), 0)
+
+	rep := st.Report()
+	if len(rep) != 2 {
+		t.Fatalf("links = %d, want 2", len(rep))
+	}
+	if rep[0].Link != 5 || rep[0].CurrentPhase != "saa_crossing" || rep[0].AdaptMode != "elevated" {
+		t.Fatalf("link 5 state = %q/%q, want saa_crossing/elevated",
+			rep[0].CurrentPhase, rep[0].AdaptMode)
+	}
+	if rep[1].CurrentPhase != "" || rep[1].AdaptMode != "" {
+		t.Fatalf("link 6 inherited mission state: %+v", rep[1])
+	}
+
+	b, err := st.StateJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Links []struct {
+			CurrentPhase string `json:"current_phase"`
+			AdaptMode    string `json:"adapt_mode"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Links[0].CurrentPhase != "saa_crossing" || parsed.Links[0].AdaptMode != "elevated" {
+		t.Fatalf("/state mission fields = %+v, want saa_crossing/elevated", parsed.Links[0])
+	}
+}

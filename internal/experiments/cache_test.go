@@ -58,8 +58,8 @@ func TestCachedArmSitesAreProven(t *testing.T) {
 			})
 		}
 	}
-	if len(sites) < 10 {
-		t.Fatalf("found %d CachedArm call sites, want at least one per cached campaign (10)", len(sites))
+	if len(sites) < 11 {
+		t.Fatalf("found %d CachedArm call sites, want at least one per cached campaign (11)", len(sites))
 	}
 	for _, site := range sites {
 		covered := false
@@ -190,6 +190,15 @@ var cacheCampaigns = []struct {
 		c := equivOSFault(workers)
 		c.SEL.Cache = store
 		_, tbl, err := OSFaultCampaign(c)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	}},
+	{"AdaptiveCampaign", false, func(workers int, store *resultcache.Store) (string, error) {
+		c := equivAdaptive(workers)
+		c.SEL.Cache = store
+		_, tbl, err := AdaptiveCampaign(c)
 		if err != nil {
 			return "", err
 		}

@@ -70,10 +70,10 @@ type DownlinkCampaignConfig struct {
 	Cache *resultcache.Store
 }
 
-// DefaultDownlinkCampaignConfig sweeps light and heavy loss, with and
-// without a two-minute blackout, across all three service policies, on
-// a 10-minute mission with a mid-mission reboot and a 90-second guard
-// step-down window.
+// DefaultDownlinkCampaignConfig sweeps light, heavy and severe loss,
+// with no blackout, a two-minute and a five-minute blackout, across all
+// three service policies, on a 10-minute mission with a mid-mission
+// reboot and a 90-second guard step-down window.
 func DefaultDownlinkCampaignConfig() DownlinkCampaignConfig {
 	return DownlinkCampaignConfig{
 		Mission:           10 * time.Minute,
@@ -82,8 +82,8 @@ func DefaultDownlinkCampaignConfig() DownlinkCampaignConfig {
 		EventEvery:        10 * time.Second,
 		HousekeepingEvery: 5 * time.Second,
 		BulkEvery:         2 * time.Second,
-		LossRates:         []float64{0.05, 0.2},
-		BlackoutDurations: []time.Duration{0, 2 * time.Minute},
+		LossRates:         []float64{0.05, 0.2, 0.35},
+		BlackoutDurations: []time.Duration{0, 2 * time.Minute, 5 * time.Minute},
 		Policies:          []downlink.Policy{downlink.PolicyPriority, downlink.PolicyRoundRobin, downlink.PolicyFIFO},
 		Link:              downlink.DefaultLinkConfig(),
 		PowerCycleAt:      6 * time.Minute,

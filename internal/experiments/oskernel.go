@@ -35,12 +35,13 @@ type OSFaultCampaignConfig struct {
 	// telemetry cadence, latchup period/magnitude, detection Window,
 	// Seed, Workers, Telemetry, Cache.
 	SEL SELConfig
-	// Classes is the fault-class grid; each class is one paired trial.
+	// Classes × Onsets is the sweep grid; each (class, onset) pair is
+	// one paired trial.
 	Classes []machine.OSFaultKind
-	// Onset is when the fault strikes; FaultDuration bounds the window
-	// classes (ioburst, fscorrupt, schedstall). Panics and hangs hold
-	// until a power cycle regardless.
-	Onset         time.Duration
+	// Onsets are the mission times the fault strikes at; FaultDuration
+	// bounds the window classes (ioburst, fscorrupt, schedstall). Panics
+	// and hangs hold until a power cycle regardless.
+	Onsets        []time.Duration
 	FaultDuration time.Duration
 	// WatchdogTimeout is the guarded arm's hardware watchdog; the bare
 	// arm flies without one (the pre-Trikarenos COTS baseline).
@@ -65,9 +66,10 @@ type OSFaultCampaignConfig struct {
 	StallExecutor int
 }
 
-// DefaultOSFaultCampaignConfig sweeps all five OS fault classes with a
-// mid-mission onset, a 30-second hardware watchdog on the guarded arm,
-// and supervisor hang/heartbeat detection enabled.
+// DefaultOSFaultCampaignConfig sweeps all five OS fault classes at two
+// onsets — mid-mission and just past the second latchup — with a
+// 30-second hardware watchdog on the guarded arm and supervisor
+// hang/heartbeat detection enabled.
 func DefaultOSFaultCampaignConfig() OSFaultCampaignConfig {
 	sel := DefaultSELConfig()
 	sel.Duration = 30 * time.Minute
@@ -87,7 +89,7 @@ func DefaultOSFaultCampaignConfig() OSFaultCampaignConfig {
 			machine.OSFaultSchedulerStall,
 			machine.OSFaultFSCorruption,
 		},
-		Onset:           10 * time.Minute,
+		Onsets:          []time.Duration{10 * time.Minute, 13 * time.Minute},
 		FaultDuration:   7 * time.Minute, // spans the 16-minute SEL reboot
 		WatchdogTimeout: 30 * time.Second,
 		IOErrorRate:     0.9,
@@ -124,6 +126,8 @@ func ParseOSFaultClasses(s string) ([]machine.OSFaultKind, error) {
 // sharing seeds so the comparison is paired.
 type OSFaultTrial struct {
 	Class machine.OSFaultKind
+	// Onset is the grid point's fault strike time.
+	Onset time.Duration
 
 	// DetectLatency is fault onset to the guarded arm's first OS-level
 	// detection signal (heartbeat gap, hang cycle, rejected page, IO
@@ -158,6 +162,7 @@ type OSFaultTrial struct {
 
 func encOSFaultTrial(e *resultcache.Enc, t OSFaultTrial) {
 	e.Int(int64(t.Class))
+	e.Duration(t.Onset)
 	e.Duration(t.DetectLatency)
 	e.Duration(t.RecoveryTime)
 	e.Int(int64(t.WatchdogResets))
@@ -185,6 +190,7 @@ func encOSFaultTrial(e *resultcache.Enc, t OSFaultTrial) {
 func decOSFaultTrial(d *resultcache.Dec) OSFaultTrial {
 	return OSFaultTrial{
 		Class:                machine.OSFaultKind(d.Int()),
+		Onset:                d.Duration(),
 		DetectLatency:        d.Duration(),
 		RecoveryTime:         d.Duration(),
 		WatchdogResets:       int(d.Int()),
@@ -242,8 +248,16 @@ func OSFaultCampaign(c OSFaultCampaignConfig) ([]OSFaultTrial, *Table, error) {
 			return nil, nil, fmt.Errorf("experiments: invalid OS fault class %d", int(k))
 		}
 	}
-	if c.Onset <= 0 || c.FaultDuration <= 0 {
-		return nil, nil, fmt.Errorf("experiments: Onset and FaultDuration must be positive")
+	if len(c.Onsets) == 0 {
+		return nil, nil, fmt.Errorf("experiments: empty OS-fault onset grid")
+	}
+	for _, onset := range c.Onsets {
+		if onset <= 0 {
+			return nil, nil, fmt.Errorf("experiments: onset %v must be positive", onset)
+		}
+	}
+	if c.FaultDuration <= 0 {
+		return nil, nil, fmt.Errorf("experiments: FaultDuration must be positive")
 	}
 	if c.WatchdogTimeout <= 0 {
 		return nil, nil, fmt.Errorf("experiments: WatchdogTimeout must be positive (the guarded arm's whole point)")
@@ -261,12 +275,19 @@ func OSFaultCampaign(c OSFaultCampaignConfig) ([]OSFaultTrial, *Table, error) {
 		return nil, nil, fmt.Errorf("experiments: StallExecutor %d out of range", c.StallExecutor)
 	}
 
-	// The trial index participates in the key (the trial seed derives
-	// from it), so reordering the class grid recomputes — by design.
-	cache := cacheArms(c.SEL.Cache, "oskernel/v1", len(c.Classes),
+	// The grid is classes × onsets, onset-major within a class; the
+	// trial index participates in the key (the trial seed derives from
+	// it), so reordering either axis recomputes — by design.
+	grid := len(c.Classes) * len(c.Onsets)
+	gridPoint := func(i int) (machine.OSFaultKind, time.Duration) {
+		return c.Classes[i/len(c.Onsets)], c.Onsets[i%len(c.Onsets)]
+	}
+	cache := cacheArms(c.SEL.Cache, "oskernel/v2", grid,
 		func(i int, e *resultcache.Enc) {
+			class, onset := gridPoint(i)
 			encSELConfig(e, c.SEL)
-			e.Duration(c.Onset)
+			e.Int(int64(class))
+			e.Duration(onset)
 			e.Duration(c.FaultDuration)
 			e.Duration(c.WatchdogTimeout)
 			e.Float(c.IOErrorRate)
@@ -280,7 +301,6 @@ func OSFaultCampaign(c OSFaultCampaignConfig) ([]OSFaultTrial, *Table, error) {
 			e.Duration(c.Watchdog.BackoffBase)
 			e.Duration(c.Stall)
 			e.Int(int64(c.StallExecutor))
-			e.Int(int64(c.Classes[i]))
 			e.Int(int64(i))
 		},
 		armCodec[OSFaultTrial]{enc: encOSFaultTrial, dec: decOSFaultTrial})
@@ -294,22 +314,23 @@ func OSFaultCampaign(c OSFaultCampaignConfig) ([]OSFaultTrial, *Table, error) {
 		model = base.Model()
 	}
 
-	trials, err := sched.Map(len(c.Classes), c.SEL.Workers, func(i int) (OSFaultTrial, error) {
+	trials, err := sched.Map(grid, c.SEL.Workers, func(i int) (OSFaultTrial, error) {
 		return cache.CachedArm(i, func() (OSFaultTrial, error) {
-			class := c.Classes[i]
+			class, onset := gridPoint(i)
 			seed := c.SEL.Seed + 5000 + int64(i)*31
-			g, err := flyOSFaultArm(c, class, model, seed, true)
+			g, err := flyOSFaultArm(c, class, onset, model, seed, true)
 			if err != nil {
 				return OSFaultTrial{}, err
 			}
-			u, err := flyOSFaultArm(c, class, model, seed, false)
+			u, err := flyOSFaultArm(c, class, onset, model, seed, false)
 			if err != nil {
 				return OSFaultTrial{}, err
 			}
 			tr := OSFaultTrial{
 				Class:          class,
-				DetectLatency:  latencyFrom(g.detectAt, c.Onset),
-				RecoveryTime:   latencyFrom(g.recoveredAt, c.Onset),
+				Onset:          onset,
+				DetectLatency:  latencyFrom(g.detectAt, onset),
+				RecoveryTime:   latencyFrom(g.recoveredAt, onset),
 				WatchdogResets: g.wdResets, HangCycles: g.hangCycles,
 				IOErrors: g.ioErrors, Recoveries: g.recoveries,
 				EventsEnqueued: g.enqueued, UnguardedEnqueued: u.enqueued,
@@ -332,9 +353,9 @@ func OSFaultCampaign(c OSFaultCampaignConfig) ([]OSFaultTrial, *Table, error) {
 	}
 
 	tbl := &Table{
-		Title: fmt.Sprintf("OS-fault campaign: %v missions, fault at %v, watchdog %v (guarded arm only)",
-			c.SEL.Duration, c.Onset, c.WatchdogTimeout),
-		Header: []string{"Class", "Detect", "Recover", "WdReset", "HangCyc", "IOErr", "PageRecov",
+		Title: fmt.Sprintf("OS-fault campaign: %v missions, %d onsets, watchdog %v (guarded arm only)",
+			c.SEL.Duration, len(c.Onsets), c.WatchdogTimeout),
+		Header: []string{"Class", "Onset", "Detect", "Recover", "WdReset", "HangCyc", "IOErr", "PageRecov",
 			"Lost g/u", "MissedSEL g/u", "Cycles g/u", "CleanReplay g/u", "Survived g/u", "EMR stage"},
 	}
 	for _, tr := range trials {
@@ -349,7 +370,7 @@ func OSFaultCampaign(c OSFaultCampaignConfig) ([]OSFaultTrial, *Table, error) {
 			emrCol = fmt.Sprintf("kills=%d tmr=%s degraded=%s bare-overrun=%v",
 				tr.Kills, verdict(tr.TMRGolden), verdict(tr.DegradedGolden), tr.StallOverrun)
 		}
-		tbl.AddRow(tr.Class.String(), latencyStr(tr.DetectLatency), latencyStr(tr.RecoveryTime),
+		tbl.AddRow(tr.Class.String(), tr.Onset.String(), latencyStr(tr.DetectLatency), latencyStr(tr.RecoveryTime),
 			fmt.Sprint(tr.WatchdogResets), fmt.Sprint(tr.HangCycles), fmt.Sprint(tr.IOErrors),
 			fmt.Sprint(tr.Recoveries),
 			fmt.Sprintf("%d/%d", tr.EventsLost, tr.UnguardedLost),
@@ -386,7 +407,7 @@ func latencyStr(d time.Duration) string {
 // before trusting it, and repairs a corrupt page at boot. The bare arm
 // flies the paper's baseline: no watchdog, a lone ILD detector, pages
 // written and restored blindly.
-func flyOSFaultArm(c OSFaultCampaignConfig, class machine.OSFaultKind, model *linmodel.Model, seed int64, guarded bool) (osArmResult, error) {
+func flyOSFaultArm(c OSFaultCampaignConfig, class machine.OSFaultKind, onset time.Duration, model *linmodel.Model, seed int64, guarded bool) (osArmResult, error) {
 	res := osArmResult{detectAt: -1, recoveredAt: -1, cleanReplay: true}
 	det, err := ild.NewDetector(model, c.SEL.ildConfig())
 	if err != nil {
@@ -405,7 +426,7 @@ func flyOSFaultArm(c OSFaultCampaignConfig, class machine.OSFaultKind, model *li
 		mc.WatchdogTimeout = c.WatchdogTimeout
 	}
 	m := machine.New(mc)
-	f := machine.OSFault{Kind: class, Start: c.Onset}
+	f := machine.OSFault{Kind: class, Start: onset}
 	switch class {
 	case machine.OSFaultIOErrorBurst:
 		f.Duration, f.ErrorRate = c.FaultDuration, c.IOErrorRate
@@ -496,7 +517,7 @@ func flyOSFaultArm(c OSFaultCampaignConfig, class machine.OSFaultKind, model *li
 		// Prime a latchup right before the panic: the recovery question
 		// for this class is whether the watchdog reset clears an SEL the
 		// dead board can no longer see, inside the detection window.
-		nextSEL = c.Onset - c.SEL.SampleEvery
+		nextSEL = onset - c.SEL.SampleEvery
 	}
 	selSince := time.Duration(-1)
 	missedCounted := false
@@ -531,7 +552,7 @@ func flyOSFaultArm(c OSFaultCampaignConfig, class machine.OSFaultKind, model *li
 		}
 
 		_, active := m.OSFaultActive(class)
-		if tel.T >= c.Onset {
+		if tel.T >= onset {
 			faultSeen = true
 		}
 		if faultSeen && !active && res.recoveredAt < 0 {

@@ -17,7 +17,7 @@ func equivOSFault(workers int) OSFaultCampaignConfig {
 	c.SEL.Duration = 12 * time.Minute
 	c.SEL.SELEvery = 5 * time.Minute
 	c.SEL.Workers = workers
-	c.Onset = 4 * time.Minute
+	c.Onsets = []time.Duration{4 * time.Minute}
 	c.FaultDuration = 3 * time.Minute
 	return c
 }
@@ -27,7 +27,8 @@ func TestOSFaultCampaignValidation(t *testing.T) {
 		func(c *OSFaultCampaignConfig) { c.Classes = nil },
 		func(c *OSFaultCampaignConfig) { c.Classes = []machine.OSFaultKind{machine.OSFaultKind(42)} },
 		func(c *OSFaultCampaignConfig) { c.Classes = []machine.OSFaultKind{machine.OSFaultNone} },
-		func(c *OSFaultCampaignConfig) { c.Onset = 0 },
+		func(c *OSFaultCampaignConfig) { c.Onsets = nil },
+		func(c *OSFaultCampaignConfig) { c.Onsets = []time.Duration{0} },
 		func(c *OSFaultCampaignConfig) { c.FaultDuration = -time.Second },
 		func(c *OSFaultCampaignConfig) { c.WatchdogTimeout = 0 },
 		func(c *OSFaultCampaignConfig) { c.IOErrorRate = 0 },

@@ -130,6 +130,16 @@ func TestParallelEquivalenceOSFaultCampaign(t *testing.T) {
 	})
 }
 
+func TestParallelEquivalenceAdaptiveCampaign(t *testing.T) {
+	assertWidthInvariant(t, func(workers int) (string, error) {
+		_, tbl, err := AdaptiveCampaign(equivAdaptive(workers))
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	})
+}
+
 func TestParallelEquivalenceAblations(t *testing.T) {
 	sel := equivSEL(0) // width set per run below
 	seu := SEUConfig{Size: 32 << 10, Seed: 42}

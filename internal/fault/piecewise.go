@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Piecewise scheduling: mission phases swing flux by orders of
+// magnitude (an SAA crossing, a solar-storm window), so a single
+// constant-rate Poisson draw cannot represent a flight profile. A
+// RateWindow scales the environment's rates over one half-open span of
+// mission time; SchedulePiecewise draws each window independently and
+// merges the arrivals into one timeline.
+
+// RateWindow scales an Environment's rates over [Start, Start+Duration).
+// The half-open convention is what makes contiguous windows safe: an
+// event can land in exactly one window, so phase boundaries never drop
+// or double-count arrivals.
+type RateWindow struct {
+	Start    time.Duration
+	Duration time.Duration
+	// SEU, MBU and SEL are dimensionless multipliers over the base
+	// environment's SEUPerDay, MBUFrac and SELPerYear. The scaled MBU
+	// fraction is clamped to 1 (it is a probability).
+	SEU float64
+	MBU float64
+	SEL float64
+}
+
+// End returns the exclusive end of the window.
+func (w RateWindow) End() time.Duration { return w.Start + w.Duration }
+
+// validateWindows rejects windows a profile generator could not have
+// produced: negative spans, negative multipliers, or overlap (two
+// windows claiming the same instant would double-count flux).
+func validateWindows(windows []RateWindow) error {
+	for i, w := range windows {
+		if w.Start < 0 || w.Duration < 0 {
+			return fmt.Errorf("fault: window %d has negative start or duration", i)
+		}
+		if w.SEU < 0 || w.MBU < 0 || w.SEL < 0 {
+			return fmt.Errorf("fault: window %d has a negative rate multiplier", i)
+		}
+		if i > 0 && w.Start < windows[i-1].End() {
+			return fmt.Errorf("fault: window %d overlaps window %d", i, i-1)
+		}
+	}
+	return nil
+}
+
+// SchedulePiecewise draws a Poisson event timeline whose rates vary by
+// window: within window w the environment's SEU/MBU/SEL rates are
+// scaled by w's multipliers. Windows must be sorted by Start and must
+// not overlap (gaps are fine — no flux is drawn there). Deterministic
+// per rng seed: windows are consumed in order, each through the same
+// sequential draw Schedule uses, so a given (seed, windows) pair always
+// yields the same timeline. Zero-duration windows consume no
+// randomness. The returned events are sorted by time.
+func (e Environment) SchedulePiecewise(rng *rand.Rand, windows []RateWindow) ([]Event, error) {
+	if err := validateWindows(windows); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for _, w := range windows {
+		if w.Duration == 0 {
+			continue
+		}
+		scaled := e
+		scaled.SEUPerDay *= w.SEU
+		scaled.SELPerYear *= w.SEL
+		scaled.MBUFrac *= w.MBU
+		if scaled.MBUFrac > 1 {
+			scaled.MBUFrac = 1
+		}
+		for _, ev := range scaled.Schedule(rng, w.Duration) {
+			ev.T += w.Start
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events, nil
+}

@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// countKinds tallies a timeline by kind.
+func countKinds(events []Event) map[Kind]int {
+	n := make(map[Kind]int)
+	for _, ev := range events {
+		n[ev.Kind]++
+	}
+	return n
+}
+
+// TestSchedulePiecewiseMatchesIntegratedFlux is the satellite property
+// test: over many seeds, the mean event count per window must match the
+// window's integrated flux (rate × multiplier × duration) within
+// Monte-Carlo tolerance, independently per phase.
+func TestSchedulePiecewiseMatchesIntegratedFlux(t *testing.T) {
+	env := Environment{Name: "test", SEUPerDay: 48, MBUFrac: 0.1, SELPerYear: 0, SELAmpsMin: 0.07, SELAmpsMax: 0.25}
+	windows := []RateWindow{
+		{Start: 0, Duration: 6 * time.Hour, SEU: 1, MBU: 1, SEL: 1},
+		{Start: 6 * time.Hour, Duration: 2 * time.Hour, SEU: 30, MBU: 1, SEL: 1},
+		{Start: 8 * time.Hour, Duration: 4 * time.Hour, SEU: 0.5, MBU: 1, SEL: 1},
+	}
+	const runs = 300
+	perWindow := make([]float64, len(windows))
+	for seed := int64(0); seed < runs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		events, err := env.SchedulePiecewise(rng, windows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			placed := false
+			for i, w := range windows {
+				if ev.T >= w.Start && ev.T < w.End() {
+					perWindow[i]++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				t.Fatalf("event at %v falls outside every window", ev.T)
+			}
+		}
+	}
+	day := float64(24 * time.Hour)
+	for i, w := range windows {
+		lambda := env.SEUPerDay / day * w.SEU * float64(w.Duration)
+		mean := perWindow[i] / runs
+		// Poisson mean estimate over `runs` trials: σ = sqrt(λ/runs);
+		// allow 5σ so the test stays deterministic-in-practice.
+		tol := 5 * math.Sqrt(lambda/runs)
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("window %d: mean count %.2f, want %.2f ± %.2f (integrated flux)", i, mean, lambda, tol)
+		}
+	}
+}
+
+// TestSchedulePiecewiseSingleWindowMatchesSchedule pins the identity
+// that a one-window profile at unit multipliers is exactly the
+// constant-rate scheduler: byte-identical events for the same seed.
+func TestSchedulePiecewiseSingleWindowMatchesSchedule(t *testing.T) {
+	const dur = 12 * time.Hour
+	want := DeepSpace.Schedule(rand.New(rand.NewSource(7)), dur)
+	got, err := DeepSpace.SchedulePiecewise(rand.New(rand.NewSource(7)),
+		[]RateWindow{{Start: 0, Duration: dur, SEU: 1, MBU: 1, SEL: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("piecewise drew %d events, flat schedule %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSchedulePiecewiseBoundaries is the no-drop/no-duplicate property:
+// with contiguous half-open windows, every seeded event lands strictly
+// inside exactly one window, and splicing zero-duration windows into
+// the schedule (phase boundaries of measure zero) changes nothing —
+// they consume no randomness.
+func TestSchedulePiecewiseBoundaries(t *testing.T) {
+	env := Environment{Name: "test", SEUPerDay: 200, MBUFrac: 0.2, SELPerYear: 400, SELAmpsMin: 0.07, SELAmpsMax: 0.25}
+	windows := []RateWindow{
+		{Start: 0, Duration: time.Hour, SEU: 1, MBU: 1, SEL: 1},
+		{Start: time.Hour, Duration: time.Hour, SEU: 10, MBU: 1, SEL: 10},
+		{Start: 2 * time.Hour, Duration: time.Hour, SEU: 1, MBU: 1, SEL: 1},
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		events, err := env.SchedulePiecewise(rand.New(rand.NewSource(seed)), windows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(events); i++ {
+			if events[i].T < events[i-1].T {
+				t.Fatalf("seed %d: events out of order at %d", seed, i)
+			}
+		}
+		for _, ev := range events {
+			owners := 0
+			for _, w := range windows {
+				if ev.T >= w.Start && ev.T < w.End() {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("seed %d: event at %v owned by %d windows, want exactly 1", seed, ev.T, owners)
+			}
+		}
+
+		spliced := []RateWindow{
+			{Start: 0, Duration: 0, SEU: 99, MBU: 99, SEL: 99}, // measure-zero: must contribute nothing
+			windows[0],
+			{Start: time.Hour, Duration: 0, SEU: 99, MBU: 99, SEL: 99},
+			windows[1],
+			windows[2],
+			{Start: 3 * time.Hour, Duration: 0, SEU: 99, MBU: 99, SEL: 99},
+		}
+		again, err := env.SchedulePiecewise(rand.New(rand.NewSource(seed)), spliced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("seed %d: zero-duration boundaries changed the event count: %d vs %d", seed, len(again), len(events))
+		}
+		for i := range events {
+			if again[i] != events[i] {
+				t.Fatalf("seed %d: zero-duration boundaries changed event %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestSchedulePiecewiseValidation rejects malformed windows.
+func TestSchedulePiecewiseValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]RateWindow{
+		{{Start: -time.Second, Duration: time.Hour, SEU: 1, MBU: 1, SEL: 1}},
+		{{Start: 0, Duration: -time.Hour, SEU: 1, MBU: 1, SEL: 1}},
+		{{Start: 0, Duration: time.Hour, SEU: -1, MBU: 1, SEL: 1}},
+		{
+			{Start: 0, Duration: time.Hour, SEU: 1, MBU: 1, SEL: 1},
+			{Start: 30 * time.Minute, Duration: time.Hour, SEU: 1, MBU: 1, SEL: 1},
+		},
+	}
+	for i, ws := range cases {
+		if _, err := LEO.SchedulePiecewise(rng, ws); err == nil {
+			t.Errorf("case %d: malformed windows accepted", i)
+		}
+	}
+}
+
+// TestSchedulePiecewiseMBUClamp: a large MBU multiplier saturates the
+// multi-bit fraction at 1 — every upset drawn in the window is an MBU,
+// and the scheduler neither panics nor produces SEUs there.
+func TestSchedulePiecewiseMBUClamp(t *testing.T) {
+	env := Environment{Name: "test", SEUPerDay: 500, MBUFrac: 0.5, SELPerYear: 0}
+	events, err := env.SchedulePiecewise(rand.New(rand.NewSource(3)),
+		[]RateWindow{{Start: 0, Duration: 24 * time.Hour, SEU: 1, MBU: 10, SEL: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events drawn")
+	}
+	if n := countKinds(events); n[SEU] != 0 {
+		t.Errorf("clamped MBU fraction still drew %d SEUs", n[SEU])
+	}
+}

@@ -1,0 +1,271 @@
+package mission
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"radshield/internal/fault"
+)
+
+// PhaseKind names a mission segment with a characteristic radiation
+// climate. The multipliers attached to each kind (see Phase and
+// MISSIONS.md) are relative to the profile's base environment, so the
+// same kinds compose over LEO or deep-space baselines.
+type PhaseKind int
+
+const (
+	// PhaseLEO is quiet low-Earth-orbit cruise under geomagnetic
+	// shielding — the baseline every other phase is scaled against.
+	PhaseLEO PhaseKind = iota
+	// PhaseSAA is a South-Atlantic-Anomaly crossing: the inner proton
+	// belt dips into the orbit and flux jumps for minutes per pass.
+	PhaseSAA
+	// PhaseGEO is geostationary cruise outside most of the
+	// magnetosphere's shielding.
+	PhaseGEO
+	// PhaseMarsTransit is interplanetary cruise: unshielded GCR flux.
+	PhaseMarsTransit
+	// PhaseJupiterFlyby is a pass through Jupiter's radiation belts,
+	// the harshest trapped-particle environment in the solar system.
+	PhaseJupiterFlyby
+	// PhaseSolarStorm is a solar energetic-particle event window: flux
+	// rises orders of magnitude for hours.
+	PhaseSolarStorm
+
+	numPhaseKinds = int(PhaseSolarStorm) + 1
+)
+
+// String returns the phase-kind name used in telemetry and downlink
+// payloads.
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseLEO:
+		return "leo_cruise"
+	case PhaseSAA:
+		return "saa_crossing"
+	case PhaseGEO:
+		return "geo_cruise"
+	case PhaseMarsTransit:
+		return "mars_transit"
+	case PhaseJupiterFlyby:
+		return "jupiter_flyby"
+	case PhaseSolarStorm:
+		return "solar_storm"
+	default:
+		return "unknown"
+	}
+}
+
+// Phase is one mission segment: a duration and the flux multipliers it
+// applies over the profile's base environment.
+type Phase struct {
+	Kind     PhaseKind
+	Duration time.Duration
+	// SEU, MBU and SEL scale the base environment's SEUPerDay, MBUFrac
+	// and SELPerYear for the phase's span.
+	SEU float64
+	MBU float64
+	SEL float64
+}
+
+// Quiet reports whether the phase is at or below the baseline climate —
+// the spans where an adaptive controller should be earning its keep by
+// relaxing protection.
+func (p Phase) Quiet() bool { return p.SEU <= 1 && p.SEL <= 1 }
+
+// NewPhase returns a phase of the given kind and duration carrying the
+// kind's catalog multipliers (MISSIONS.md). The values trace to the
+// spread the paper's sources report: SAA passes raise upset rates by
+// one to two orders of magnitude over quiet LEO, solar events by two
+// to three, and Jupiter's belts sit near the top of the scale.
+func NewPhase(k PhaseKind, dur time.Duration) Phase {
+	p := Phase{Kind: k, Duration: dur, SEU: 1, MBU: 1, SEL: 1}
+	switch k {
+	case PhaseSAA:
+		p.SEU, p.MBU, p.SEL = 30, 1.5, 20
+	case PhaseGEO:
+		p.SEU, p.MBU, p.SEL = 3, 1, 2.5
+	case PhaseMarsTransit:
+		p.SEU, p.MBU, p.SEL = 4, 1.25, 3
+	case PhaseJupiterFlyby:
+		p.SEU, p.MBU, p.SEL = 40, 2, 25
+	case PhaseSolarStorm:
+		p.SEU, p.MBU, p.SEL = 100, 2.5, 60
+	}
+	return p
+}
+
+// Profile is a deterministic mission-phase schedule over a base
+// radiation environment. Phases are contiguous, starting at t=0.
+type Profile struct {
+	Name  string
+	Base  fault.Environment
+	Phase []Phase
+}
+
+// Validate rejects profiles the generator cannot schedule.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("mission: profile needs a name")
+	}
+	if len(p.Phase) == 0 {
+		return fmt.Errorf("mission: profile %q has no phases", p.Name)
+	}
+	for i, ph := range p.Phase {
+		if ph.Kind < 0 || int(ph.Kind) >= numPhaseKinds {
+			return fmt.Errorf("mission: profile %q phase %d has unknown kind %d", p.Name, i, int(ph.Kind))
+		}
+		if ph.Duration <= 0 {
+			return fmt.Errorf("mission: profile %q phase %d (%v) needs a positive duration", p.Name, i, ph.Kind)
+		}
+		if ph.SEU < 0 || ph.MBU < 0 || ph.SEL < 0 {
+			return fmt.Errorf("mission: profile %q phase %d (%v) has a negative multiplier", p.Name, i, ph.Kind)
+		}
+	}
+	return nil
+}
+
+// Total returns the mission length: the sum of phase durations.
+func (p Profile) Total() time.Duration {
+	var t time.Duration
+	for _, ph := range p.Phase {
+		t += ph.Duration
+	}
+	return t
+}
+
+// PhaseAt returns the phase covering mission time t and its index.
+// Phases are half-open [start, start+Duration); t at or past the end
+// of the mission reports the final phase.
+func (p Profile) PhaseAt(t time.Duration) (Phase, int) {
+	var start time.Duration
+	for i, ph := range p.Phase {
+		start += ph.Duration
+		if t < start {
+			return ph, i
+		}
+	}
+	return p.Phase[len(p.Phase)-1], len(p.Phase) - 1
+}
+
+// Windows renders the profile as the piecewise rate schedule
+// fault.SchedulePiecewise consumes: one contiguous half-open window per
+// phase.
+func (p Profile) Windows() []fault.RateWindow {
+	out := make([]fault.RateWindow, len(p.Phase))
+	var start time.Duration
+	for i, ph := range p.Phase {
+		out[i] = fault.RateWindow{
+			Start:    start,
+			Duration: ph.Duration,
+			SEU:      ph.SEU,
+			MBU:      ph.MBU,
+			SEL:      ph.SEL,
+		}
+		start += ph.Duration
+	}
+	return out
+}
+
+// Schedule turns the profile into a seeded radiation event stream: the
+// profile's generator. Deterministic per rng seed.
+func (p Profile) Schedule(rng *rand.Rand) ([]fault.Event, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.Base.SchedulePiecewise(rng, p.Windows())
+}
+
+// Boosted returns a copy of the profile with the base environment's
+// event rates multiplied, the same compression trick the mission
+// campaign uses so short simulated flights see meaningful event counts
+// (SEUs get a tenth of the boost — they are already frequent).
+func (p Profile) Boosted(rateBoost float64) Profile {
+	p.Base.SELPerYear *= rateBoost
+	p.Base.SEUPerDay *= rateBoost / 10
+	return p
+}
+
+// Preset profiles: the catalog MISSIONS.md documents. Durations are
+// campaign-scale (hours, not months) — the sweeps compress real mission
+// time the same way the Monte-Carlo missions do.
+
+// LEOWithSAA is a low-Earth orbit with two SAA crossings per simulated
+// flight: quiet cruise, a crossing, recovery, a second crossing, then
+// cruise home.
+func LEOWithSAA() Profile {
+	return Profile{
+		Name: "leo-saa",
+		Base: fault.LEO,
+		Phase: []Phase{
+			NewPhase(PhaseLEO, 30*time.Minute),
+			NewPhase(PhaseSAA, 10*time.Minute),
+			NewPhase(PhaseLEO, 25*time.Minute),
+			NewPhase(PhaseSAA, 10*time.Minute),
+			NewPhase(PhaseLEO, 45*time.Minute),
+		},
+	}
+}
+
+// GEOTransfer is a transfer from LEO up to geostationary orbit: the
+// belts are crossed once (modelled as an SAA-grade span), then the
+// mission settles into GEO cruise.
+func GEOTransfer() Profile {
+	return Profile{
+		Name: "geo-transfer",
+		Base: fault.LEO,
+		Phase: []Phase{
+			NewPhase(PhaseLEO, 20*time.Minute),
+			NewPhase(PhaseSAA, 15*time.Minute),
+			NewPhase(PhaseGEO, 85*time.Minute),
+		},
+	}
+}
+
+// MarsCruise is interplanetary transit over a deep-space baseline with
+// a mid-cruise solar-storm window.
+func MarsCruise() Profile {
+	return Profile{
+		Name: "mars-cruise",
+		Base: fault.DeepSpace,
+		Phase: []Phase{
+			NewPhase(PhaseMarsTransit, 40*time.Minute),
+			NewPhase(PhaseSolarStorm, 15*time.Minute),
+			NewPhase(PhaseMarsTransit, 65*time.Minute),
+		},
+	}
+}
+
+// JupiterFlyby is an outer-planets trajectory: long quiet cruise, a
+// belt passage, quiet cruise out.
+func JupiterFlyby() Profile {
+	return Profile{
+		Name: "jupiter-flyby",
+		Base: fault.DeepSpace,
+		Phase: []Phase{
+			NewPhase(PhaseMarsTransit, 45*time.Minute),
+			NewPhase(PhaseJupiterFlyby, 12*time.Minute),
+			NewPhase(PhaseMarsTransit, 63*time.Minute),
+		},
+	}
+}
+
+// SolarStormDrill is the controller's stress profile: quiet LEO cruise
+// interrupted by one long storm window.
+func SolarStormDrill() Profile {
+	return Profile{
+		Name: "solar-storm-drill",
+		Base: fault.LEO,
+		Phase: []Phase{
+			NewPhase(PhaseLEO, 40*time.Minute),
+			NewPhase(PhaseSolarStorm, 20*time.Minute),
+			NewPhase(PhaseLEO, 60*time.Minute),
+		},
+	}
+}
+
+// Catalog returns the preset profiles, in sweep order.
+func Catalog() []Profile {
+	return []Profile{LEOWithSAA(), GEOTransfer(), MarsCruise(), JupiterFlyby(), SolarStormDrill()}
+}

@@ -96,6 +96,13 @@ const (
 	// silent in between (kernel down until a watchdog reset). Fields:
 	// gap_ns.
 	KindHeartbeatGap Kind = "guard_heartbeat_gap"
+	// KindMissionPhase: the mission tracker crossed a phase boundary
+	// (see internal/mission). Fields: from, to, phase, seu_x, sel_x.
+	KindMissionPhase Kind = "mission_phase"
+	// KindAdaptLevel: the adaptive-protection controller moved along
+	// its posture ladder (see internal/adapt). Fields: from, to,
+	// score, reason.
+	KindAdaptLevel Kind = "adapt_level_change"
 )
 
 // Event is one structured observation. T is simulated time (offset from
